@@ -1,0 +1,42 @@
+//! FedAvg aggregation scaling: cost vs number of client updates and
+//! model size. The paper's aggregator must absorb updates from up to
+//! `|C|` clients per round without becoming the bottleneck.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tifl_fl::aggregator::{aggregate_fedavg, ClientUpdate};
+use tifl_tensor::ParamVec;
+
+fn updates(clients: usize, params: usize) -> Vec<ClientUpdate> {
+    (0..clients)
+        .map(|c| ClientUpdate {
+            client: c,
+            params: ParamVec((0..params).map(|i| (i + c) as f32 * 1e-4).collect()),
+            samples: 100 + c,
+        })
+        .collect()
+}
+
+fn bench_clients(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fedavg_by_clients");
+    for &n in &[5usize, 10, 50, 200] {
+        let ups = updates(n, 9_738);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| aggregate_fedavg(black_box(&ups)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fedavg_by_params");
+    for &p in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        let ups = updates(5, p);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| aggregate_fedavg(black_box(&ups)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_clients, bench_model_size);
+criterion_main!(benches);

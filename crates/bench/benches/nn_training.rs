@@ -1,0 +1,50 @@
+//! Benchmarks of one local-training step for the experiment models —
+//! what the simulator's `flops_per_sample` abstraction stands in for.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
+use tifl_fl::client::{local_train, ClientConfig};
+use tifl_nn::models::ModelSpec;
+
+fn bench_local_train(c: &mut Criterion) {
+    let gen = Generator::new(SynthSpec::family(SynthFamily::Cifar10), 0);
+    let data = gen.generate_uniform(100, 0);
+    let cfg = ClientConfig::paper_synthetic();
+
+    let mut g = c.benchmark_group("local_train_100_samples");
+    g.sample_size(30);
+    for (label, spec) in [
+        ("logistic", ModelSpec::Logistic { input: 64, classes: 10 }),
+        ("mlp_128", ModelSpec::Mlp { input: 64, hidden: 128, classes: 10 }),
+        ("cnn_4_8", ModelSpec::Cnn { side: 8, channels: (4, 8), hidden: 32, classes: 10 }),
+    ] {
+        let global = spec.build(1).params();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                local_train(
+                    black_box(&spec),
+                    black_box(&global),
+                    black_box(&data),
+                    &cfg,
+                    0,
+                    0,
+                    42,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let gen = Generator::new(SynthSpec::family(SynthFamily::Cifar10), 0);
+    let data = gen.generate_uniform(500, 0);
+    let spec = ModelSpec::Mlp { input: 64, hidden: 128, classes: 10 };
+    let mut model = spec.build(1);
+    c.bench_function("evaluate_500_samples", |b| {
+        b.iter(|| model.evaluate(black_box(&data.x), black_box(&data.y)));
+    });
+}
+
+criterion_group!(benches, bench_local_train, bench_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end cost of one federated round (selection + parallel local
+//! training + latency simulation + aggregation + evaluation) — the unit
+//! of work every experiment repeats hundreds to thousands of times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+use tifl_core::scheduler::StaticTierSelector;
+use tifl_fl::selector::RandomSelector;
+
+fn bench_round(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::tiny(7);
+    cfg.rounds = u64::MAX / 2; // never stop; rounds are driven manually
+    cfg.eval_every = 1;
+
+    let mut g = c.benchmark_group("one_round");
+    g.sample_size(20);
+
+    let mut session = cfg.make_session();
+    let mut vanilla = RandomSelector::new(cfg.num_clients, 0);
+    g.bench_function("vanilla_tiny", |b| {
+        b.iter(|| black_box(session.run_round(&mut vanilla)));
+    });
+
+    let (assignment, _) = cfg.profile_and_tier();
+    let mut session2 = cfg.make_session();
+    let mut tiered = StaticTierSelector::new(assignment, Policy::uniform(5), 0);
+    g.bench_function("tiered_tiny", |b| {
+        b.iter(|| black_box(session2.run_round(&mut tiered)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Per-round selector overhead: vanilla random vs static tiered vs
+//! adaptive. Scheduling must cost microseconds against rounds that take
+//! (virtual) seconds to minutes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tifl_core::policy::Policy;
+use tifl_core::scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
+use tifl_core::tiering::{TierAssignment, TieringConfig};
+use tifl_fl::selector::{ClientSelector, RandomSelector};
+
+fn assignment(clients: usize) -> TierAssignment {
+    let latencies: Vec<Option<f64>> =
+        (0..clients).map(|i| Some((i % 100) as f64 + 1.0)).collect();
+    TierAssignment::from_latencies(&latencies, &TieringConfig::default())
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let clients = 1_000;
+    let mut g = c.benchmark_group("select_5_of_1000");
+
+    let mut vanilla = RandomSelector::new(clients, 0);
+    g.bench_function("vanilla", |b| {
+        let mut r = 0u64;
+        b.iter(|| {
+            r += 1;
+            black_box(vanilla.select(r, 5))
+        });
+    });
+
+    let mut stat = StaticTierSelector::new(assignment(clients), Policy::uniform(5), 0);
+    g.bench_function("static_tiered", |b| {
+        let mut r = 0u64;
+        b.iter(|| {
+            r += 1;
+            black_box(stat.select(r, 5))
+        });
+    });
+
+    let mut adaptive = AdaptiveTierSelector::new(
+        assignment(clients),
+        AdaptiveConfig { interval: 10, credits_per_tier: u64::MAX / 2, gamma: 2.0 },
+        0,
+    );
+    g.bench_function("adaptive", |b| {
+        let mut r = 0u64;
+        b.iter(|| {
+            r += 1;
+            if (r + 1).is_multiple_of(10) {
+                adaptive.observe(r, &[0.5, 0.6, 0.7, 0.8, 0.9]);
+            }
+            black_box(adaptive.select(r, 5))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

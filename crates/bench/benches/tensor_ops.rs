@@ -1,0 +1,58 @@
+//! Micro-benchmarks for the tensor kernels that dominate local training.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tifl_tensor::{ops, Matrix};
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let v = (r as u64)
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(c as u64)
+            .wrapping_add(seed);
+        (v % 1000) as f32 / 1000.0 - 0.5
+    })
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[16usize, 64, 128, 256] {
+        let a = mat(n, n, 1);
+        let b = mat(n, n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ops::matmul(black_box(&a), black_box(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_training_shapes(c: &mut Criterion) {
+    // The exact GEMM shapes of a batch-10 step on the experiment MLP.
+    let x = mat(10, 64, 1); // batch x input
+    let w1 = mat(64, 128, 2);
+    let dy = mat(10, 128, 3);
+    let mut g = c.benchmark_group("mlp_step_shapes");
+    g.bench_function("forward_10x64x128", |b| {
+        b.iter(|| ops::matmul(black_box(&x), black_box(&w1)));
+    });
+    g.bench_function("grad_w_64x10x128", |b| {
+        b.iter(|| ops::matmul_transpose_a(black_box(&x), black_box(&dy)));
+    });
+    g.bench_function("grad_x_10x128x64", |b| {
+        // dX = dY * W^T; matmul_transpose_b takes W as stored (in x out)
+        // and transposes it internally (exactly Dense::backward's call).
+        b.iter(|| ops::matmul_transpose_b(black_box(&dy), black_box(&w1)));
+    });
+    g.finish();
+}
+
+fn bench_vector_ops(c: &mut Criterion) {
+    let n = 9_738; // MLP(64,128,10) parameter count
+    let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.001).collect();
+    let mut out = vec![0.0f32; n];
+    c.bench_function("axpy_param_vec", |b| {
+        b.iter(|| ops::axpy(black_box(0.5), black_box(&x), black_box(&mut out)));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_training_shapes, bench_vector_ops);
+criterion_main!(benches);

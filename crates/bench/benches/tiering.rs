@@ -1,0 +1,47 @@
+//! Cost of the profiler and the tiering algorithm — TiFL's added
+//! machinery must stay negligible next to training (§4.1's
+//! "non-intrusive" claim).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tifl_core::profiler::{Profiler, ProfilerConfig};
+use tifl_core::tiering::{TierAssignment, TieringConfig};
+use tifl_sim::latency::TrainingTask;
+use tifl_sim::{Cluster, ClusterConfig};
+
+fn bench_tier_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tier_assignment");
+    for &n in &[100usize, 1_000, 10_000, 100_000] {
+        let latencies: Vec<Option<f64>> =
+            (0..n).map(|i| Some(((i * 37) % 1000) as f64 / 10.0)).collect();
+        let cfg = TieringConfig::default();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| TierAssignment::from_latencies(black_box(&latencies), &cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profiler");
+    for &n in &[50usize, 500, 5_000] {
+        let cluster = Cluster::new(&ClusterConfig::equal_groups(
+            n,
+            &tifl_sim::resource::profiles::CIFAR,
+            7,
+        ));
+        let profiler = Profiler::new(ProfilerConfig::default());
+        let task = TrainingTask {
+            samples: 400,
+            epochs: 1,
+            flops_per_sample: 57_000,
+            update_bytes: 39_000,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| profiler.profile(black_box(&cluster), |_| task));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tier_assignment, bench_profiler);
+criterion_main!(benches);

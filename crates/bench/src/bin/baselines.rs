@@ -1,0 +1,69 @@
+//! Baseline comparison (§2 related work): TiFL vs the straggler
+//! mitigations it is contrasted against.
+//!
+//! * vanilla       — Algorithm 1 random selection, wait-all
+//! * overselect    — Bonawitz et al.: ask 130 %, drop stragglers
+//! * fedcs         — Nishio & Yonetani: deadline-filtered selection
+//! * fedprox       — Li et al.: proximal objective (latency unchanged)
+//! * uniform/TiFL  — tier-based selection (static / adaptive)
+//!
+//! Reports training time, accuracy, and discarded client work under the
+//! resource + non-IID(5) scenario.
+
+use tifl_bench::{header, HarnessArgs};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+use tifl_fl::TrainingReport;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+    let mut cfg = ExperimentConfig::cifar10_resource_noniid(5, seed);
+    cfg.rounds = args.rounds_or(300);
+
+    // FedCS deadline: median profiled latency, so roughly the fastest
+    // half of the fleet qualifies.
+    let (assignment, _) = cfg.profile_and_tier();
+    let lats = assignment.tier_latencies();
+    let deadline = lats[lats.len() / 2];
+
+    let mut runs: Vec<TrainingReport> = Vec::new();
+    eprintln!("[baselines] vanilla ...");
+    runs.push(cfg.run_policy(&Policy::vanilla()));
+    eprintln!("[baselines] overselect(1.3) ...");
+    runs.push(cfg.run_overselection(1.3));
+    eprintln!("[baselines] fedcs (deadline {deadline:.0}s) ...");
+    runs.push(cfg.run_fedcs(deadline));
+    eprintln!("[baselines] fedprox(0.1) ...");
+    runs.push(cfg.run_fedprox(0.1));
+    eprintln!("[baselines] uniform ...");
+    runs.push(cfg.run_policy(&Policy::uniform(5)));
+    eprintln!("[baselines] adaptive ...");
+    let mut adaptive = cfg.run_adaptive(None);
+    adaptive.policy = "TiFL".into();
+    runs.push(adaptive);
+
+    header(
+        "baselines",
+        &format!("{} ({} rounds, virtual seconds)", cfg.name, cfg.rounds),
+    );
+    println!(
+        "{:<16} {:>12} {:>11} {:>10} {:>15}",
+        "method", "time [s]", "final acc", "best acc", "discarded work"
+    );
+    for r in &runs {
+        println!(
+            "{:<16} {:>12.0} {:>11.3} {:>10.3} {:>14.1}%",
+            r.policy,
+            r.total_time(),
+            r.final_accuracy(),
+            r.best_accuracy(),
+            r.discarded_work_fraction() * 100.0
+        );
+    }
+    println!(
+        "\nTiFL's claim (§2): deadline/over-selection baselines speed rounds up\nbut waste client work or exclude slow clients' data entirely; tiering\nkeeps every tier reachable while avoiding mixed-speed rounds."
+    );
+
+    args.maybe_dump_json(&runs.iter().map(|r| (r.policy.clone(), r.total_time(), r.final_accuracy())).collect::<Vec<_>>());
+}

@@ -1,0 +1,62 @@
+//! Per-class bias analysis: *why* aggressive fast-tier policies lose
+//! accuracy under non-IID data (§5.2.3 / §5.2.4).
+//!
+//! Under non-IID(2) with quantity skew, the classes held mostly by slow
+//! tiers are starved when only the fast tier trains. This binary prints
+//! the per-class accuracy of the final model under vanilla / fast /
+//! uniform, plus the class spread (max − min) as a bias score.
+
+use tifl_bench::{header, HarnessArgs};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+    let mut cfg = ExperimentConfig::cifar10_combine(2, seed);
+    cfg.rounds = args.rounds_or(300);
+
+    let mut rows: Vec<(String, Vec<Option<f64>>, f64)> = Vec::new();
+    for policy in [Policy::vanilla(), Policy::fast(5), Policy::uniform(5)] {
+        eprintln!("[class_bias] {} ...", policy.name);
+        let (report, session) = cfg.run_policy_session(&policy);
+        let per_class = session.evaluate_global_per_class();
+        let present: Vec<f64> = per_class.iter().flatten().copied().collect();
+        let spread = present.iter().copied().fold(0.0f64, f64::max)
+            - present.iter().copied().fold(1.0f64, f64::min);
+        println!(
+            "{}: overall {:.3}, class spread {:.3}",
+            policy.name,
+            report.final_accuracy(),
+            spread
+        );
+        rows.push((policy.name.clone(), per_class, spread));
+    }
+
+    header(
+        "class bias",
+        &format!("{} ({} rounds): per-class accuracy", cfg.name, cfg.rounds),
+    );
+    print!("{:<10}", "class");
+    for (name, _, _) in &rows {
+        print!(" {name:>9}");
+    }
+    println!();
+    let classes = rows[0].1.len();
+    for c in 0..classes {
+        print!("{c:<10}");
+        for (_, per_class, _) in &rows {
+            match per_class[c] {
+                Some(a) => print!(" {a:>9.3}"),
+                None => print!(" {:>9}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("\nspread (max-min per-class accuracy; higher = more biased):");
+    for (name, _, spread) in &rows {
+        println!("  {name:<10} {spread:.3}");
+    }
+
+    args.maybe_dump_json(&rows);
+}

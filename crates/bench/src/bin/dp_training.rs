@@ -1,0 +1,48 @@
+//! §4.6 in practice: end-to-end training with client-level DP updates
+//! (clip + Gaussian noise), comparing vanilla and uniform tier selection
+//! across noise levels.
+//!
+//! The accounting side (q, q_max amplification) is printed by the
+//! `privacy` binary; this one measures the accuracy cost of the
+//! mechanism itself and verifies tiering composes with it.
+
+use tifl_bench::{header, HarnessArgs};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+use tifl_fl::client::DpNoiseConfig;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+
+    header(
+        "DP training",
+        "accuracy under clip-and-noise client updates (clip = 1.0)",
+    );
+    println!(
+        "{:<18} {:>10} {:>18} {:>18}",
+        "noise multiplier", "policy", "final accuracy", "time [s]"
+    );
+    let mut rows = Vec::new();
+    for z in [0.0f32, 0.01, 0.05, 0.2] {
+        for policy in [Policy::vanilla(), Policy::uniform(5)] {
+            let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
+            cfg.rounds = args.rounds_or(200);
+            cfg.client.dp = Some(DpNoiseConfig { clip: 1.0, noise_multiplier: z });
+            eprintln!("[dp] z={z} {} ...", policy.name);
+            let report = cfg.run_policy(&policy);
+            println!(
+                "{z:<18} {:>10} {:>18.3} {:>18.0}",
+                report.policy,
+                report.final_accuracy(),
+                report.total_time()
+            );
+            rows.push((z, report.policy.clone(), report.final_accuracy()));
+        }
+    }
+    println!(
+        "\nExpected shape: accuracy degrades smoothly with the noise multiplier\nand tiered selection tracks vanilla at every level — tiering is\ncompatible with client-level DP (§4.6)."
+    );
+
+    args.maybe_dump_json(&rows);
+}

@@ -1,0 +1,66 @@
+//! Fig. 1(a): average training time per round vs CPU share and data
+//! size — the §3.3 heterogeneity case study.
+//!
+//! Grid: CPU shares {4, 2, 1, 1/3, 1/5} x data sizes
+//! {500, 1000, 2000, 5000}, using the CIFAR-10 experiment's model cost.
+//! The paper's observations to reproduce: latency grows near-linearly
+//! with data size at fixed CPUs and shrinks as CPU share grows.
+
+use tifl_bench::{header, HarnessArgs};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_sim::latency::{LatencyModel, TrainingTask};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+    let cfg = ExperimentConfig::cifar10_resource_het(seed);
+    let model = cfg.model.build(seed);
+    let latency = LatencyModel::new(cfg.latency);
+
+    let cpus = [4.0, 2.0, 1.0, 1.0 / 3.0, 1.0 / 5.0];
+    let sizes = [500usize, 1000, 2000, 5000];
+
+    header(
+        "Fig. 1(a)",
+        "avg per-round training time [s] by CPU share and data size",
+    );
+    print!("{:>12}", "data \\ cpu");
+    for c in cpus {
+        print!(" {c:>9.2}");
+    }
+    println!();
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let task = TrainingTask {
+            samples: n,
+            epochs: 1,
+            flops_per_sample: model.flops_per_sample(),
+            update_bytes: model.update_bytes(),
+        };
+        print!("{n:>12}");
+        let mut row = Vec::new();
+        for &c in &cpus {
+            let l = latency.nominal_latency(&task, c, 1_000_000.0);
+            print!(" {l:>9.1}");
+            row.push(l);
+        }
+        println!();
+        rows.push((n, row));
+    }
+
+    // The two scaling laws of §3.3.
+    let t_500_4 = rows[0].1[0];
+    let t_5000_4 = rows[3].1[0];
+    println!(
+        "\nscaling with data (4 CPUs): 500 -> 5000 points = {:.1}x slower",
+        t_5000_4 / t_500_4
+    );
+    let t_500_slowest = rows[0].1[4];
+    println!(
+        "scaling with CPU (500 points): 4 -> 1/5 CPUs = {:.1}x slower",
+        t_500_slowest / t_500_4
+    );
+
+    args.maybe_dump_json(&rows);
+}

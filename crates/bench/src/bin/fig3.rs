@@ -1,0 +1,58 @@
+//! Fig. 3: CIFAR-10 selection-policy comparison under resource
+//! heterogeneity (column 1) and data-quantity heterogeneity (column 2).
+//!
+//! Reproduces all six panels: training-time bars (a, b), accuracy over
+//! rounds (c, d) and accuracy over virtual time (e, f) for the policies
+//! vanilla / slow / uniform / random / fast.
+//!
+//! Usage: `cargo run -p tifl-bench --release --bin fig3 [--rounds N]`
+
+use tifl_bench::{
+    header, print_accuracy_over_rounds, print_accuracy_over_time, print_time_bars,
+    print_summary, HarnessArgs, PolicyOutcome,
+};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+
+fn run_column(cfg: &ExperimentConfig) -> Vec<PolicyOutcome> {
+    Policy::cifar_set(cfg.tiering.num_tiers)
+        .iter()
+        .map(|p| {
+            eprintln!("[fig3] {} / {} ...", cfg.name, p.name);
+            PolicyOutcome::from(&cfg.run_policy(p))
+        })
+        .collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+
+    let mut resource = ExperimentConfig::cifar10_resource_het(seed);
+    resource.rounds = args.rounds_or(resource.rounds);
+    let mut quantity = ExperimentConfig::cifar10_quantity_het(seed);
+    quantity.rounds = args.rounds_or(quantity.rounds);
+
+    let col1 = run_column(&resource);
+    let col2 = run_column(&quantity);
+
+    header("Fig. 3(a)", "training time, resource heterogeneity");
+    print_time_bars(&col1);
+    header("Fig. 3(b)", "training time, data-quantity heterogeneity");
+    print_time_bars(&col2);
+    header("Fig. 3(c)", "accuracy over rounds, resource heterogeneity");
+    print_accuracy_over_rounds(&col1, 5);
+    header("Fig. 3(d)", "accuracy over rounds, data-quantity heterogeneity");
+    print_accuracy_over_rounds(&col2, 5);
+    header("Fig. 3(e)", "accuracy over time, resource heterogeneity");
+    print_accuracy_over_time(&col1, 10);
+    header("Fig. 3(f)", "accuracy over time, data-quantity heterogeneity");
+    print_accuracy_over_time(&col2, 10);
+    header("Fig. 3 summary", "per-policy totals");
+    println!("-- resource heterogeneity --");
+    print_summary(&col1);
+    println!("-- data-quantity heterogeneity --");
+    print_summary(&col2);
+
+    args.maybe_dump_json(&(col1, col2));
+}

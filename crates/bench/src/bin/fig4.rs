@@ -1,0 +1,55 @@
+//! Fig. 4: accuracy over rounds for every static policy under different
+//! non-IID levels (IID, 10, 5, 2 classes per client) with fixed
+//! resources (2 CPUs per client) — §5.2.3.
+//!
+//! One panel per policy; each panel holds four curves.
+
+use tifl_bench::{header, print_accuracy_over_rounds, HarnessArgs, PolicyOutcome};
+use tifl_core::experiment::{DataScenario, ExperimentConfig};
+use tifl_core::policy::Policy;
+
+fn config_for(k: Option<usize>, seed: u64, rounds: u64) -> ExperimentConfig {
+    let mut cfg = match k {
+        None => {
+            let mut c = ExperimentConfig::cifar10_noniid(10, seed);
+            c.data = DataScenario::Iid { per_client: 400 };
+            c.name = "cifar10/iid".into();
+            c
+        }
+        Some(k) => ExperimentConfig::cifar10_noniid(k, seed),
+    };
+    cfg.rounds = rounds;
+    cfg
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+    let rounds = args.rounds_or(500);
+    let levels: [(&str, Option<usize>); 4] =
+        [("IID", None), ("non-IID(10)", Some(10)), ("non-IID(5)", Some(5)), ("non-IID(2)", Some(2))];
+
+    let mut all = Vec::new();
+    for (panel, policy) in Policy::cifar_set(5).iter().enumerate() {
+        let mut outcomes = Vec::new();
+        for (label, k) in levels {
+            eprintln!("[fig4] {} / {label} ...", policy.name);
+            let cfg = config_for(k, seed, rounds);
+            let mut o = PolicyOutcome::from(&cfg.run_policy(policy));
+            o.policy = label.to_string();
+            outcomes.push(o);
+        }
+        header(
+            &format!("Fig. 4({})", (b'a' + panel as u8) as char),
+            &format!("policy `{}` under non-IID levels", policy.name),
+        );
+        print_accuracy_over_rounds(&outcomes, 8);
+        println!();
+        for o in &outcomes {
+            println!("{:<12} final {:.3}", o.policy, o.final_accuracy);
+        }
+        all.push((policy.name.clone(), outcomes));
+    }
+
+    args.maybe_dump_json(&all);
+}

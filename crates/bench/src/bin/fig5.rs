@@ -1,0 +1,48 @@
+//! Fig. 5: MNIST (column 1) and Fashion-MNIST (column 2) with resource
+//! plus data heterogeneity, policies vanilla / uniform / fast1 / fast2 /
+//! fast3 — §5.2.4.
+
+use tifl_bench::{
+    header, print_accuracy_over_rounds, print_summary, print_time_bars, HarnessArgs,
+    PolicyOutcome,
+};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+use tifl_data::synth::SynthFamily;
+
+fn run_column(family: SynthFamily, seed: u64, rounds: u64) -> Vec<PolicyOutcome> {
+    let mut cfg = ExperimentConfig::mnist_like_combined(family, seed);
+    cfg.rounds = rounds;
+    Policy::mnist_set(cfg.tiering.num_tiers)
+        .iter()
+        .map(|p| {
+            eprintln!("[fig5] {} / {} ...", cfg.name, p.name);
+            PolicyOutcome::from(&cfg.run_policy(p))
+        })
+        .collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+    let rounds = args.rounds_or(500);
+
+    let mnist = run_column(SynthFamily::Mnist, seed, rounds);
+    let fmnist = run_column(SynthFamily::FashionMnist, seed, rounds);
+
+    header("Fig. 5(a)", "training time, MNIST");
+    print_time_bars(&mnist);
+    header("Fig. 5(b)", "training time, FMNIST");
+    print_time_bars(&fmnist);
+    header("Fig. 5(c)", "accuracy over rounds, MNIST");
+    print_accuracy_over_rounds(&mnist, 5);
+    header("Fig. 5(d)", "accuracy over rounds, FMNIST");
+    print_accuracy_over_rounds(&fmnist, 5);
+    header("Fig. 5 summary", "per-policy totals");
+    println!("-- MNIST --");
+    print_summary(&mnist);
+    println!("-- FMNIST --");
+    print_summary(&fmnist);
+
+    args.maybe_dump_json(&(mnist, fmnist));
+}

@@ -1,0 +1,53 @@
+//! Fig. 6: CIFAR-10 with resource + non-IID heterogeneity (column 1)
+//! and resource + data-quantity + non-IID heterogeneity (column 2) —
+//! §5.2.4.
+
+use tifl_bench::{
+    header, print_accuracy_over_rounds, print_accuracy_over_time, print_summary,
+    print_time_bars, HarnessArgs, PolicyOutcome,
+};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+
+fn run_column(cfg: &ExperimentConfig) -> Vec<PolicyOutcome> {
+    Policy::cifar_set(cfg.tiering.num_tiers)
+        .iter()
+        .map(|p| {
+            eprintln!("[fig6] {} / {} ...", cfg.name, p.name);
+            PolicyOutcome::from(&cfg.run_policy(p))
+        })
+        .collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+
+    let mut col1 = ExperimentConfig::cifar10_resource_noniid(5, seed);
+    col1.rounds = args.rounds_or(col1.rounds);
+    let mut col2 = ExperimentConfig::cifar10_combine(5, seed);
+    col2.rounds = args.rounds_or(col2.rounds);
+
+    let o1 = run_column(&col1);
+    let o2 = run_column(&col2);
+
+    header("Fig. 6(a)", "training time, resource + non-IID(5)");
+    print_time_bars(&o1);
+    header("Fig. 6(b)", "training time, resource + quantity + non-IID(5)");
+    print_time_bars(&o2);
+    header("Fig. 6(c)", "accuracy over rounds, resource + non-IID(5)");
+    print_accuracy_over_rounds(&o1, 5);
+    header("Fig. 6(d)", "accuracy over rounds, resource + quantity + non-IID(5)");
+    print_accuracy_over_rounds(&o2, 5);
+    header("Fig. 6(e)", "accuracy over time, resource + non-IID(5)");
+    print_accuracy_over_time(&o1, 10);
+    header("Fig. 6(f)", "accuracy over time, resource + quantity + non-IID(5)");
+    print_accuracy_over_time(&o2, 10);
+    header("Fig. 6 summary", "per-policy totals");
+    println!("-- resource + non-IID(5) --");
+    print_summary(&o1);
+    println!("-- resource + quantity + non-IID(5) --");
+    print_summary(&o2);
+
+    args.maybe_dump_json(&(o1, o2));
+}

@@ -1,0 +1,68 @@
+//! Fig. 7: adaptive (TiFL) vs vanilla vs uniform under three combined
+//! heterogeneity scenarios — §5.2.5.
+//!
+//! * Amount  — resource + data-quantity heterogeneity
+//! * Class   — resource + non-IID(5) heterogeneity
+//! * Combine — resource + quantity + non-IID(5)
+//!
+//! Panel (a): total training time for 500 rounds; panel (b): accuracy at
+//! 500 rounds.
+
+use tifl_bench::{header, HarnessArgs, PolicyOutcome};
+use tifl_core::experiment::{DataScenario, ExperimentConfig};
+use tifl_core::policy::Policy;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+
+    let mut scenarios: Vec<(&str, ExperimentConfig)> = vec![
+        ("Class", ExperimentConfig::cifar10_resource_noniid(5, seed)),
+        ("Amount", {
+            let mut c = ExperimentConfig::cifar10_resource_het(seed);
+            c.data = DataScenario::QuantitySkew { total: 20_000 };
+            c.name = "cifar10/resource+quantity".into();
+            c
+        }),
+        ("Combine", ExperimentConfig::cifar10_combine(5, seed)),
+    ];
+    for (_, cfg) in &mut scenarios {
+        cfg.rounds = args.rounds_or(cfg.rounds);
+    }
+
+    let mut results: Vec<(String, Vec<PolicyOutcome>)> = Vec::new();
+    for (label, cfg) in &scenarios {
+        let mut outcomes = Vec::new();
+        for p in [Policy::vanilla(), Policy::uniform(5)] {
+            eprintln!("[fig7] {label} / {} ...", p.name);
+            outcomes.push(PolicyOutcome::from(&cfg.run_policy(&p)));
+        }
+        eprintln!("[fig7] {label} / adaptive ...");
+        let mut a = PolicyOutcome::from(&cfg.run_adaptive(None));
+        a.policy = "TiFL".into();
+        outcomes.push(a);
+        results.push(((*label).to_string(), outcomes));
+    }
+
+    header("Fig. 7(a)", "training time for 500 rounds [s]");
+    println!("{:<10} {:>10} {:>10} {:>10}", "scenario", "vanilla", "uniform", "TiFL");
+    for (label, os) in &results {
+        println!(
+            "{label:<10} {:>10.0} {:>10.0} {:>10.0}",
+            os[0].total_time, os[1].total_time, os[2].total_time
+        );
+    }
+
+    header("Fig. 7(b)", "accuracy at 500 rounds [%]");
+    println!("{:<10} {:>10} {:>10} {:>10}", "scenario", "vanilla", "uniform", "TiFL");
+    for (label, os) in &results {
+        println!(
+            "{label:<10} {:>10.1} {:>10.1} {:>10.1}",
+            os[0].final_accuracy * 100.0,
+            os[1].final_accuracy * 100.0,
+            os[2].final_accuracy * 100.0
+        );
+    }
+
+    args.maybe_dump_json(&results);
+}

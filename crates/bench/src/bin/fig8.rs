@@ -1,0 +1,41 @@
+//! Fig. 8: adaptive vs vanilla vs uniform accuracy over rounds under
+//! 2 / 5 / 10-class non-IID skew with fixed resources (2 CPUs per
+//! client) — §5.2.5.
+
+use tifl_bench::{header, print_accuracy_over_rounds, HarnessArgs, PolicyOutcome};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+
+    let mut all = Vec::new();
+    for (panel, k) in [2usize, 5, 10].into_iter().enumerate() {
+        let mut cfg = ExperimentConfig::cifar10_noniid(k, seed);
+        cfg.rounds = args.rounds_or(cfg.rounds);
+
+        let mut outcomes = Vec::new();
+        for p in [Policy::vanilla(), Policy::uniform(5)] {
+            eprintln!("[fig8] non-IID({k}) / {} ...", p.name);
+            outcomes.push(PolicyOutcome::from(&cfg.run_policy(&p)));
+        }
+        eprintln!("[fig8] non-IID({k}) / adaptive ...");
+        let mut a = PolicyOutcome::from(&cfg.run_adaptive(None));
+        a.policy = "TiFL".into();
+        outcomes.push(a);
+
+        header(
+            &format!("Fig. 8({})", (b'a' + panel as u8) as char),
+            &format!("{k}-class per client"),
+        );
+        print_accuracy_over_rounds(&outcomes, 8);
+        println!();
+        for o in &outcomes {
+            println!("{:<10} final {:.3}  best {:.3}", o.policy, o.final_accuracy, o.best_accuracy);
+        }
+        all.push((k, outcomes));
+    }
+
+    args.maybe_dump_json(&all);
+}

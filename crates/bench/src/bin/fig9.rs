@@ -1,0 +1,42 @@
+//! Fig. 9: LEAF/FEMNIST with default data heterogeneity plus resource
+//! heterogeneity — all static policies and adaptive — §5.2.6.
+//!
+//! Paper scale is 182 clients x 2000 rounds; pass `--rounds 300` for a
+//! quick shape check.
+
+use tifl_bench::{
+    header, print_accuracy_over_rounds, print_summary, print_time_bars, HarnessArgs,
+    PolicyOutcome,
+};
+use tifl_core::policy::Policy;
+use tifl_leaf::LeafExperiment;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+    let mut exp = LeafExperiment::paper(seed);
+    exp.rounds = args.rounds_or(exp.rounds);
+
+    let mut outcomes = Vec::new();
+    for p in Policy::cifar_set(exp.tiering.num_tiers) {
+        eprintln!("[fig9] {} ...", p.name);
+        outcomes.push(PolicyOutcome::from(&exp.run_policy(&p)));
+    }
+    eprintln!("[fig9] adaptive ...");
+    let mut a = PolicyOutcome::from(&exp.run_adaptive(None));
+    a.policy = "TiFL".into();
+    outcomes.push(a);
+
+    header("Fig. 9(a)", "training time for 2000 rounds, LEAF/FEMNIST");
+    print_time_bars(&outcomes);
+    header("Fig. 9(b)", "accuracy over rounds, LEAF/FEMNIST");
+    print_accuracy_over_rounds(&outcomes, 5);
+    header("Fig. 9 summary", "per-policy totals");
+    print_summary(&outcomes);
+
+    let vanilla_t = outcomes[0].total_time;
+    let tifl_t = outcomes.last().unwrap().total_time;
+    println!("\nadaptive speedup over vanilla: {:.1}x", vanilla_t / tifl_t);
+
+    args.maybe_dump_json(&outcomes);
+}

@@ -1,0 +1,43 @@
+//! §4.6 privacy-amplification accounting: vanilla `q` vs tiered `q_max`
+//! for every static policy.
+
+use tifl_bench::{header, HarnessArgs};
+use tifl_core::policy::Policy;
+use tifl_core::privacy::{compare, DpGuarantee};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let _ = args.seed_or(42);
+    let base = DpGuarantee::new(1.0, 1e-5);
+    let k = 50;
+    let c = 5;
+    let tier_sizes = [10usize; 5];
+
+    header(
+        "Sec. 4.6",
+        "client-level DP amplification: vanilla vs tiered selection",
+    );
+    println!("base per-round guarantee: ({}, {})", base.epsilon, base.delta);
+    println!(
+        "pool |K| = {k}, per-round |C| = {c}, tiers = {:?}\n",
+        tier_sizes
+    );
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>14}",
+        "policy", "q_vanilla", "q_max", "eps (tiered)", "delta (tiered)"
+    );
+    let mut rows = Vec::new();
+    for policy in Policy::cifar_set(5).into_iter().skip(1) {
+        let cmp = compare(base, k, c, &tier_sizes, &policy.probs);
+        println!(
+            "{:<10} {:>10.4} {:>12.4} {:>14.4} {:>14.2e}",
+            policy.name, cmp.q_vanilla, cmp.q_max, cmp.tiered.epsilon, cmp.tiered.delta
+        );
+        rows.push((policy.name.clone(), cmp));
+    }
+    println!(
+        "\nuniform tiering matches vanilla exactly (q_max = |C|/|K|); policies\nthat concentrate on one tier raise q_max and so weaken (but never\ninvalidate) the amplified guarantee — §4.6's compatibility claim."
+    );
+
+    args.maybe_dump_json(&rows);
+}

@@ -1,0 +1,56 @@
+//! Table 2: estimated vs actual training time and MAPE for the static
+//! policies slow / uniform / random / fast (§5.2.1).
+//!
+//! The estimate is Eq. 6 over the profiled tier latencies; the actual is
+//! the virtual time measured by running the full training.
+
+use tifl_bench::{header, HarnessArgs};
+use tifl_core::estimator::{estimate_for_policy, mape};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+    let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
+    cfg.rounds = args.rounds_or(cfg.rounds);
+
+    let (assignment, profile) = cfg.profile_and_tier();
+    header("Table 1", "scheduling policy configurations (selection probabilities)");
+    println!("{:<10} tier probabilities (fastest first)", "policy");
+    for p in Policy::cifar_set(5).iter().chain(Policy::mnist_set(5).iter().skip(1)) {
+        if p.is_vanilla() {
+            println!("{:<10} (no tiering: uniform over all clients)", p.name);
+        } else {
+            let probs: Vec<String> = p.probs.iter().map(|x| format!("{x:.4}")).collect();
+            println!("{:<10} [{}]", p.name, probs.join(", "));
+        }
+    }
+
+    header("profiled tiers", "mean response latency per tier");
+    for (t, l) in assignment.tier_latencies().iter().enumerate() {
+        println!(
+            "tier {t}: {:>8.2} s  ({} clients)",
+            l,
+            assignment.tiers[t].clients.len()
+        );
+    }
+    println!("profiling cost: {:.0} virtual seconds", profile.profiling_time);
+
+    header("Table 2", "estimated vs actual training time");
+    println!(
+        "{:<10} {:>14} {:>12} {:>9}",
+        "policy", "estimated [s]", "actual [s]", "MAPE [%]"
+    );
+    let mut rows = Vec::new();
+    for policy in [Policy::slow(5), Policy::uniform(5), Policy::random5(5), Policy::fast(5)] {
+        eprintln!("[table2] {} ...", policy.name);
+        let est = estimate_for_policy(&assignment, &policy, cfg.rounds);
+        let actual = cfg.run_policy(&policy).total_time();
+        let err = mape(est, actual);
+        println!("{:<10} {est:>14.0} {actual:>12.0} {err:>9.2}", policy.name);
+        rows.push((policy.name.clone(), est, actual, err));
+    }
+
+    args.maybe_dump_json(&rows);
+}

@@ -1,0 +1,66 @@
+//! Time-to-accuracy: the fixed-budget reading of Figs. 3(e)/6(f).
+//!
+//! For each policy, the first virtual time at which the global model
+//! reaches each accuracy target — the metric that makes TiFL's
+//! per-round speedup an end-to-end win ("within the same time budget,
+//! more iterations can be done", §5.2.4).
+
+use tifl_bench::{header, HarnessArgs};
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+use tifl_fl::TrainingReport;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let seed = args.seed_or(42);
+    let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
+    cfg.rounds = args.rounds_or(300);
+    cfg.eval_every = 2;
+
+    let targets = [0.5f64, 0.6, 0.7, 0.75, 0.8];
+    let mut runs: Vec<TrainingReport> = Vec::new();
+    for p in Policy::cifar_set(5) {
+        eprintln!("[time_to_acc] {} ...", p.name);
+        runs.push(cfg.run_policy(&p));
+    }
+    eprintln!("[time_to_acc] adaptive ...");
+    let mut a = cfg.run_adaptive(None);
+    a.policy = "TiFL".into();
+    runs.push(a);
+
+    header(
+        "time to accuracy",
+        &format!("{} — first virtual time [s] reaching each target", cfg.name),
+    );
+    print!("{:<10}", "policy");
+    for t in targets {
+        print!(" {:>9}", format!("{:.0}%", t * 100.0));
+    }
+    println!();
+    for r in &runs {
+        print!("{:<10}", r.policy);
+        for t in targets {
+            match r.time_to_accuracy(t) {
+                Some(s) => print!(" {s:>9.0}"),
+                None => print!(" {:>9}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("\n('-' = target not reached within {} rounds)", cfg.rounds);
+
+    args.maybe_dump_json(
+        &runs
+            .iter()
+            .map(|r| {
+                (
+                    r.policy.clone(),
+                    targets
+                        .iter()
+                        .map(|&t| r.time_to_accuracy(t))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,264 @@
+//! Experiment-harness support for the per-figure binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin` (see DESIGN.md §4 for the index). Binaries accept:
+//!
+//! * `--rounds N` — override the number of global rounds (paper-scale
+//!   defaults can take minutes; `--rounds 100` gives quick shape checks);
+//! * `--seed S` — change the root seed;
+//! * `--json PATH` — additionally dump the raw series as JSON.
+//!
+//! All "time" columns are **virtual seconds** from the simulated
+//! testbed.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use tifl_fl::TrainingReport;
+
+/// Command-line arguments shared by all harness binaries.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// Override for the round count.
+    pub rounds: Option<u64>,
+    /// Override for the root seed.
+    pub seed: Option<u64>,
+    /// Optional JSON dump path.
+    pub json: Option<String>,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--rounds" => {
+                    let v = args.next().expect("--rounds needs a value");
+                    out.rounds = Some(v.parse().expect("--rounds must be an integer"));
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    out.seed = Some(v.parse().expect("--seed must be an integer"));
+                }
+                "--json" => {
+                    out.json = Some(args.next().expect("--json needs a path"));
+                }
+                other => panic!("unknown argument `{other}` (expected --rounds/--seed/--json)"),
+            }
+        }
+        out
+    }
+
+    /// Round count to use given a paper-scale default.
+    #[must_use]
+    pub fn rounds_or(&self, default: u64) -> u64 {
+        self.rounds.unwrap_or(default)
+    }
+
+    /// Seed to use given a default.
+    #[must_use]
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Write `value` as pretty JSON to the `--json` path, if given.
+    pub fn maybe_dump_json<T: Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let s = serde_json::to_string_pretty(value).expect("serialisable");
+            std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote raw series to {path}");
+        }
+    }
+}
+
+/// A labelled experiment outcome used by the tabular printers.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyOutcome {
+    /// Policy name.
+    pub policy: String,
+    /// Total virtual training time (seconds).
+    pub total_time: f64,
+    /// Final global accuracy.
+    pub final_accuracy: f64,
+    /// Best global accuracy seen.
+    pub best_accuracy: f64,
+    /// `(round, accuracy)` curve.
+    pub accuracy_over_rounds: Vec<(u64, f64)>,
+    /// `(virtual time, accuracy)` curve.
+    pub accuracy_over_time: Vec<(f64, f64)>,
+}
+
+impl From<&TrainingReport> for PolicyOutcome {
+    fn from(r: &TrainingReport) -> Self {
+        Self {
+            policy: r.policy.clone(),
+            total_time: r.total_time(),
+            final_accuracy: r.final_accuracy(),
+            best_accuracy: r.best_accuracy(),
+            accuracy_over_rounds: r.accuracy_over_rounds(),
+            accuracy_over_time: r.accuracy_over_time(),
+        }
+    }
+}
+
+/// Print a figure/table header.
+pub fn header(id: &str, caption: &str) {
+    println!("\n== {id} — {caption} ==");
+}
+
+/// Print the training-time bar chart (Figs. 3a/b, 5a/b, 6a/b, 7a, 9a):
+/// one row per policy with total virtual training time.
+pub fn print_time_bars(outcomes: &[PolicyOutcome]) {
+    println!("{:<10} {:>16}", "policy", "train time [s]");
+    for o in outcomes {
+        println!("{:<10} {:>16.0}", o.policy, o.total_time);
+    }
+}
+
+/// Print accuracy-over-rounds curves side by side, sampled every
+/// `stride` evaluation points (Figs. 3c/d, 4, 5c/d, 8, 9b).
+pub fn print_accuracy_over_rounds(outcomes: &[PolicyOutcome], stride: usize) {
+    let mut line = format!("{:>7}", "round");
+    for o in outcomes {
+        let _ = write!(line, " {:>9}", truncate(&o.policy, 9));
+    }
+    println!("{line}");
+
+    let longest = outcomes
+        .iter()
+        .map(|o| o.accuracy_over_rounds.len())
+        .max()
+        .unwrap_or(0);
+    for i in (0..longest).step_by(stride.max(1)) {
+        let round = outcomes
+            .iter()
+            .find_map(|o| o.accuracy_over_rounds.get(i).map(|&(r, _)| r));
+        let Some(round) = round else { continue };
+        let mut line = format!("{round:>7}");
+        for o in outcomes {
+            match o.accuracy_over_rounds.get(i) {
+                Some(&(_, a)) => {
+                    let _ = write!(line, " {a:>9.3}");
+                }
+                None => {
+                    let _ = write!(line, " {:>9}", "-");
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Print accuracy-over-virtual-time curves (Figs. 3e/f, 6e/f): for a set
+/// of common time checkpoints, the accuracy each policy had reached.
+pub fn print_accuracy_over_time(outcomes: &[PolicyOutcome], checkpoints: usize) {
+    let t_max = outcomes
+        .iter()
+        .map(|o| o.total_time)
+        .fold(0.0f64, f64::max);
+    let mut line = format!("{:>12}", "time [s]");
+    for o in outcomes {
+        let _ = write!(line, " {:>9}", truncate(&o.policy, 9));
+    }
+    println!("{line}");
+    for i in 1..=checkpoints {
+        let t = t_max * i as f64 / checkpoints as f64;
+        let mut line = format!("{t:>12.0}");
+        for o in outcomes {
+            let acc = o
+                .accuracy_over_time
+                .iter()
+                .take_while(|&&(tt, _)| tt <= t)
+                .map(|&(_, a)| a)
+                .last();
+            match acc {
+                Some(a) => {
+                    let _ = write!(line, " {a:>9.3}");
+                }
+                None => {
+                    let _ = write!(line, " {:>9}", "-");
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Print a summary row per policy: time, final and best accuracy.
+pub fn print_summary(outcomes: &[PolicyOutcome]) {
+    println!(
+        "{:<10} {:>14} {:>11} {:>11}",
+        "policy", "time [s]", "final acc", "best acc"
+    );
+    for o in outcomes {
+        println!(
+            "{:<10} {:>14.0} {:>11.3} {:>11.3}",
+            o.policy, o.total_time, o.final_accuracy, o.best_accuracy
+        );
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    &s[..s.len().min(n)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tifl_fl::RoundReport;
+
+    fn outcome(name: &str) -> PolicyOutcome {
+        let report = TrainingReport {
+            policy: name.into(),
+            rounds: vec![
+                RoundReport {
+                    round: 0,
+                    time: 1.0,
+                    latency: 1.0,
+                    selected: vec![0],
+                    aggregated: Vec::new(),
+                    accuracy: Some(0.5),
+                    loss: Some(1.0),
+                },
+                RoundReport {
+                    round: 1,
+                    time: 2.0,
+                    latency: 1.0,
+                    selected: vec![1],
+                    aggregated: Vec::new(),
+                    accuracy: Some(0.8),
+                    loss: Some(0.5),
+                },
+            ],
+        };
+        PolicyOutcome::from(&report)
+    }
+
+    #[test]
+    fn outcome_extracts_series() {
+        let o = outcome("x");
+        assert_eq!(o.total_time, 2.0);
+        assert_eq!(o.final_accuracy, 0.8);
+        assert_eq!(o.accuracy_over_rounds.len(), 2);
+    }
+
+    #[test]
+    fn printers_do_not_panic() {
+        let os = vec![outcome("vanilla"), outcome("uniform")];
+        print_time_bars(&os);
+        print_accuracy_over_rounds(&os, 1);
+        print_accuracy_over_time(&os, 4);
+        print_summary(&os);
+    }
+
+    #[test]
+    fn truncate_respects_char_boundaries() {
+        assert_eq!(truncate("abcdef", 3), "abc");
+        assert_eq!(truncate("ab", 9), "ab");
+    }
+}

@@ -1,0 +1,156 @@
+//! Baselines from the paper's related work (§2), implemented so the
+//! bench harness can compare TiFL against what it claims to beat.
+//!
+//! * [`DeadlineSelector`] — FedCS (Nishio & Yonetani): random candidate
+//!   order, but only clients whose *profiled* latency fits a round
+//!   deadline are accepted, so slow clients are filtered out up front.
+//! * Over-selection (Bonawitz et al.) is a session-level mechanism; see
+//!   [`tifl_fl::session::AggregationMode::FirstK`].
+//! * FedProx (Li et al.) is a client-side objective change; see
+//!   [`tifl_fl::client::ClientConfig::proximal_mu`].
+
+use rand::seq::SliceRandom;
+use tifl_fl::selector::ClientSelector;
+use tifl_tensor::{seed_rng, split_seed};
+
+/// FedCS-style deadline-based client selection.
+///
+/// Each round the pool is shuffled and clients are accepted greedily if
+/// their estimated response latency is within `deadline_sec`; if fewer
+/// than `count` qualify, the fastest remaining clients fill the gap (the
+/// round must still reach its quorum).
+pub struct DeadlineSelector {
+    /// Profiled latency per client (`None` = dropout, never selected).
+    latencies: Vec<Option<f64>>,
+    deadline_sec: f64,
+    seed: u64,
+}
+
+impl DeadlineSelector {
+    /// Build from profiled latencies (the same profiler output TiFL
+    /// tiers from) and a round deadline.
+    ///
+    /// # Panics
+    /// Panics if no client survived profiling or the deadline is not
+    /// positive.
+    #[must_use]
+    pub fn new(latencies: Vec<Option<f64>>, deadline_sec: f64, seed: u64) -> Self {
+        assert!(deadline_sec > 0.0, "deadline must be positive");
+        assert!(
+            latencies.iter().any(Option::is_some),
+            "no live clients to select from"
+        );
+        Self { latencies, deadline_sec, seed }
+    }
+
+    /// Clients meeting the deadline.
+    #[must_use]
+    pub fn eligible(&self) -> Vec<usize> {
+        self.latencies
+            .iter()
+            .enumerate()
+            .filter_map(|(c, l)| l.filter(|&l| l <= self.deadline_sec).map(|_| c))
+            .collect()
+    }
+}
+
+impl ClientSelector for DeadlineSelector {
+    fn name(&self) -> String {
+        "fedcs".to_string()
+    }
+
+    fn select(&mut self, round: u64, count: usize) -> Vec<usize> {
+        let mut rng = seed_rng(split_seed(self.seed, round));
+        let mut eligible = self.eligible();
+        eligible.shuffle(&mut rng);
+        eligible.truncate(count);
+
+        if eligible.len() < count {
+            // Deadline too tight for a quorum: top up with the fastest
+            // clients that missed it.
+            let mut laggards: Vec<(usize, f64)> = self
+                .latencies
+                .iter()
+                .enumerate()
+                .filter_map(|(c, l)| {
+                    l.filter(|&l| l > self.deadline_sec).map(|l| (c, l))
+                })
+                .collect();
+            laggards.sort_by(|a, b| a.1.total_cmp(&b.1));
+            eligible.extend(
+                laggards
+                    .into_iter()
+                    .map(|(c, _)| c)
+                    .take(count - eligible.len()),
+            );
+        }
+        assert!(
+            eligible.len() == count,
+            "pool too small: {} clients for a round of {count}",
+            eligible.len()
+        );
+        eligible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latencies() -> Vec<Option<f64>> {
+        // clients 0..6 fast (1-6s), 7..9 slow (50-70s), 10 dead.
+        let mut l: Vec<Option<f64>> =
+            (0..7).map(|i| Some(1.0 + i as f64)).collect();
+        l.extend([Some(50.0), Some(60.0), Some(70.0), None]);
+        l
+    }
+
+    #[test]
+    fn respects_deadline() {
+        let mut s = DeadlineSelector::new(latencies(), 10.0, 0);
+        for r in 0..50 {
+            let sel = s.select(r, 3);
+            assert_eq!(sel.len(), 3);
+            assert!(sel.iter().all(|&c| c < 7), "round {r} selected slow client: {sel:?}");
+        }
+    }
+
+    #[test]
+    fn never_selects_dropouts() {
+        let mut s = DeadlineSelector::new(latencies(), 1e9, 1);
+        for r in 0..50 {
+            assert!(!s.select(r, 5).contains(&10));
+        }
+    }
+
+    #[test]
+    fn tops_up_with_fastest_laggards_when_deadline_too_tight() {
+        // Only clients 0 and 1 meet a 2.5s deadline; a round of 4 must
+        // include the two fastest laggards (2 and 3).
+        let mut s = DeadlineSelector::new(latencies(), 2.5, 2);
+        let mut sel = s.select(0, 4);
+        sel.sort_unstable();
+        assert_eq!(sel, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let mut a = DeadlineSelector::new(latencies(), 10.0, 3);
+        let mut b = DeadlineSelector::new(latencies(), 10.0, 3);
+        for r in 0..20 {
+            assert_eq!(a.select(r, 3), b.select(r, 3));
+        }
+    }
+
+    #[test]
+    fn eligible_lists_deadline_clients() {
+        let s = DeadlineSelector::new(latencies(), 5.5, 4);
+        assert_eq!(s.eligible(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn rejects_bad_deadline() {
+        let _ = DeadlineSelector::new(latencies(), 0.0, 0);
+    }
+}

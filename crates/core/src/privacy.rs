@@ -1,0 +1,216 @@
+//! Differential-privacy compatibility accounting (§4.6).
+//!
+//! Each client runs an `(ε, δ)`-differentially-private local training
+//! step. Random subsampling amplifies the guarantee: with per-round
+//! sampling rate `q`, the effective per-round guarantee improves to
+//! `(O(qε), qδ)`.
+//!
+//! * Vanilla FL samples every client with `q = |C| / |K|`.
+//! * Tiered FL selects tier `j` with probability `θ_j / n_tiers`
+//!   (the paper's normalisation of tier weights) and then each client of
+//!   tier `j` with `|C| / |n_j|`, so
+//!   `q_j = (θ_j / n_tiers) * |C| / |n_j|` and the overall guarantee is
+//!   governed by `q_max = max_j q_j`.
+//!
+//! The module computes both and verifies the paper's claim that tiering
+//! remains compatible with client-level DP (the guarantee stays of the
+//! same amplified form).
+
+use serde::{Deserialize, Serialize};
+
+/// A client-level differential-privacy guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpGuarantee {
+    /// Privacy loss bound ε.
+    pub epsilon: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+}
+
+impl DpGuarantee {
+    /// Build a guarantee.
+    ///
+    /// # Panics
+    /// Panics on negative ε or δ outside `[0, 1]`.
+    #[must_use]
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        assert!((0.0..=1.0).contains(&delta), "delta must be in [0,1]");
+        Self { epsilon, delta }
+    }
+
+    /// Amplification by subsampling at rate `q`:
+    /// `(ε, δ) -> (qε, qδ)` (the paper's `O(qε)` with unit constant).
+    ///
+    /// # Panics
+    /// Panics unless `q` is in `[0, 1]`.
+    #[must_use]
+    pub fn amplify(&self, q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "sampling rate must be in [0,1], got {q}");
+        Self { epsilon: q * self.epsilon, delta: q * self.delta }
+    }
+
+    /// True when `self` is at least as strong as `other` (both bounds
+    /// no larger).
+    #[must_use]
+    pub fn at_least_as_strong_as(&self, other: &Self) -> bool {
+        self.epsilon <= other.epsilon + 1e-15 && self.delta <= other.delta + 1e-15
+    }
+}
+
+/// Per-round sampling rate of vanilla FL: `q = |C| / |K|`.
+///
+/// # Panics
+/// Panics if `c > k` or `k == 0`.
+#[must_use]
+pub fn vanilla_sampling_rate(k: usize, c: usize) -> f64 {
+    assert!(k > 0 && c <= k, "invalid pool sizes k={k}, c={c}");
+    c as f64 / k as f64
+}
+
+/// Per-tier sampling rates `q_j = (θ_j / n_tiers) * |C| / |n_j|`.
+///
+/// `tier_weights[j] = θ_j` are the tier weights (a probability vector
+/// multiplied by `n_tiers` in the paper's notation — pass the selection
+/// probabilities `P_j` and this function applies the `1/n_tiers`
+/// normalisation internally via `theta_j = P_j * n_tiers`).
+///
+/// # Panics
+/// Panics if lengths mismatch or a tier is smaller than `|C|`.
+#[must_use]
+pub fn tiered_sampling_rates(
+    tier_sizes: &[usize],
+    tier_probs: &[f64],
+    c: usize,
+) -> Vec<f64> {
+    assert_eq!(tier_sizes.len(), tier_probs.len(), "tier vector length mismatch");
+    tier_sizes
+        .iter()
+        .zip(tier_probs)
+        .map(|(&n_j, &p_j)| {
+            assert!(n_j >= c, "tier of size {n_j} cannot supply {c} clients");
+            // P_j = θ_j / n_tiers is exactly the selection probability.
+            p_j * c as f64 / n_j as f64
+        })
+        .collect()
+}
+
+/// `q_max = max_j q_j` — the rate governing the tiered guarantee.
+///
+/// # Panics
+/// Panics on an empty rate vector.
+#[must_use]
+pub fn q_max(rates: &[f64]) -> f64 {
+    assert!(!rates.is_empty(), "no tiers");
+    rates.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Full §4.6 comparison for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyComparison {
+    /// Base per-round guarantee of each client's local mechanism.
+    pub base: DpGuarantee,
+    /// Vanilla sampling rate `|C|/|K|`.
+    pub q_vanilla: f64,
+    /// Per-tier rates `q_j`.
+    pub q_tiers: Vec<f64>,
+    /// `q_max`.
+    pub q_max: f64,
+    /// Amplified guarantee under vanilla selection.
+    pub vanilla: DpGuarantee,
+    /// Amplified guarantee under tiered selection.
+    pub tiered: DpGuarantee,
+}
+
+/// Compute the §4.6 comparison.
+#[must_use]
+pub fn compare(
+    base: DpGuarantee,
+    k: usize,
+    c: usize,
+    tier_sizes: &[usize],
+    tier_probs: &[f64],
+) -> PrivacyComparison {
+    let q_vanilla = vanilla_sampling_rate(k, c);
+    let q_tiers = tiered_sampling_rates(tier_sizes, tier_probs, c);
+    let qm = q_max(&q_tiers);
+    PrivacyComparison {
+        base,
+        q_vanilla,
+        q_max: qm,
+        vanilla: base.amplify(q_vanilla),
+        tiered: base.amplify(qm),
+        q_tiers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplification_improves_guarantee() {
+        let base = DpGuarantee::new(1.0, 1e-5);
+        let amp = base.amplify(0.1);
+        assert!(amp.at_least_as_strong_as(&base));
+        assert!((amp.epsilon - 0.1).abs() < 1e-12);
+        assert!((amp.delta - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn vanilla_rate_is_c_over_k() {
+        assert!((vanilla_sampling_rate(50, 5) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_tiers_match_vanilla_rate() {
+        // 5 tiers of 10, uniform probs, |C| = 5:
+        // q_j = 0.2 * 5/10 = 0.1 = |C|/|K|.
+        let rates = tiered_sampling_rates(&[10; 5], &[0.2; 5], 5);
+        for &r in &rates {
+            assert!((r - 0.1).abs() < 1e-12);
+        }
+        assert!((q_max(&rates) - vanilla_sampling_rate(50, 5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_policy_raises_q_max() {
+        // fast policy: all mass on tier 0 -> q_0 = 1.0 * 5/10 = 0.5.
+        let probs = [1.0, 0.0, 0.0, 0.0, 0.0];
+        let rates = tiered_sampling_rates(&[10; 5], &probs, 5);
+        assert!((q_max(&rates) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_reports_both_guarantees() {
+        let base = DpGuarantee::new(2.0, 1e-5);
+        let cmp = compare(base, 50, 5, &[10; 5], &[0.2; 5]);
+        assert!(cmp.vanilla.at_least_as_strong_as(&base));
+        assert!(cmp.tiered.at_least_as_strong_as(&base));
+        // Uniform tiering matches vanilla exactly.
+        assert!((cmp.tiered.epsilon - cmp.vanilla.epsilon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_beat_full_participation() {
+        // Full participation has q = 1 (no amplification); any subsampled
+        // scheme must be stronger.
+        let base = DpGuarantee::new(1.0, 1e-5);
+        let cmp = compare(base, 50, 5, &[10; 5], &[0.7, 0.1, 0.1, 0.05, 0.05]);
+        let full = base.amplify(1.0);
+        assert!(cmp.vanilla.at_least_as_strong_as(&full));
+        assert!(cmp.tiered.at_least_as_strong_as(&full));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn amplify_rejects_bad_rate() {
+        let _ = DpGuarantee::new(1.0, 0.0).amplify(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot supply")]
+    fn tiered_rates_reject_small_tier() {
+        let _ = tiered_sampling_rates(&[3], &[1.0], 5);
+    }
+}

@@ -1,0 +1,248 @@
+//! Tiering: grouping clients by profiled latency (§4.2).
+//!
+//! The collected latencies form a histogram that is split into `m`
+//! groups; clients in the same group form a tier, and each tier records
+//! its average response latency for the scheduler and the estimator.
+//!
+//! Two split strategies are provided:
+//!
+//! * [`SplitStrategy::EqualCount`] (default) — sort by latency and cut
+//!   into `m` equal-population quantile groups. This guarantees every
+//!   tier has `~|K|/m` clients, satisfying the paper's requirement that
+//!   `n_j > |C|` for every tier.
+//! * [`SplitStrategy::EqualWidth`] — `m` equal-width latency bins
+//!   (the literal histogram reading); bins can be empty, in which case
+//!   they are dropped.
+
+use serde::{Deserialize, Serialize};
+
+/// How to split the latency histogram into tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SplitStrategy {
+    /// Equal-population quantile split (default).
+    #[default]
+    EqualCount,
+    /// Equal-width latency bins; empty bins are dropped.
+    EqualWidth,
+}
+
+/// Tiering parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TieringConfig {
+    /// Number of tiers `m` (paper: 5).
+    pub num_tiers: usize,
+    /// Histogram split strategy.
+    pub strategy: SplitStrategy,
+}
+
+impl Default for TieringConfig {
+    fn default() -> Self {
+        Self { num_tiers: 5, strategy: SplitStrategy::EqualCount }
+    }
+}
+
+/// One tier: a set of clients with similar response latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tier {
+    /// Client ids in this tier.
+    pub clients: Vec<usize>,
+    /// Mean profiled response latency of the tier (seconds) — the
+    /// `L_tier_i` of Eq. 6.
+    pub avg_latency: f64,
+}
+
+/// The complete tier assignment, ordered fastest (tier 0) to slowest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierAssignment {
+    /// Tiers ordered by increasing average latency.
+    pub tiers: Vec<Tier>,
+}
+
+impl TierAssignment {
+    /// Build tiers from profiled latencies.
+    ///
+    /// `latencies[i] = None` marks client `i` as a dropout to exclude.
+    ///
+    /// # Panics
+    /// Panics if there are fewer live clients than requested tiers, or
+    /// `num_tiers == 0`.
+    #[must_use]
+    pub fn from_latencies(latencies: &[Option<f64>], config: &TieringConfig) -> Self {
+        assert!(config.num_tiers > 0, "need at least one tier");
+        let mut live: Vec<(usize, f64)> = latencies
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.map(|v| (i, v)))
+            .collect();
+        assert!(
+            live.len() >= config.num_tiers,
+            "cannot split {} live clients into {} tiers",
+            live.len(),
+            config.num_tiers
+        );
+        live.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        let groups: Vec<Vec<(usize, f64)>> = match config.strategy {
+            SplitStrategy::EqualCount => {
+                let m = config.num_tiers;
+                let n = live.len();
+                // Distribute n clients over m tiers as evenly as possible
+                // (first `n % m` tiers get one extra).
+                let mut groups = Vec::with_capacity(m);
+                let base = n / m;
+                let extra = n % m;
+                let mut start = 0;
+                for t in 0..m {
+                    let size = base + usize::from(t < extra);
+                    groups.push(live[start..start + size].to_vec());
+                    start += size;
+                }
+                groups
+            }
+            SplitStrategy::EqualWidth => {
+                let lo = live.first().expect("non-empty").1;
+                let hi = live.last().expect("non-empty").1;
+                let m = config.num_tiers;
+                let width = ((hi - lo) / m as f64).max(f64::EPSILON);
+                let mut groups: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+                for &(i, l) in &live {
+                    let bin = (((l - lo) / width) as usize).min(m - 1);
+                    groups[bin].push((i, l));
+                }
+                groups.retain(|g| !g.is_empty());
+                groups
+            }
+        };
+
+        let tiers = groups
+            .into_iter()
+            .map(|g| {
+                let avg = g.iter().map(|&(_, l)| l).sum::<f64>() / g.len() as f64;
+                Tier { clients: g.into_iter().map(|(i, _)| i).collect(), avg_latency: avg }
+            })
+            .collect();
+        Self { tiers }
+    }
+
+    /// Number of tiers.
+    #[must_use]
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Total clients across tiers.
+    #[must_use]
+    pub fn num_clients(&self) -> usize {
+        self.tiers.iter().map(|t| t.clients.len()).sum()
+    }
+
+    /// Average latency of each tier, fastest first (`L_tier_i`).
+    #[must_use]
+    pub fn tier_latencies(&self) -> Vec<f64> {
+        self.tiers.iter().map(|t| t.avg_latency).collect()
+    }
+
+    /// The tier index containing client `c`, if any.
+    #[must_use]
+    pub fn tier_of(&self, c: usize) -> Option<usize> {
+        self.tiers.iter().position(|t| t.clients.contains(&c))
+    }
+
+    /// Client groups per tier (for the session's group evaluation).
+    #[must_use]
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        self.tiers.iter().map(|t| t.clients.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latencies(vals: &[f64]) -> Vec<Option<f64>> {
+        vals.iter().map(|&v| Some(v)).collect()
+    }
+
+    #[test]
+    fn equal_count_splits_evenly() {
+        let l = latencies(&[5.0, 1.0, 3.0, 2.0, 4.0, 6.0, 8.0, 7.0, 10.0, 9.0]);
+        let a = TierAssignment::from_latencies(&l, &TieringConfig::default());
+        assert_eq!(a.num_tiers(), 5);
+        assert!(a.tiers.iter().all(|t| t.clients.len() == 2));
+        // fastest tier holds the two smallest latencies (clients 1 and 3)
+        let mut t0 = a.tiers[0].clients.clone();
+        t0.sort_unstable();
+        assert_eq!(t0, vec![1, 3]);
+    }
+
+    #[test]
+    fn tiers_ordered_by_latency() {
+        let l = latencies(&[9.0, 1.0, 5.0, 2.0, 7.0, 3.0, 8.0, 4.0, 6.0, 10.0]);
+        let a = TierAssignment::from_latencies(&l, &TieringConfig::default());
+        let lats = a.tier_latencies();
+        for w in lats.windows(2) {
+            assert!(w[0] < w[1], "tier latencies not increasing: {lats:?}");
+        }
+    }
+
+    #[test]
+    fn uneven_population_distributes_remainder() {
+        let l = latencies(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let cfg = TieringConfig { num_tiers: 3, ..Default::default() };
+        let a = TierAssignment::from_latencies(&l, &cfg);
+        let sizes: Vec<usize> = a.tiers.iter().map(|t| t.clients.len()).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+        assert_eq!(a.num_clients(), 7);
+    }
+
+    #[test]
+    fn dropouts_are_excluded() {
+        let mut l = latencies(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        l[2] = None;
+        let cfg = TieringConfig { num_tiers: 5, ..Default::default() };
+        let a = TierAssignment::from_latencies(&l, &cfg);
+        assert_eq!(a.num_clients(), 5);
+        assert_eq!(a.tier_of(2), None);
+    }
+
+    #[test]
+    fn equal_width_respects_gaps() {
+        // Two clusters of latencies: 1-2 and 99-100 with 5 requested bins
+        // -> only two non-empty bins survive.
+        let l = latencies(&[1.0, 1.5, 2.0, 99.0, 99.5, 100.0]);
+        let cfg = TieringConfig { num_tiers: 5, strategy: SplitStrategy::EqualWidth };
+        let a = TierAssignment::from_latencies(&l, &cfg);
+        assert_eq!(a.num_tiers(), 2);
+        assert_eq!(a.tiers[0].clients.len(), 3);
+        assert_eq!(a.tiers[1].clients.len(), 3);
+    }
+
+    #[test]
+    fn tier_of_finds_every_client() {
+        let l = latencies(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        let cfg = TieringConfig { num_tiers: 5, ..Default::default() };
+        let a = TierAssignment::from_latencies(&l, &cfg);
+        for c in 0..5 {
+            assert!(a.tier_of(c).is_some(), "client {c} missing");
+        }
+        // client 1 is fastest -> tier 0
+        assert_eq!(a.tier_of(1), Some(0));
+        assert_eq!(a.tier_of(3), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn rejects_more_tiers_than_clients() {
+        let l = latencies(&[1.0, 2.0]);
+        let _ = TierAssignment::from_latencies(&l, &TieringConfig::default());
+    }
+
+    #[test]
+    fn avg_latency_is_group_mean() {
+        let l = latencies(&[1.0, 2.0, 10.0, 20.0]);
+        let cfg = TieringConfig { num_tiers: 2, ..Default::default() };
+        let a = TierAssignment::from_latencies(&l, &cfg);
+        assert!((a.tiers[0].avg_latency - 1.5).abs() < 1e-12);
+        assert!((a.tiers[1].avg_latency - 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Federated view: one dataset per client plus test data.
+
+use crate::dataset::Dataset;
+use crate::partition::Partition;
+use crate::synth::Generator;
+use rand::seq::SliceRandom;
+use tifl_tensor::{seed_rng, split_seed};
+
+/// One client's local data.
+#[derive(Debug, Clone)]
+pub struct ClientData {
+    /// Local training samples (never leave the client).
+    pub train: Dataset,
+    /// Local held-out samples drawn from the *same* label distribution as
+    /// the client's training data. The adaptive scheduler evaluates the
+    /// global model on the union of these within a tier (`TestData_t` in
+    /// Algorithm 2), so they must mirror each client's skew.
+    pub test: Dataset,
+}
+
+/// A complete federated dataset: per-client data plus a balanced global
+/// test set for reporting headline accuracy.
+#[derive(Debug, Clone)]
+pub struct FederatedDataset {
+    /// Per-client local data, indexed by client id.
+    pub clients: Vec<ClientData>,
+    /// Balanced global test set (the server-side metric of Figs. 3–9).
+    pub global_test: Dataset,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl FederatedDataset {
+    /// Materialise a federated dataset from a partition.
+    ///
+    /// * `test_fraction` — size of each client's holdout relative to its
+    ///   training set (labels resampled from the client's own empirical
+    ///   label distribution, so skew is mirrored);
+    /// * `global_test_per_class` — samples per class in the global test
+    ///   set.
+    ///
+    /// # Panics
+    /// Panics if `test_fraction` is not in `[0, 1]` or a client has no
+    /// samples.
+    #[must_use]
+    pub fn materialize(
+        gen: &Generator,
+        partition: &Partition,
+        test_fraction: f64,
+        global_test_per_class: usize,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&test_fraction), "test_fraction out of range");
+        let clients = partition
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(cid, labels)| {
+                assert!(!labels.is_empty(), "client {cid} has no samples");
+                let style = if gen.spec().style_scale > 0.0 {
+                    Some(gen.draw_style(cid as u64))
+                } else {
+                    None
+                };
+                let train = gen.generate_with_labels_and_style(
+                    labels,
+                    style.as_deref(),
+                    split_seed(seed, 2 * cid as u64),
+                );
+                // Holdout labels: resample from the client's empirical
+                // label distribution.
+                let n_test = ((labels.len() as f64 * test_fraction).round() as usize).max(1);
+                let mut rng = seed_rng(split_seed(seed, 0xE5C0 ^ cid as u64));
+                let test_labels: Vec<usize> = (0..n_test)
+                    .map(|_| *labels.choose(&mut rng).expect("non-empty"))
+                    .collect();
+                let test = gen.generate_with_labels_and_style(
+                    &test_labels,
+                    style.as_deref(),
+                    split_seed(seed, 2 * cid as u64 + 1),
+                );
+                ClientData { train, test }
+            })
+            .collect();
+        let global_test =
+            gen.generate_balanced(global_test_per_class, split_seed(seed, 0x6E57));
+        Self { clients, global_test, classes: partition.classes }
+    }
+
+    /// Number of clients.
+    #[must_use]
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Per-client training-set sizes (the FedAvg aggregation weights).
+    #[must_use]
+    pub fn train_sizes(&self) -> Vec<usize> {
+        self.clients.iter().map(|c| c.train.len()).collect()
+    }
+
+    /// Union of the holdout sets of the given clients (a tier's
+    /// `TestData_t`).
+    ///
+    /// # Panics
+    /// Panics if `client_ids` is empty.
+    #[must_use]
+    pub fn tier_test_set(&self, client_ids: &[usize]) -> Dataset {
+        let parts: Vec<&Dataset> =
+            client_ids.iter().map(|&c| &self.clients[c].test).collect();
+        Dataset::concat(&parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition;
+    use crate::synth::{SynthFamily, SynthSpec};
+
+    fn build(seed: u64) -> FederatedDataset {
+        let gen = Generator::new(SynthSpec::family(SynthFamily::Mnist), seed);
+        let part = partition::class_limit(10, 50, 10, 2, &mut seed_rng(seed));
+        FederatedDataset::materialize(&gen, &part, 0.2, 10, seed)
+    }
+
+    #[test]
+    fn materialize_counts() {
+        let fed = build(0);
+        assert_eq!(fed.num_clients(), 10);
+        assert!(fed.train_sizes().iter().all(|&s| s == 50));
+        for c in &fed.clients {
+            assert_eq!(c.test.len(), 10); // 20% of 50
+        }
+        assert_eq!(fed.global_test.len(), 100);
+    }
+
+    #[test]
+    fn holdout_mirrors_client_skew() {
+        let fed = build(1);
+        for c in &fed.clients {
+            // class_limit(k=2): holdout must use only the client's classes.
+            let train_classes: Vec<usize> = c
+                .train
+                .class_counts()
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, _)| i)
+                .collect();
+            for (cls, &n) in c.test.class_counts().iter().enumerate() {
+                if n > 0 {
+                    assert!(
+                        train_classes.contains(&cls),
+                        "holdout class {cls} absent from training data"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_test_is_balanced() {
+        let fed = build(2);
+        assert!(fed.global_test.class_counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn tier_test_set_unions_holdouts() {
+        let fed = build(3);
+        let t = fed.tier_test_set(&[0, 1, 2]);
+        assert_eq!(t.len(), 30);
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let a = build(4);
+        let b = build(4);
+        assert_eq!(a.global_test, b.global_test);
+        assert_eq!(a.clients[3].train, b.clients[3].train);
+    }
+
+    use tifl_tensor::seed_rng;
+}

@@ -1,0 +1,159 @@
+//! FedAvg aggregation (Algorithm 1, line 8).
+
+use crossbeam::channel;
+use tifl_tensor::ParamVec;
+
+/// One client's contribution to a round: updated weights plus the local
+/// training-set size used as the aggregation weight (`s_c` in Alg. 1).
+#[derive(Debug, Clone)]
+pub struct ClientUpdate {
+    /// Client id (diagnostics only; not used in the average).
+    pub client: usize,
+    /// Updated local weights `w^c_{r+1}`.
+    pub params: ParamVec,
+    /// Local training-set size `s_c`.
+    pub samples: usize,
+}
+
+/// FedAvg: `w_{r+1} = Σ_c w^c * s_c / Σ_c s_c`.
+///
+/// # Panics
+/// Panics if `updates` is empty or all sample counts are zero.
+#[must_use]
+pub fn aggregate_fedavg(updates: &[ClientUpdate]) -> ParamVec {
+    assert!(!updates.is_empty(), "aggregate_fedavg with no updates");
+    let refs: Vec<(&ParamVec, f32)> = updates
+        .iter()
+        .map(|u| (&u.params, u.samples as f32))
+        .collect();
+    ParamVec::weighted_mean_ref(&refs)
+}
+
+/// Channel-based collector for updates produced by concurrently running
+/// clients.
+///
+/// The paper's architecture has clients push trained weights to the
+/// aggregator as they finish; this mirrors that shape: workers hold a
+/// [`UpdateSender`] and the aggregator drains the channel once all
+/// selected clients have reported (synchronous FL waits for every
+/// response, §3.1).
+pub struct UpdateCollector {
+    rx: channel::Receiver<ClientUpdate>,
+}
+
+/// Sending half handed to each in-flight client.
+#[derive(Clone)]
+pub struct UpdateSender {
+    tx: channel::Sender<ClientUpdate>,
+}
+
+impl UpdateSender {
+    /// Deliver a finished update to the aggregator.
+    ///
+    /// # Panics
+    /// Panics if the collector was dropped (protocol bug).
+    pub fn send(&self, update: ClientUpdate) {
+        self.tx.send(update).expect("aggregator dropped while clients in flight");
+    }
+}
+
+impl UpdateCollector {
+    /// Create a collector and its sending half.
+    #[must_use]
+    pub fn new() -> (Self, UpdateSender) {
+        let (tx, rx) = channel::unbounded();
+        (Self { rx }, UpdateSender { tx })
+    }
+
+    /// Wait for exactly `expected` updates and aggregate them.
+    ///
+    /// Updates are sorted by client id before averaging so the result is
+    /// independent of arrival order (floating-point addition is not
+    /// associative; determinism requires a canonical order).
+    ///
+    /// # Panics
+    /// Panics if the channel closes before `expected` updates arrive.
+    #[must_use]
+    pub fn collect_and_aggregate(&self, expected: usize) -> ParamVec {
+        let mut updates: Vec<ClientUpdate> = (0..expected)
+            .map(|_| self.rx.recv().expect("client worker dropped before reporting"))
+            .collect();
+        updates.sort_by_key(|u| u.client);
+        aggregate_fedavg(&updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(client: usize, vals: Vec<f32>, samples: usize) -> ClientUpdate {
+        ClientUpdate { client, params: ParamVec(vals), samples }
+    }
+
+    #[test]
+    fn fedavg_weights_by_sample_count() {
+        let g = aggregate_fedavg(&[upd(0, vec![0.0], 100), upd(1, vec![10.0], 300)]);
+        assert!((g.0[0] - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fedavg_identity_for_single_client() {
+        let g = aggregate_fedavg(&[upd(0, vec![1.0, 2.0], 42)]);
+        assert_eq!(g.0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn fedavg_equal_updates_is_fixed_point() {
+        let w = vec![0.5, -1.5, 3.0];
+        let g = aggregate_fedavg(&[
+            upd(0, w.clone(), 10),
+            upd(1, w.clone(), 500),
+            upd(2, w.clone(), 3),
+        ]);
+        for (a, b) in g.0.iter().zip(&w) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no updates")]
+    fn fedavg_rejects_empty() {
+        let _ = aggregate_fedavg(&[]);
+    }
+
+    #[test]
+    fn collector_is_order_independent() {
+        let run = |order: &[usize]| {
+            let (col, tx) = UpdateCollector::new();
+            let updates = [
+                upd(0, vec![1.0], 1),
+                upd(1, vec![2.0], 2),
+                upd(2, vec![4.0], 3),
+            ];
+            for &i in order {
+                tx.send(updates[i].clone());
+            }
+            col.collect_and_aggregate(3)
+        };
+        assert_eq!(run(&[0, 1, 2]), run(&[2, 0, 1]));
+    }
+
+    #[test]
+    fn collector_works_across_threads() {
+        let (col, tx) = UpdateCollector::new();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    tx.send(upd(i, vec![i as f32], 10));
+                })
+            })
+            .collect();
+        let g = col.collect_and_aggregate(4);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((g.0[0] - 1.5).abs() < 1e-6);
+    }
+}

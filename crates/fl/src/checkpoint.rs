@@ -1,0 +1,68 @@
+//! Session checkpointing.
+//!
+//! Long federated runs (the paper's LEAF experiment is 2000 rounds)
+//! need to survive restarts. A [`Checkpoint`] captures everything the
+//! round engine owns — global weights, virtual clock, round counter —
+//! and [`Session::restore`](crate::session::Session) resumes exactly
+//! where training left off: because every per-round source of
+//! randomness is keyed by `(seed, client, round)`, a restored run is
+//! bit-identical to one that never stopped (tested in
+//! `tests/end_to_end.rs`).
+//!
+//! Selector state (adaptive credits, accuracy history) is the
+//! scheduler's to checkpoint; the static selectors are stateless given
+//! the round number.
+
+use serde::{Deserialize, Serialize};
+use tifl_tensor::ParamVec;
+
+/// A serialisable snapshot of a training session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Rounds completed when the snapshot was taken.
+    pub round: u64,
+    /// Virtual time at the snapshot.
+    pub time: f64,
+    /// Global model parameters.
+    pub global: ParamVec,
+}
+
+impl Checkpoint {
+    /// Serialise to JSON.
+    ///
+    /// # Panics
+    /// Never — all fields are plain data.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint is plain data")
+    }
+
+    /// Parse from JSON.
+    ///
+    /// # Errors
+    /// Returns the underlying serde error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let c = Checkpoint {
+            round: 123,
+            time: 456.75,
+            global: ParamVec(vec![1.0, -2.5, 3.25]),
+        };
+        let back = Checkpoint::from_json(&c.to_json()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Checkpoint::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-round and per-run training records.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened in one global training round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Virtual time at the *end* of the round (seconds).
+    pub time: f64,
+    /// This round's latency `max_i L_i` (seconds).
+    pub latency: f64,
+    /// Selected client ids (everyone asked to train).
+    pub selected: Vec<usize>,
+    /// Clients whose updates were aggregated. Equals the responders
+    /// among `selected` under `WaitAll`; under over-selection it is the
+    /// first `|C|` responders and the rest are discarded.
+    pub aggregated: Vec<usize>,
+    /// Global test accuracy measured after aggregation (if evaluated
+    /// this round).
+    pub accuracy: Option<f64>,
+    /// Global test loss (if evaluated this round).
+    pub loss: Option<f32>,
+}
+
+/// A full training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Policy name that produced the run.
+    pub policy: String,
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundReport>,
+}
+
+impl TrainingReport {
+    /// Total virtual training time (end of last round), in seconds.
+    ///
+    /// # Panics
+    /// Panics on an empty report.
+    #[must_use]
+    pub fn total_time(&self) -> f64 {
+        self.rounds.last().expect("empty report").time
+    }
+
+    /// Last measured global accuracy.
+    #[must_use]
+    pub fn final_accuracy(&self) -> f64 {
+        self.rounds
+            .iter()
+            .rev()
+            .find_map(|r| r.accuracy)
+            .unwrap_or(0.0)
+    }
+
+    /// Best measured global accuracy.
+    #[must_use]
+    pub fn best_accuracy(&self) -> f64 {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.accuracy)
+            .fold(0.0, f64::max)
+    }
+
+    /// `(round, accuracy)` series for accuracy-over-rounds plots
+    /// (Figs. 3c/d, 4, 5, 8, 9b).
+    #[must_use]
+    pub fn accuracy_over_rounds(&self) -> Vec<(u64, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.accuracy.map(|a| (r.round, a)))
+            .collect()
+    }
+
+    /// `(virtual time, accuracy)` series for accuracy-over-time plots
+    /// (Figs. 3e/f, 6e/f).
+    #[must_use]
+    pub fn accuracy_over_time(&self) -> Vec<(f64, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.accuracy.map(|a| (r.time, a)))
+            .collect()
+    }
+
+    /// First virtual time at which accuracy reached `target`, if ever.
+    #[must_use]
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.rounds
+            .iter()
+            .find(|r| r.accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.time)
+    }
+
+    /// Accuracy at the largest evaluated time `<= t` (for fixed-budget
+    /// comparisons like Fig. 3e at a given wall-clock cut).
+    #[must_use]
+    pub fn accuracy_at_time(&self, t: f64) -> Option<f64> {
+        self.rounds
+            .iter()
+            .take_while(|r| r.time <= t)
+            .filter_map(|r| r.accuracy)
+            .last()
+    }
+
+    /// How often each client was selected across the run.
+    #[must_use]
+    pub fn selection_counts(&self, num_clients: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_clients];
+        for r in &self.rounds {
+            for &c in &r.selected {
+                counts[c] += 1;
+            }
+        }
+        counts
+    }
+
+    /// How often each client actually contributed an aggregated update.
+    #[must_use]
+    pub fn contribution_counts(&self, num_clients: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_clients];
+        for r in &self.rounds {
+            for &c in &r.aggregated {
+                counts[c] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Fraction of selected trainings whose updates were discarded
+    /// (non-zero only under over-selection or dropouts) — the wasted
+    /// client work the paper criticises in §2.
+    #[must_use]
+    pub fn discarded_work_fraction(&self) -> f64 {
+        let selected: usize = self.rounds.iter().map(|r| r.selected.len()).sum();
+        let aggregated: usize = self.rounds.iter().map(|r| r.aggregated.len()).sum();
+        if selected == 0 {
+            return 0.0;
+        }
+        1.0 - aggregated as f64 / selected as f64
+    }
+
+    /// Mean per-round latency in seconds.
+    #[must_use]
+    pub fn mean_round_latency(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.latency).sum::<f64>() / self.rounds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> TrainingReport {
+        TrainingReport {
+            policy: "test".into(),
+            rounds: vec![
+                RoundReport {
+                    round: 0,
+                    time: 10.0,
+                    latency: 10.0,
+                    selected: vec![0, 1],
+                    aggregated: Vec::new(),
+                    accuracy: Some(0.3),
+                    loss: Some(2.0),
+                },
+                RoundReport {
+                    round: 1,
+                    time: 25.0,
+                    latency: 15.0,
+                    selected: vec![1, 2],
+                    aggregated: Vec::new(),
+                    accuracy: None,
+                    loss: None,
+                },
+                RoundReport {
+                    round: 2,
+                    time: 30.0,
+                    latency: 5.0,
+                    selected: vec![0, 2],
+                    aggregated: Vec::new(),
+                    accuracy: Some(0.7),
+                    loss: Some(1.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_and_finals() {
+        let r = report();
+        assert_eq!(r.total_time(), 30.0);
+        assert_eq!(r.final_accuracy(), 0.7);
+        assert_eq!(r.best_accuracy(), 0.7);
+        assert!((r.mean_round_latency() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_skip_unevaluated_rounds() {
+        let r = report();
+        assert_eq!(r.accuracy_over_rounds(), vec![(0, 0.3), (2, 0.7)]);
+        assert_eq!(r.accuracy_over_time(), vec![(10.0, 0.3), (30.0, 0.7)]);
+    }
+
+    #[test]
+    fn time_to_accuracy_finds_first_crossing() {
+        let r = report();
+        assert_eq!(r.time_to_accuracy(0.5), Some(30.0));
+        assert_eq!(r.time_to_accuracy(0.2), Some(10.0));
+        assert_eq!(r.time_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn accuracy_at_time_respects_budget() {
+        let r = report();
+        assert_eq!(r.accuracy_at_time(5.0), None);
+        assert_eq!(r.accuracy_at_time(12.0), Some(0.3));
+        assert_eq!(r.accuracy_at_time(100.0), Some(0.7));
+    }
+
+    #[test]
+    fn selection_counts_accumulate() {
+        let r = report();
+        assert_eq!(r.selection_counts(3), vec![2, 2, 2]);
+    }
+}

@@ -1,0 +1,530 @@
+//! The round engine: drives Algorithm 1 against the simulated testbed.
+
+use crate::aggregator::{aggregate_fedavg, ClientUpdate};
+use crate::client::{self, ClientConfig};
+use crate::report::{RoundReport, TrainingReport};
+use crate::selector::ClientSelector;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use tifl_data::FederatedDataset;
+use tifl_nn::model::EvalResult;
+use tifl_nn::models::ModelSpec;
+use tifl_sim::latency::TrainingTask;
+use tifl_sim::{Cluster, VirtualClock};
+use tifl_tensor::ParamVec;
+
+/// How a round collects client updates.
+///
+/// The paper's prototype (and Algorithm 1) waits for every selected
+/// client. Bonawitz et al. instead over-select by ~30 % and discard the
+/// stragglers that have not reported by the time the target count is
+/// reached — the baseline TiFL's related work contrasts against (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum AggregationMode {
+    /// Synchronous FL: wait for all `|C|` selected clients (Eq. 1).
+    #[default]
+    WaitAll,
+    /// Over-selection: ask `ceil(|C| * factor)` clients, aggregate the
+    /// first `|C|` to respond, discard the rest. Round latency is the
+    /// `|C|`-th fastest response.
+    FirstK {
+        /// Over-selection factor (Bonawitz et al. use 1.3).
+        factor: f64,
+    },
+}
+
+/// Round-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Global model architecture.
+    pub model: ModelSpec,
+    /// Local-training hyper-parameters.
+    pub client: ClientConfig,
+    /// `|C|`: clients selected per round (paper: 5 for the synthetic
+    /// datasets, 10 for LEAF).
+    pub clients_per_round: usize,
+    /// Total global rounds `N` (paper: 500 / 2000).
+    pub rounds: u64,
+    /// Evaluate the global model every `eval_every` rounds (1 = every
+    /// round; the final round is always evaluated).
+    pub eval_every: u64,
+    /// Latency cap per round: a client that does not respond within
+    /// `tmax_sec` is dropped from aggregation and the round is charged
+    /// `tmax_sec`.
+    pub tmax_sec: f64,
+    /// Update-collection strategy.
+    #[serde(default)]
+    pub aggregation: AggregationMode,
+    /// Root seed for model init, shuffles and jitter.
+    pub seed: u64,
+}
+
+/// The federated training session: global model + testbed + data.
+pub struct Session {
+    data: FederatedDataset,
+    cluster: Cluster,
+    config: SessionConfig,
+    global: ParamVec,
+    clock: VirtualClock,
+    flops_per_sample: u64,
+    update_bytes: u64,
+    round: u64,
+}
+
+impl Session {
+    /// Create a session; initialises global weights from `config.seed`.
+    ///
+    /// # Panics
+    /// Panics if the cluster is smaller than the client count, or the
+    /// model's input width does not match the data.
+    #[must_use]
+    pub fn new(data: FederatedDataset, cluster: Cluster, config: SessionConfig) -> Self {
+        assert!(
+            cluster.num_devices() >= data.num_clients(),
+            "cluster has {} devices for {} clients",
+            cluster.num_devices(),
+            data.num_clients()
+        );
+        assert!(
+            config.clients_per_round <= data.num_clients(),
+            "clients_per_round exceeds client count"
+        );
+        assert_eq!(
+            config.model.input_features(),
+            data.global_test.features(),
+            "model input width does not match dataset features"
+        );
+        let template = config.model.build(config.seed);
+        let global = template.params();
+        Self {
+            flops_per_sample: template.flops_per_sample(),
+            update_bytes: template.update_bytes(),
+            data,
+            cluster,
+            config,
+            global,
+            clock: VirtualClock::new(),
+            round: 0,
+        }
+    }
+
+    /// The federated dataset.
+    #[must_use]
+    pub fn data(&self) -> &FederatedDataset {
+        &self.data
+    }
+
+    /// The simulated testbed.
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Session configuration.
+    #[must_use]
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Current global parameters.
+    #[must_use]
+    pub fn global_params(&self) -> &ParamVec {
+        &self.global
+    }
+
+    /// Current virtual time in seconds.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Rounds completed so far.
+    #[must_use]
+    pub fn rounds_done(&self) -> u64 {
+        self.round
+    }
+
+    /// The training task client `c` would execute this round (feeds the
+    /// latency model and the profiler).
+    #[must_use]
+    pub fn task_for(&self, c: usize) -> TrainingTask {
+        TrainingTask {
+            samples: self.data.clients[c].train.len(),
+            epochs: self.config.client.local_epochs,
+            flops_per_sample: self.flops_per_sample,
+            update_bytes: self.update_bytes,
+        }
+    }
+
+    /// Evaluate the global model on the balanced global test set.
+    #[must_use]
+    pub fn evaluate_global(&self) -> EvalResult {
+        let mut model = client::eval_model(&self.config.model, &self.global);
+        model.evaluate(&self.data.global_test.x, &self.data.global_test.y)
+    }
+
+    /// Per-class accuracy of the global model on the global test set —
+    /// the bias diagnostic behind the paper's finding that aggressive
+    /// fast-tier policies starve the classes held by slower tiers.
+    #[must_use]
+    pub fn evaluate_global_per_class(&self) -> Vec<Option<f64>> {
+        let mut model = client::eval_model(&self.config.model, &self.global);
+        let logits = model.forward(self.data.global_test.x.clone(), false);
+        tifl_nn::metrics::per_class_accuracy(
+            &logits,
+            &self.data.global_test.y,
+            self.data.classes,
+        )
+    }
+
+    /// Evaluate the global model on the union of the given clients'
+    /// holdout sets (a tier's `TestData_t`, Algorithm 2 lines 22-24).
+    #[must_use]
+    pub fn evaluate_group(&self, clients: &[usize]) -> f64 {
+        if clients.is_empty() {
+            return 0.0;
+        }
+        let test = self.data.tier_test_set(clients);
+        let mut model = client::eval_model(&self.config.model, &self.global);
+        model.evaluate(&test.x, &test.y).accuracy
+    }
+
+    /// Snapshot the session for checkpointing.
+    #[must_use]
+    pub fn snapshot(&self) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint {
+            round: self.round,
+            time: self.clock.now(),
+            global: self.global.clone(),
+        }
+    }
+
+    /// Restore a snapshot taken from a session with the same config.
+    /// Subsequent rounds replay exactly as if training never stopped
+    /// (all per-round randomness is keyed by `(seed, client, round)`).
+    ///
+    /// # Panics
+    /// Panics if the checkpoint's parameter count does not match the
+    /// model.
+    pub fn restore(&mut self, checkpoint: &crate::checkpoint::Checkpoint) {
+        assert_eq!(
+            checkpoint.global.len(),
+            self.global.len(),
+            "checkpoint does not match this session's model"
+        );
+        self.global = checkpoint.global.clone();
+        self.clock.reset();
+        self.clock.advance(checkpoint.time);
+        self.round = checkpoint.round;
+    }
+
+    /// Execute one global round with `selector` and return its record.
+    pub fn run_round(&mut self, selector: &mut dyn ClientSelector) -> RoundReport {
+        let round = self.round;
+        let target = self.config.clients_per_round;
+        let ask = match self.config.aggregation {
+            AggregationMode::WaitAll => target,
+            AggregationMode::FirstK { factor } => {
+                assert!(factor >= 1.0, "over-selection factor must be >= 1");
+                ((target as f64 * factor).ceil() as usize)
+                    .min(self.data.num_clients())
+            }
+        };
+        let selected = selector.select(round, ask);
+        assert!(!selected.is_empty(), "selector returned no clients");
+
+        // Observed response latency of every selected client this round
+        // (`None` = did not respond within Tmax).
+        let responses: Vec<(usize, Option<f64>)> = selected
+            .iter()
+            .map(|&c| {
+                let l = self
+                    .cluster
+                    .response(c, round, &self.task_for(c))
+                    .filter(|&l| l <= self.config.tmax_sec);
+                (c, l)
+            })
+            .collect();
+
+        // Which updates count, and how long the round takes.
+        let (contributors, latency) = match self.config.aggregation {
+            AggregationMode::WaitAll => {
+                // Synchronous FL: wait for everyone; non-responders cost
+                // Tmax (Eq. 1).
+                let latency = responses
+                    .iter()
+                    .map(|(_, l)| l.unwrap_or(self.config.tmax_sec))
+                    .fold(0.0f64, f64::max);
+                let contributors: Vec<usize> =
+                    responses.iter().filter_map(|&(c, l)| l.map(|_| c)).collect();
+                (contributors, latency)
+            }
+            AggregationMode::FirstK { .. } => {
+                // Over-selection: take the `target` fastest responders;
+                // the round ends when the last of them reports.
+                let mut ok: Vec<(usize, f64)> =
+                    responses.iter().filter_map(|&(c, l)| l.map(|l| (c, l))).collect();
+                ok.sort_by(|a, b| a.1.total_cmp(&b.1));
+                ok.truncate(target);
+                let latency = ok
+                    .last()
+                    .map_or(self.config.tmax_sec, |&(_, l)| l);
+                (ok.into_iter().map(|(c, _)| c).collect(), latency)
+            }
+        };
+
+        // Local training in parallel across contributing clients. Each
+        // client's result depends only on (seed, client, round), so rayon
+        // scheduling cannot perturb the outcome.
+        let global = &self.global;
+        let spec = self.config.model;
+        let ccfg = self.config.client;
+        let seed = self.config.seed;
+        let updates: Vec<ClientUpdate> = contributors
+            .par_iter()
+            .map(|&c| ClientUpdate {
+                client: c,
+                params: client::local_train(
+                    &spec,
+                    global,
+                    &self.data.clients[c].train,
+                    &ccfg,
+                    round,
+                    c,
+                    seed,
+                ),
+                samples: self.data.clients[c].train.len(),
+            })
+            .collect();
+
+        self.clock.advance(latency);
+
+        // Synchronous aggregation over the received updates.
+        if !updates.is_empty() {
+            self.global = aggregate_fedavg(&updates);
+        }
+
+        // Evaluation.
+        let is_eval_round =
+            round.is_multiple_of(self.config.eval_every) || round + 1 == self.config.rounds;
+        let (accuracy, loss) = if is_eval_round {
+            let e = self.evaluate_global();
+            (Some(e.accuracy), Some(e.loss))
+        } else {
+            (None, None)
+        };
+
+        // Feed monitored-group accuracies back to the selector.
+        if let Some(groups) = selector.monitored_groups(round) {
+            let accs: Vec<f64> =
+                groups.iter().map(|g| self.evaluate_group(g)).collect();
+            selector.observe(round, &accs);
+        }
+
+        self.round += 1;
+        RoundReport {
+            round,
+            time: self.clock.now(),
+            latency,
+            selected,
+            aggregated: contributors,
+            accuracy,
+            loss,
+        }
+    }
+
+    /// Run the configured number of rounds and collect the full report.
+    pub fn run(&mut self, selector: &mut dyn ClientSelector) -> TrainingReport {
+        let mut rounds = Vec::with_capacity(self.config.rounds as usize);
+        for _ in self.round..self.config.rounds {
+            rounds.push(self.run_round(selector));
+        }
+        TrainingReport { policy: selector.name(), rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::RandomSelector;
+    use tifl_data::partition;
+    use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
+    use tifl_sim::resource::profiles;
+    use tifl_sim::ClusterConfig;
+    use tifl_tensor::seed_rng;
+
+    fn small_session(rounds: u64, seed: u64) -> Session {
+        let gen = Generator::new(SynthSpec::family(SynthFamily::Mnist), seed);
+        let part = partition::iid(10, 60, 10, &mut seed_rng(seed));
+        let fed = FederatedDataset::materialize(&gen, &part, 0.2, 20, seed);
+        let mut ccfg = ClusterConfig::equal_groups(10, &profiles::MNIST, seed);
+        // Make compute dominate latency for the tiny test model so the
+        // hardware-ordering assertions are meaningful.
+        ccfg.latency.flops_per_cpu_sec = 1.0e5;
+        ccfg.latency.base_overhead_sec = 0.0;
+        let cluster = Cluster::new(&ccfg);
+        let config = SessionConfig {
+            model: ModelSpec::Mlp { input: 64, hidden: 32, classes: 10 },
+            client: ClientConfig::paper_synthetic(),
+            clients_per_round: 3,
+            rounds,
+            eval_every: 1,
+            tmax_sec: 1e9,
+            aggregation: AggregationMode::WaitAll,
+            seed,
+        };
+        Session::new(fed, cluster, config)
+    }
+
+    #[test]
+    fn run_produces_one_report_per_round() {
+        let mut s = small_session(5, 0);
+        let mut sel = RandomSelector::new(10, 0);
+        let report = s.run(&mut sel);
+        assert_eq!(report.rounds.len(), 5);
+        assert!(report.rounds.iter().all(|r| r.selected.len() == 3));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut s = small_session(5, 1);
+        let mut sel = RandomSelector::new(10, 1);
+        let report = s.run(&mut sel);
+        for w in report.rounds.windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+        assert!((report.total_time()
+            - report.rounds.iter().map(|r| r.latency).sum::<f64>())
+        .abs()
+            < 1e-9);
+    }
+
+    #[test]
+    fn training_improves_accuracy_over_rounds() {
+        let mut s = small_session(40, 2);
+        let initial = s.evaluate_global().accuracy; // untrained model
+        let mut sel = RandomSelector::new(10, 2);
+        let report = s.run(&mut sel);
+        let last = report.final_accuracy();
+        assert!(
+            initial < 0.3,
+            "untrained model should be near chance, got {initial}"
+        );
+        assert!(
+            last > 0.7,
+            "federated training did not learn: {initial} -> {last}"
+        );
+    }
+
+    #[test]
+    fn session_is_deterministic() {
+        let run = |seed| {
+            let mut s = small_session(8, seed);
+            let mut sel = RandomSelector::new(10, seed);
+            s.run(&mut sel)
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn wait_all_aggregates_every_responder() {
+        let mut s = small_session(5, 10);
+        let mut sel = RandomSelector::new(10, 10);
+        let report = s.run(&mut sel);
+        for r in &report.rounds {
+            let mut sel_sorted = r.selected.clone();
+            sel_sorted.sort_unstable();
+            let mut agg_sorted = r.aggregated.clone();
+            agg_sorted.sort_unstable();
+            assert_eq!(sel_sorted, agg_sorted, "no dropouts: all selected aggregate");
+        }
+        assert_eq!(report.discarded_work_fraction(), 0.0);
+    }
+
+    #[test]
+    fn over_selection_discards_stragglers() {
+        let mut s = small_session(12, 11);
+        s.config.aggregation = AggregationMode::FirstK { factor: 2.0 };
+        let mut sel = RandomSelector::new(10, 11);
+        let report = s.run(&mut sel);
+        for r in &report.rounds {
+            assert_eq!(r.selected.len(), 6, "asks 2x the target");
+            assert_eq!(r.aggregated.len(), 3, "aggregates only the target");
+            assert!(r.aggregated.iter().all(|c| r.selected.contains(c)));
+        }
+        assert!((report.discarded_work_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_selection_reduces_round_latency() {
+        // The k-th fastest of 2k clients is stochastically below the max
+        // of k clients — over-selection should cut round latency on a
+        // heterogeneous cluster.
+        let run = |mode| {
+            let mut s = small_session(20, 12);
+            s.config.aggregation = mode;
+            let mut sel = RandomSelector::new(10, 12);
+            s.run(&mut sel).total_time()
+        };
+        let wait_all = run(AggregationMode::WaitAll);
+        let first_k = run(AggregationMode::FirstK { factor: 2.0 });
+        assert!(
+            first_k < wait_all,
+            "over-selection ({first_k}) should be faster than wait-all ({wait_all})"
+        );
+    }
+
+    #[test]
+    fn over_selection_latency_is_kth_fastest() {
+        let mut s = small_session(1, 13);
+        s.config.aggregation = AggregationMode::FirstK { factor: 2.0 };
+        let mut sel = RandomSelector::new(10, 13);
+        let r = s.run_round(&mut sel);
+        // The reported latency equals the slowest *aggregated* client,
+        // not the slowest selected one.
+        let agg_latencies: Vec<f64> = r
+            .aggregated
+            .iter()
+            .map(|&c| s.cluster.response(c, 0, &s.task_for(c)).unwrap())
+            .collect();
+        let max_agg = agg_latencies.iter().copied().fold(0.0f64, f64::max);
+        assert!((r.latency - max_agg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_every_skips_rounds() {
+        let mut s = small_session(10, 4);
+        s.config.eval_every = 5;
+        let mut sel = RandomSelector::new(10, 4);
+        let report = s.run(&mut sel);
+        let evaluated: Vec<u64> = report
+            .rounds
+            .iter()
+            .filter(|r| r.accuracy.is_some())
+            .map(|r| r.round)
+            .collect();
+        assert_eq!(evaluated, vec![0, 5, 9]); // 0, 5, and forced final
+    }
+
+    #[test]
+    fn evaluate_group_uses_holdouts() {
+        let s = small_session(1, 5);
+        let acc = s.evaluate_group(&[0, 1, 2]);
+        assert!((0.0..=1.0).contains(&acc));
+        assert_eq!(s.evaluate_group(&[]), 0.0);
+    }
+
+    #[test]
+    fn slower_hardware_dominates_round_latency() {
+        // All clients on device group 5 (0.25 CPU) must yield slower
+        // rounds than all on group 1 (2 CPUs).
+        let s = small_session(1, 6);
+        let fast: Vec<(usize, TrainingTask)> =
+            vec![(0, s.task_for(0)), (1, s.task_for(1))];
+        let slow: Vec<(usize, TrainingTask)> =
+            vec![(8, s.task_for(8)), (9, s.task_for(9))];
+        let lf = s.cluster().round_latency(&fast, 0, 1e9);
+        let ls = s.cluster().round_latency(&slow, 0, 1e9);
+        assert!(ls > 2.0 * lf, "fast {lf}, slow {ls}");
+    }
+}

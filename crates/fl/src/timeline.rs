@@ -1,0 +1,185 @@
+//! Round timelines: a discrete-event trace of one training round.
+//!
+//! The round engine only needs `max_i L_i` (Eq. 1), but understanding
+//! *why* a round is slow — who straggled, how long the aggregator sat
+//! idle — needs the full event order. [`RoundTimeline::build`] replays a
+//! round through the simulator's event queue and returns the ordered
+//! trace: dispatches at `t = 0`, completions at each client's response
+//! latency, aggregation after the last contributor.
+
+use crate::hierarchy::AggregationTree;
+use serde::{Deserialize, Serialize};
+use tifl_sim::event::EventQueue;
+
+/// One entry in a round's event trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimelineEvent {
+    /// The aggregator dispatched the training task to a client.
+    Dispatch {
+        /// Client id.
+        client: usize,
+    },
+    /// A client's update arrived at the aggregator.
+    Complete {
+        /// Client id.
+        client: usize,
+    },
+    /// A selected client never responded (timeout / dropout).
+    TimedOut {
+        /// Client id.
+        client: usize,
+    },
+    /// Aggregation finished; the round is over.
+    RoundEnd,
+}
+
+/// A fully ordered trace of one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundTimeline {
+    /// `(virtual time, event)` pairs in chronological order.
+    pub events: Vec<(f64, TimelineEvent)>,
+}
+
+impl RoundTimeline {
+    /// Replay a round. `responses[i] = (client, Some(latency) | None)`;
+    /// non-responders are charged `tmax`. If `tree` is given, the
+    /// aggregation cost of the hierarchical design is appended after the
+    /// last completion; otherwise aggregation is instantaneous.
+    ///
+    /// # Panics
+    /// Panics if `responses` is empty.
+    #[must_use]
+    pub fn build(
+        responses: &[(usize, Option<f64>)],
+        tmax: f64,
+        tree: Option<(AggregationTree, u64)>,
+    ) -> Self {
+        assert!(!responses.is_empty(), "timeline of an empty round");
+        let mut queue = EventQueue::new();
+        let mut completions = 0usize;
+        for &(client, latency) in responses {
+            queue.schedule(0.0, TimelineEvent::Dispatch { client });
+            match latency {
+                Some(l) => {
+                    queue.schedule(l.min(tmax), TimelineEvent::Complete { client });
+                    completions += 1;
+                }
+                None => queue.schedule(tmax, TimelineEvent::TimedOut { client }),
+            }
+        }
+
+        let mut events = Vec::with_capacity(responses.len() * 2 + 1);
+        let mut last = 0.0f64;
+        while let Some(e) = queue.pop() {
+            last = e.time;
+            events.push((e.time, e.payload));
+        }
+        let agg_cost = tree.map_or(0.0, |(t, bytes)| {
+            t.aggregation_latency(completions, bytes)
+        });
+        events.push((last + agg_cost, TimelineEvent::RoundEnd));
+        Self { events }
+    }
+
+    /// Virtual time at which the round ended.
+    ///
+    /// # Panics
+    /// Never — a timeline always contains `RoundEnd`.
+    #[must_use]
+    pub fn round_end(&self) -> f64 {
+        self.events.last().expect("RoundEnd always present").0
+    }
+
+    /// Time the aggregator spent waiting between the first and last
+    /// client completion — the idle window stragglers create.
+    #[must_use]
+    pub fn straggler_wait(&self) -> f64 {
+        let completions: Vec<f64> = self
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, TimelineEvent::Complete { .. } | TimelineEvent::TimedOut { .. }))
+            .map(|&(t, _)| t)
+            .collect();
+        match (completions.first(), completions.last()) {
+            (Some(first), Some(last)) => last - first,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_time_ordered() {
+        let t = RoundTimeline::build(
+            &[(0, Some(3.0)), (1, Some(1.0)), (2, Some(2.0))],
+            100.0,
+            None,
+        );
+        for w in t.events.windows(2) {
+            assert!(w[0].0 <= w[1].0, "out of order: {w:?}");
+        }
+        assert_eq!(t.round_end(), 3.0);
+    }
+
+    #[test]
+    fn dispatches_precede_completions() {
+        let t = RoundTimeline::build(&[(7, Some(0.5))], 100.0, None);
+        assert_eq!(
+            t.events[0],
+            (0.0, TimelineEvent::Dispatch { client: 7 })
+        );
+        assert_eq!(t.events[1], (0.5, TimelineEvent::Complete { client: 7 }));
+    }
+
+    #[test]
+    fn timeouts_charged_tmax() {
+        let t = RoundTimeline::build(&[(0, Some(1.0)), (1, None)], 50.0, None);
+        assert_eq!(t.round_end(), 50.0);
+        assert!(t
+            .events
+            .iter()
+            .any(|(time, e)| *time == 50.0 && matches!(e, TimelineEvent::TimedOut { client: 1 })));
+    }
+
+    #[test]
+    fn straggler_wait_measures_completion_spread() {
+        let t = RoundTimeline::build(
+            &[(0, Some(1.0)), (1, Some(9.0)), (2, Some(2.0))],
+            100.0,
+            None,
+        );
+        assert!((t.straggler_wait() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_tree_extends_round() {
+        let tree = AggregationTree::with_fan_out(10);
+        let t = RoundTimeline::build(
+            &[(0, Some(1.0)), (1, Some(2.0))],
+            100.0,
+            Some((tree, 1_000_000)),
+        );
+        let expected = 2.0 + tree.aggregation_latency(2, 1_000_000);
+        assert!((t.round_end() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similar_latencies_have_small_wait() {
+        // The tiering pitch in one assert: same-tier clients finish close
+        // together, so the aggregator barely waits.
+        let same_tier = RoundTimeline::build(
+            &[(0, Some(10.0)), (1, Some(10.5)), (2, Some(10.2))],
+            100.0,
+            None,
+        );
+        let mixed = RoundTimeline::build(
+            &[(0, Some(1.0)), (1, Some(45.0)), (2, Some(4.0))],
+            100.0,
+            None,
+        );
+        assert!(same_tier.straggler_wait() < mixed.straggler_wait() / 10.0);
+    }
+}

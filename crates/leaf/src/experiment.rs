@@ -1,0 +1,232 @@
+//! The LEAF/FEMNIST experiment runner (§5.2.6, Fig. 9).
+
+use crate::dataset::{build_femnist, LeafDataConfig};
+use serde::{Deserialize, Serialize};
+use tifl_core::policy::Policy;
+use tifl_core::profiler::{ProfileResult, Profiler, ProfilerConfig};
+use tifl_core::scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
+use tifl_core::tiering::{TierAssignment, TieringConfig};
+use tifl_fl::selector::RandomSelector;
+use tifl_fl::session::{AggregationMode, Session, SessionConfig};
+use tifl_fl::{ClientConfig, TrainingReport};
+use tifl_nn::models::ModelSpec;
+use tifl_sim::latency::LatencyModelConfig;
+use tifl_sim::{Cluster, ClusterConfig, GroupSpec};
+use tifl_tensor::split_seed;
+
+/// The full LEAF benchmark configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeafExperiment {
+    /// Data-generation parameters (182 writers by default).
+    pub data: LeafDataConfig,
+    /// Per-group CPU shares; clients are assigned to hardware uniformly
+    /// at random (the paper's LEAF extension). Groups need not divide
+    /// evenly — remainders spread over the first groups.
+    pub cpu_profile: Vec<f64>,
+    /// `|C|`: clients per round (paper: 10).
+    pub clients_per_round: usize,
+    /// Global rounds (paper: 2000).
+    pub rounds: u64,
+    /// Model (LEAF's FEMNIST CNN stand-in sized for the synthetic data).
+    pub model: ModelSpec,
+    /// Local training (LEAF default: SGD lr 0.004, batch 10, 1 epoch).
+    pub client: ClientConfig,
+    /// Latency model.
+    pub latency: LatencyModelConfig,
+    /// Evaluate every this many rounds.
+    pub eval_every: u64,
+    /// Tiering (paper: 5 tiers for LEAF).
+    pub tiering: TieringConfig,
+    /// Profiler settings.
+    pub profiler: ProfilerConfig,
+    /// Update-collection strategy.
+    pub aggregation: AggregationMode,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl LeafExperiment {
+    /// The paper's configuration: 182 clients, |C| = 10, 2000 rounds,
+    /// 5 tiers, SGD lr 0.004.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            data: LeafDataConfig::default(),
+            cpu_profile: tifl_sim::resource::profiles::CIFAR.to_vec(),
+            clients_per_round: 10,
+            rounds: 2000,
+            model: ModelSpec::Mlp { input: 64, hidden: 128, classes: 62 },
+            client: ClientConfig::paper_leaf(),
+            latency: LatencyModelConfig {
+                flops_per_cpu_sec: 5.0e6,
+                jitter_sigma: 0.05,
+                base_overhead_sec: 0.2,
+            },
+            eval_every: 20,
+            tiering: TieringConfig::default(),
+            profiler: ProfilerConfig { sync_rounds: 5, tmax_sec: 1000.0 },
+            aggregation: AggregationMode::WaitAll,
+            seed,
+        }
+    }
+
+    /// Small configuration for tests: 30 clients, few rounds.
+    #[must_use]
+    pub fn tiny(seed: u64) -> Self {
+        let mut c = Self::paper(seed);
+        c.data.num_clients = 30;
+        c.data.median_samples = 40;
+        c.data.min_samples = 10;
+        c.data.global_test_per_class = 2;
+        c.clients_per_round = 3;
+        c.rounds = 10;
+        c.eval_every = 2;
+        c.model = ModelSpec::Mlp { input: 64, hidden: 32, classes: 62 };
+        c.profiler.sync_rounds = 2;
+        c
+    }
+
+    /// Build the simulated testbed: hardware groups spread over
+    /// `num_clients` with uniform-random assignment.
+    #[must_use]
+    pub fn build_cluster(&self) -> Cluster {
+        let n = self.data.num_clients;
+        let g = self.cpu_profile.len();
+        let groups: Vec<GroupSpec> = self
+            .cpu_profile
+            .iter()
+            .enumerate()
+            .map(|(i, &cpu_share)| GroupSpec {
+                // Spread the remainder over the first `n % g` groups.
+                count: n / g + usize::from(i < n % g),
+                cpu_share,
+            })
+            .collect();
+        let cfg = ClusterConfig {
+            groups,
+            bandwidth_bps: 1_000_000.0,
+            latency: self.latency,
+            shuffle_assignment: true,
+            seed: split_seed(self.seed, 0xC1),
+        };
+        Cluster::new(&cfg)
+    }
+
+    /// Build a fresh training session.
+    #[must_use]
+    pub fn make_session(&self) -> Session {
+        let fed = build_femnist(&self.data, split_seed(self.seed, 0xFED));
+        let session_cfg = SessionConfig {
+            model: self.model,
+            client: self.client,
+            clients_per_round: self.clients_per_round,
+            rounds: self.rounds,
+            eval_every: self.eval_every,
+            tmax_sec: self.profiler.tmax_sec,
+            aggregation: self.aggregation,
+            seed: split_seed(self.seed, 0x5E55),
+        };
+        Session::new(fed, self.build_cluster(), session_cfg)
+    }
+
+    /// Profile all writers and tier them.
+    #[must_use]
+    pub fn profile_and_tier(&self) -> (TierAssignment, ProfileResult) {
+        let session = self.make_session();
+        let profiler = Profiler::new(self.profiler);
+        let result = profiler.profile(session.cluster(), |c| session.task_for(c));
+        let assignment =
+            TierAssignment::from_latencies(&result.mean_latency, &self.tiering);
+        (assignment, result)
+    }
+
+    /// Run a static policy (vanilla bypasses tiering).
+    #[must_use]
+    pub fn run_policy(&self, policy: &Policy) -> TrainingReport {
+        let mut session = self.make_session();
+        if policy.is_vanilla() {
+            let mut sel = RandomSelector::new(
+                self.data.num_clients,
+                split_seed(self.seed, 0x5E1EC7),
+            );
+            session.run(&mut sel)
+        } else {
+            let (assignment, _) = self.profile_and_tier();
+            let mut sel = StaticTierSelector::new(
+                assignment,
+                policy.clone(),
+                split_seed(self.seed, 0x5E1EC7),
+            );
+            session.run(&mut sel)
+        }
+    }
+
+    /// Run the adaptive policy.
+    #[must_use]
+    pub fn run_adaptive(&self, config: Option<AdaptiveConfig>) -> TrainingReport {
+        let (assignment, _) = self.profile_and_tier();
+        let cfg = config
+            .unwrap_or_else(|| AdaptiveConfig::for_run(self.rounds, assignment.num_tiers()));
+        let mut session = self.make_session();
+        let mut sel = AdaptiveTierSelector::new(
+            assignment,
+            cfg,
+            split_seed(self.seed, 0x5E1EC7),
+        );
+        session.run(&mut sel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_covers_all_clients() {
+        let e = LeafExperiment::tiny(0);
+        let c = e.build_cluster();
+        assert_eq!(c.num_devices(), 30);
+    }
+
+    #[test]
+    fn paper_config_matches_section_526() {
+        let e = LeafExperiment::paper(0);
+        assert_eq!(e.data.num_clients, 182);
+        assert_eq!(e.clients_per_round, 10);
+        assert_eq!(e.rounds, 2000);
+        assert_eq!(e.tiering.num_tiers, 5);
+    }
+
+    #[test]
+    fn tiering_produces_five_tiers() {
+        let e = LeafExperiment::tiny(1);
+        let (assignment, result) = e.profile_and_tier();
+        assert_eq!(assignment.num_tiers(), 5);
+        assert_eq!(assignment.num_clients(), 30 - result.dropouts().len());
+    }
+
+    #[test]
+    fn vanilla_and_tiered_policies_run() {
+        let e = LeafExperiment::tiny(2);
+        let v = e.run_policy(&Policy::vanilla());
+        assert_eq!(v.rounds.len(), 10);
+        let u = e.run_policy(&Policy::uniform(5));
+        assert_eq!(u.rounds.len(), 10);
+    }
+
+    #[test]
+    fn adaptive_runs_on_leaf() {
+        let e = LeafExperiment::tiny(3);
+        let r = e.run_adaptive(None);
+        assert_eq!(r.policy, "adaptive");
+        assert_eq!(r.rounds.len(), 10);
+    }
+
+    #[test]
+    fn fast_policy_beats_slow_on_time() {
+        let e = LeafExperiment::tiny(4);
+        let fast = e.run_policy(&Policy::fast(5)).total_time();
+        let slow = e.run_policy(&Policy::slow(5)).total_time();
+        assert!(slow > fast, "slow {slow} vs fast {fast}");
+    }
+}

@@ -1,0 +1,23 @@
+//! From-scratch neural-network substrate for the TiFL reproduction.
+//!
+//! The paper trains small Keras CNNs with TensorFlow; this crate provides
+//! the equivalent building blocks in pure Rust: composable [`layer`]s, a
+//! [`model::Sequential`] container, softmax cross-entropy [`loss`],
+//! [`optim`] (SGD and RMSprop, the two optimisers used in §5), accuracy
+//! [`metrics`], and per-layer FLOP counting (used by the simulator's
+//! latency model).
+//!
+//! Models flatten to [`tifl_tensor::ParamVec`] so the FL layer can
+//! aggregate them without knowing their structure.
+
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod models;
+pub mod optim;
+
+pub use layer::Layer;
+pub use loss::softmax_cross_entropy;
+pub use model::Sequential;
+pub use optim::{Optimizer, RmsProp, Sgd};

@@ -1,0 +1,215 @@
+//! Optimisers.
+//!
+//! The paper's synthetic-dataset experiments use RMSprop with initial
+//! learning rate 0.01 and per-round decay 0.995 (§5); the LEAF/FEMNIST
+//! experiments use plain SGD with lr 0.004. Both operate on flat
+//! [`ParamVec`]s so they are agnostic to model structure.
+
+use serde::{Deserialize, Serialize};
+use tifl_tensor::ParamVec;
+
+/// A first-order optimiser over flat parameter vectors.
+pub trait Optimizer: Send {
+    /// Apply one update step: mutate `params` using `grads`.
+    ///
+    /// # Panics
+    /// Implementations panic on length mismatch between `params`/`grads`.
+    fn step(&mut self, params: &mut ParamVec, grads: &ParamVec);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Multiply the learning rate by `factor` (per-round decay).
+    fn decay_lr(&mut self, factor: f32);
+
+    /// Reset any accumulated state (fresh client, new round).
+    fn reset_state(&mut self);
+}
+
+/// Plain stochastic gradient descent, optionally with momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` and no momentum.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with classical momentum.
+    #[must_use]
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamVec, grads: &ParamVec) {
+        assert_eq!(params.len(), grads.len(), "Sgd::step length mismatch");
+        if self.momentum == 0.0 {
+            params.axpy(-self.lr, grads);
+            return;
+        }
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((v, p), &g) in self
+            .velocity
+            .iter_mut()
+            .zip(params.0.iter_mut())
+            .zip(grads.as_slice())
+        {
+            *v = self.momentum * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn decay_lr(&mut self, factor: f32) {
+        self.lr *= factor;
+    }
+
+    fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// RMSprop: adaptive per-parameter step sizes from a running mean of
+/// squared gradients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RmsProp {
+    lr: f32,
+    rho: f32,
+    eps: f32,
+    cache: Vec<f32>,
+}
+
+impl RmsProp {
+    /// RMSprop with the paper's defaults (`rho = 0.9`, `eps = 1e-7`).
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Self::with_params(lr, 0.9, 1e-7)
+    }
+
+    /// RMSprop with explicit smoothing constant and epsilon.
+    #[must_use]
+    pub fn with_params(lr: f32, rho: f32, eps: f32) -> Self {
+        Self { lr, rho, eps, cache: Vec::new() }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, params: &mut ParamVec, grads: &ParamVec) {
+        assert_eq!(params.len(), grads.len(), "RmsProp::step length mismatch");
+        if self.cache.len() != params.len() {
+            self.cache = vec![0.0; params.len()];
+        }
+        for ((c, p), &g) in self
+            .cache
+            .iter_mut()
+            .zip(params.0.iter_mut())
+            .zip(grads.as_slice())
+        {
+            *c = self.rho * *c + (1.0 - self.rho) * g * g;
+            *p -= self.lr * g / (c.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn decay_lr(&mut self, factor: f32) {
+        self.lr *= factor;
+    }
+
+    fn reset_state(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = ParamVec(vec![1.0, -1.0]);
+        opt.step(&mut p, &ParamVec(vec![2.0, -2.0]));
+        assert_eq!(p.0, vec![0.8, -0.8]);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut p = ParamVec(vec![0.0]);
+        let g = ParamVec(vec![1.0]);
+        opt.step(&mut p, &g); // v=1, p=-0.1
+        opt.step(&mut p, &g); // v=1.9, p=-0.29
+        assert!((p.0[0] + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmsprop_normalises_gradient_scale() {
+        // With very different gradient magnitudes, RMSprop steps should be
+        // of comparable size after warm-up.
+        let mut opt = RmsProp::new(0.01);
+        let mut p = ParamVec(vec![0.0, 0.0]);
+        let g = ParamVec(vec![100.0, 0.01]);
+        for _ in 0..50 {
+            opt.step(&mut p, &g);
+        }
+        let ratio = p.0[0] / p.0[1];
+        assert!((0.5..2.0).contains(&ratio), "steps not normalised, ratio {ratio}");
+    }
+
+    #[test]
+    fn decay_reduces_lr() {
+        let mut opt = RmsProp::new(0.01);
+        opt.decay_lr(0.995);
+        assert!((opt.learning_rate() - 0.00995).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = RmsProp::new(0.01);
+        let mut p = ParamVec(vec![0.0]);
+        opt.step(&mut p, &ParamVec(vec![1.0]));
+        opt.reset_state();
+        let mut p2 = ParamVec(vec![0.0]);
+        opt.step(&mut p2, &ParamVec(vec![1.0]));
+        assert!((p.0[0] - p2.0[0]).abs() < 1e-9, "state leaked across reset");
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        // f(x) = (x-3)^2, grad = 2(x-3)
+        let mut opt = Sgd::new(0.1);
+        let mut p = ParamVec(vec![0.0]);
+        for _ in 0..100 {
+            let g = ParamVec(vec![2.0 * (p.0[0] - 3.0)]);
+            opt.step(&mut p, &g);
+        }
+        assert!((p.0[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rmsprop_minimises_quadratic() {
+        let mut opt = RmsProp::new(0.05);
+        let mut p = ParamVec(vec![10.0]);
+        for _ in 0..500 {
+            let g = ParamVec(vec![2.0 * (p.0[0] - 3.0)]);
+            opt.step(&mut p, &g);
+        }
+        assert!((p.0[0] - 3.0).abs() < 0.05, "got {}", p.0[0]);
+    }
+}

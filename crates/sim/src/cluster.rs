@@ -1,0 +1,263 @@
+//! A simulated testbed: devices + latency model + availability.
+
+use crate::drift::DriftModel;
+use crate::dropout::DropoutModel;
+use crate::latency::{LatencyModel, LatencyModelConfig, TrainingTask};
+use crate::resource::DeviceResources;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tifl_tensor::split_seed;
+
+/// A homogeneous group of devices (the paper assigns CPUs per group).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupSpec {
+    /// Number of devices in the group.
+    pub count: usize,
+    /// CPU share of each device.
+    pub cpu_share: f64,
+}
+
+/// Testbed construction parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Device groups (e.g. 5 groups of 10 clients at 4/2/1/0.5/0.1 CPUs).
+    pub groups: Vec<GroupSpec>,
+    /// Link bandwidth of every device in bytes/s.
+    pub bandwidth_bps: f64,
+    /// Latency-model parameters.
+    pub latency: LatencyModelConfig,
+    /// If true, device ids are assigned to hardware uniformly at random
+    /// (the paper's LEAF extension assigns hardware this way); otherwise
+    /// device `i` belongs to group `i / group_size` in order.
+    pub shuffle_assignment: bool,
+    /// Root seed for jitter and assignment.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Equal-sized groups over the given CPU-share profile.
+    ///
+    /// # Panics
+    /// Panics if `total` does not divide evenly by the profile length.
+    #[must_use]
+    pub fn equal_groups(total: usize, cpu_profile: &[f64], seed: u64) -> Self {
+        assert!(
+            !cpu_profile.is_empty() && total.is_multiple_of(cpu_profile.len()),
+            "total devices must divide evenly into {} groups",
+            cpu_profile.len()
+        );
+        let per = total / cpu_profile.len();
+        Self {
+            groups: cpu_profile
+                .iter()
+                .map(|&cpu_share| GroupSpec { count: per, cpu_share })
+                .collect(),
+            bandwidth_bps: 1_000_000.0,
+            latency: LatencyModelConfig::default(),
+            shuffle_assignment: false,
+            seed,
+        }
+    }
+}
+
+/// The simulated testbed.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    devices: Vec<DeviceResources>,
+    latency: LatencyModel,
+    dropout: DropoutModel,
+    drift: DriftModel,
+    seed: u64,
+}
+
+impl Cluster {
+    /// Materialise a cluster from a config.
+    #[must_use]
+    pub fn new(config: &ClusterConfig) -> Self {
+        let mut devices: Vec<DeviceResources> = config
+            .groups
+            .iter()
+            .flat_map(|g| {
+                std::iter::repeat_n(DeviceResources {
+                    cpu_share: g.cpu_share,
+                    bandwidth_bps: config.bandwidth_bps,
+                }, g.count)
+            })
+            .collect();
+        if config.shuffle_assignment {
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(split_seed(config.seed, 0xA551));
+            devices.shuffle(&mut rng);
+        }
+        let n = devices.len();
+        Self {
+            devices,
+            latency: LatencyModel::new(config.latency),
+            dropout: DropoutModel::always_available(n, split_seed(config.seed, 0xD0D0)),
+            drift: DriftModel::None,
+            seed: config.seed,
+        }
+    }
+
+    /// Install a time-varying performance model (see [`DriftModel`]).
+    pub fn set_drift(&mut self, drift: DriftModel) {
+        self.drift = drift;
+    }
+
+    /// Replace the availability model (failure injection).
+    pub fn set_dropout(&mut self, dropout: DropoutModel) {
+        assert_eq!(
+            dropout.num_devices(),
+            self.devices.len(),
+            "dropout model must cover every device"
+        );
+        self.dropout = dropout;
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Resources of device `d`.
+    #[must_use]
+    pub fn device(&self, d: usize) -> DeviceResources {
+        self.devices[d]
+    }
+
+    /// The latency model in use.
+    #[must_use]
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Response latency of device `d` executing `task` in `round`, or
+    /// `None` if the device does not respond this round.
+    ///
+    /// Deterministic in `(cluster seed, d, round)`: re-simulating the
+    /// same round yields the same latency.
+    #[must_use]
+    pub fn response(&self, d: usize, round: u64, task: &TrainingTask) -> Option<f64> {
+        if !self.dropout.responds(d, round) {
+            return None;
+        }
+        let dev = self.devices[d];
+        let cpu = dev.cpu_share * self.drift.cpu_scale(d, round);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(split_seed(
+            self.seed,
+            split_seed(d as u64, round),
+        ));
+        Some(self.latency.sample_latency(task, cpu, dev.bandwidth_bps, &mut rng))
+    }
+
+    /// Jitter-free latency of device `d` for `task` (profiling truth).
+    #[must_use]
+    pub fn nominal_response(&self, d: usize, task: &TrainingTask) -> f64 {
+        let dev = self.devices[d];
+        self.latency.nominal_latency(task, dev.cpu_share, dev.bandwidth_bps)
+    }
+
+    /// Round latency (Eq. 1): max response latency over `selected`
+    /// devices, with non-responding devices charged `tmax`.
+    ///
+    /// # Panics
+    /// Panics if `selected` is empty.
+    #[must_use]
+    pub fn round_latency(
+        &self,
+        selected: &[(usize, TrainingTask)],
+        round: u64,
+        tmax: f64,
+    ) -> f64 {
+        assert!(!selected.is_empty(), "round with no selected clients");
+        selected
+            .iter()
+            .map(|(d, task)| self.response(*d, round, task).map_or(tmax, |l| l.min(tmax)))
+            .fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::profiles;
+
+    fn task() -> TrainingTask {
+        TrainingTask { samples: 100, epochs: 1, flops_per_sample: 1_000_000, update_bytes: 10_000 }
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(&ClusterConfig::equal_groups(50, &profiles::CIFAR, 7))
+    }
+
+    #[test]
+    fn equal_groups_builds_expected_sizes() {
+        let c = cluster();
+        assert_eq!(c.num_devices(), 50);
+        assert_eq!(c.device(0).cpu_share, 4.0);
+        assert_eq!(c.device(49).cpu_share, 0.1);
+    }
+
+    #[test]
+    fn slower_group_has_higher_latency() {
+        let c = cluster();
+        let fast = c.nominal_response(0, &task());
+        let slow = c.nominal_response(49, &task());
+        assert!(slow > 10.0 * fast, "fast {fast}, slow {slow}");
+    }
+
+    #[test]
+    fn response_is_deterministic() {
+        let c = cluster();
+        assert_eq!(c.response(3, 10, &task()), c.response(3, 10, &task()));
+    }
+
+    #[test]
+    fn different_rounds_jitter_differently() {
+        let c = cluster();
+        assert_ne!(c.response(3, 0, &task()), c.response(3, 1, &task()));
+    }
+
+    #[test]
+    fn round_latency_is_max_of_members() {
+        let c = cluster();
+        let sel: Vec<(usize, TrainingTask)> = vec![(0, task()), (49, task())];
+        let l = c.round_latency(&sel, 0, f64::INFINITY);
+        let l49 = c.response(49, 0, &task()).unwrap();
+        assert!((l - l49).abs() < 1e-9, "round latency should equal slowest member");
+    }
+
+    #[test]
+    fn dropouts_are_charged_tmax() {
+        let mut c = cluster();
+        let mut d = DropoutModel::always_available(50, 0);
+        d.kill(&[5]);
+        c.set_dropout(d);
+        assert_eq!(c.response(5, 0, &task()), None);
+        let l = c.round_latency(&[(5, task())], 0, 123.0);
+        assert_eq!(l, 123.0);
+    }
+
+    #[test]
+    fn shuffle_assignment_permutes_hardware() {
+        let mut cfg = ClusterConfig::equal_groups(50, &profiles::CIFAR, 3);
+        cfg.shuffle_assignment = true;
+        let c = Cluster::new(&cfg);
+        // Same multiset of CPU shares, different order than unshuffled.
+        let mut shares: Vec<f64> = (0..50).map(|d| c.device(d).cpu_share).collect();
+        let first_five: Vec<f64> = shares[..5].to_vec();
+        assert!(
+            first_five.iter().any(|&s| (s - 4.0).abs() > 1e-12),
+            "shuffle left group order intact (unlikely)"
+        );
+        shares.sort_by(f64::total_cmp);
+        let mut expect: Vec<f64> = profiles::CIFAR
+            .iter()
+            .flat_map(|&s| std::iter::repeat_n(s, 10))
+            .collect();
+        expect.sort_by(f64::total_cmp);
+        assert_eq!(shares, expect);
+    }
+}

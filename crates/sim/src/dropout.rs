@@ -1,0 +1,120 @@
+//! Client unavailability injection.
+//!
+//! The paper's profiler must tolerate clients that never answer within
+//! `Tmax` (they are marked dropouts after `sync_rounds` timeouts, §4.2).
+//! This module provides the failure source: a per-device Bernoulli
+//! process that decides, per round, whether the device responds at all.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tifl_tensor::split_seed;
+
+/// Per-device availability model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DropoutModel {
+    /// `fail_prob[d]` is the probability device `d` does not respond in a
+    /// given round (1.0 = permanently dead device).
+    fail_prob: Vec<f64>,
+    seed: u64,
+}
+
+impl DropoutModel {
+    /// All devices always available.
+    #[must_use]
+    pub fn always_available(devices: usize, seed: u64) -> Self {
+        Self { fail_prob: vec![0.0; devices], seed }
+    }
+
+    /// Explicit per-device failure probabilities.
+    ///
+    /// # Panics
+    /// Panics if any probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn from_probs(fail_prob: Vec<f64>, seed: u64) -> Self {
+        assert!(
+            fail_prob.iter().all(|&p| (0.0..=1.0).contains(&p)),
+            "failure probabilities must be in [0,1]"
+        );
+        Self { fail_prob, seed }
+    }
+
+    /// Mark a set of devices as permanently dead (they never respond,
+    /// exercising the profiler's dropout-exclusion path).
+    pub fn kill(&mut self, devices: &[usize]) {
+        for &d in devices {
+            self.fail_prob[d] = 1.0;
+        }
+    }
+
+    /// Number of devices covered by the model.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.fail_prob.len()
+    }
+
+    /// Does device `d` respond in round `r`? Deterministic in
+    /// `(seed, d, r)`.
+    #[must_use]
+    pub fn responds(&self, d: usize, round: u64) -> bool {
+        let p = self.fail_prob[d];
+        if p <= 0.0 {
+            return true;
+        }
+        if p >= 1.0 {
+            return false;
+        }
+        let mut rng =
+            StdRng::seed_from_u64(split_seed(self.seed, split_seed(d as u64, round)));
+        rng.gen::<f64>() >= p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_available_never_fails() {
+        let m = DropoutModel::always_available(5, 0);
+        for d in 0..5 {
+            for r in 0..20 {
+                assert!(m.responds(d, r));
+            }
+        }
+    }
+
+    #[test]
+    fn killed_devices_never_respond() {
+        let mut m = DropoutModel::always_available(3, 0);
+        m.kill(&[1]);
+        assert!(m.responds(0, 0));
+        assert!(!m.responds(1, 0));
+        assert!(!m.responds(1, 99));
+    }
+
+    #[test]
+    fn partial_failure_rate_approximates_p() {
+        let m = DropoutModel::from_probs(vec![0.3], 7);
+        let fails = (0..10_000).filter(|&r| !m.responds(0, r)).count();
+        let rate = fails as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "empirical failure rate {rate}");
+    }
+
+    #[test]
+    fn responds_is_deterministic() {
+        let m = DropoutModel::from_probs(vec![0.5, 0.5], 3);
+        for d in 0..2 {
+            for r in 0..50 {
+                assert_eq!(m.responds(d, r), m.responds(d, r));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn rejects_bad_probability() {
+        let _ = DropoutModel::from_probs(vec![1.5], 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! A generic discrete-event queue.
+//!
+//! Events are `(time, payload)` pairs popped in time order with FIFO
+//! tie-breaking (a stable sequence number), which keeps simulations
+//! deterministic when many events share a timestamp — e.g. all clients
+//! of a round being dispatched at the same instant.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time.
+#[derive(Debug, Clone)]
+pub struct Event<T> {
+    /// Virtual time in seconds.
+    pub time: f64,
+    /// Caller-defined payload.
+    pub payload: T,
+    seq: u64,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with stable FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `payload` at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN.
+    pub fn schedule(&mut self, time: f64, payload: T) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, payload, seq });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(1.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+}

@@ -1,0 +1,20 @@
+//! Dense `f32` tensor primitives for the TiFL reproduction.
+//!
+//! This crate deliberately implements only what the federated-learning
+//! stack above it needs: a row-major [`Matrix`] with rayon-parallel
+//! matrix multiplication, element-wise kernels, deterministic RNG
+//! utilities, weight initialisers, and flat [`ParamVec`] views used by
+//! FedAvg-style aggregation.
+//!
+//! Everything is deterministic given a seed: there is no global RNG and
+//! no use of system entropy anywhere in the workspace.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod param;
+pub mod rng;
+
+pub use matrix::Matrix;
+pub use param::ParamVec;
+pub use rng::{seed_rng, split_seed, SeedStream};

@@ -1,0 +1,225 @@
+//! Row-major dense `f32` matrix.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense matrix of `f32`.
+///
+/// The workhorse container of the NN substrate: activations are
+/// `batch x features` matrices, dense-layer weights are
+/// `in_features x out_features`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero-filled `rows x cols` matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with `value`.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Build from an existing buffer; `data.len()` must equal `rows * cols`.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from a function of `(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Flat read-only view of the backing buffer (row-major).
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the backing buffer (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Read-only view of row `r`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy the rows at `indices` into a new matrix (gather).
+    ///
+    /// Used to assemble mini-batches from a client's sample indices.
+    #[must_use]
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Consume the matrix and return the backing buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m[(1, 2)], 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 7 + c * 3) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(m[(r, c)], t[(c, r)]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_rows_selects_and_orders() {
+        let m = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let g = m.gather_rows(&[3, 1, 1]);
+        assert_eq!(g.shape(), (3, 2));
+        assert_eq!(g.row(0), &[3.0, 3.0]);
+        assert_eq!(g.row(1), &[1.0, 1.0]);
+        assert_eq!(g.row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut m = Matrix::zeros(2, 2);
+        m.row_mut(1).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(m[(1, 0)], 5.0);
+        assert_eq!(m[(1, 1)], 6.0);
+    }
+}

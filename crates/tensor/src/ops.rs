@@ -1,0 +1,296 @@
+//! Matrix and vector kernels.
+//!
+//! `matmul` parallelises over output rows with rayon once the problem is
+//! large enough to amortise the fork-join overhead; everything else is
+//! simple, cache-friendly sequential code (batch sizes in the TiFL
+//! experiments are small, so the GEMMs dominate).
+
+use crate::Matrix;
+use rayon::prelude::*;
+
+/// Problems smaller than this many multiply-adds run sequentially.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// `a (m x k) * b (k x n) -> (m x n)`.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree.
+#[must_use]
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+
+    let mut out = Matrix::zeros(m, n);
+    let b_data = b.as_slice();
+
+    let kernel = |(row_idx, out_row): (usize, &mut [f32])| {
+        let a_row = a.row(row_idx);
+        // ikj loop order: streams through b rows, vectorises the inner j loop.
+        for (ki, &a_v) in a_row.iter().enumerate() {
+            if a_v == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[ki * n..(ki + 1) * n];
+            for (o, &b_v) in out_row.iter_mut().zip(b_row) {
+                *o += a_v * b_v;
+            }
+        }
+    };
+
+    if m * n * k >= PAR_THRESHOLD {
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(kernel);
+    } else {
+        out.as_mut_slice().chunks_mut(n).enumerate().for_each(kernel);
+    }
+    out
+}
+
+/// `a * b^T` without materialising the transpose.
+///
+/// Shape: `a (m x k) * b (n x k) -> (m x n)`. This is the backward-pass
+/// workhorse (`dX = dY * W^T`).
+#[must_use]
+pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (n, k2) = b.shape();
+    assert_eq!(k, k2, "matmul_transpose_b inner dimension mismatch: {k} vs {k2}");
+
+    let mut out = Matrix::zeros(m, n);
+    let kernel = |(row_idx, out_row): (usize, &mut [f32])| {
+        let a_row = a.row(row_idx);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    };
+
+    if m * n * k >= PAR_THRESHOLD {
+        out.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(kernel);
+    } else {
+        out.as_mut_slice().chunks_mut(n).enumerate().for_each(kernel);
+    }
+    out
+}
+
+/// `a^T * b` without materialising the transpose.
+///
+/// Shape: `a (k x m) * b (k x n) -> (m x n)`. This is the weight-gradient
+/// workhorse (`dW = X^T * dY`).
+#[must_use]
+pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
+    let (k, m) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "matmul_transpose_a inner dimension mismatch: {k} vs {k2}");
+
+    let mut out = Matrix::zeros(m, n);
+    // Accumulate rank-1 updates; sequential over k keeps this deterministic.
+    for ki in 0..k {
+        let a_row = a.row(ki);
+        let b_row = b.row(ki);
+        for (i, &a_v) in a_row.iter().enumerate() {
+            if a_v == 0.0 {
+                continue;
+            }
+            let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            for (o, &b_v) in out_row.iter_mut().zip(b_row) {
+                *o += a_v * b_v;
+            }
+        }
+    }
+    out
+}
+
+/// Element-wise `out[i] += alpha * x[i]` on flat slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f32, x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "axpy length mismatch");
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += alpha * v;
+    }
+}
+
+/// Element-wise scale in place.
+pub fn scale(alpha: f32, out: &mut [f32]) {
+    for o in out.iter_mut() {
+        *o *= alpha;
+    }
+}
+
+/// Dot product of two flat slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// Squared L2 norm of a flat slice.
+#[must_use]
+pub fn norm_sq(x: &[f32]) -> f32 {
+    x.iter().map(|&v| v * v).sum()
+}
+
+/// Add a row-vector `bias` (len `n`) to every row of `m (rows x n)`.
+///
+/// # Panics
+/// Panics if `bias.len() != m.cols()`.
+pub fn add_bias(m: &mut Matrix, bias: &[f32]) {
+    assert_eq!(bias.len(), m.cols(), "bias length mismatch");
+    let n = m.cols();
+    for row in m.as_mut_slice().chunks_mut(n) {
+        for (o, &b) in row.iter_mut().zip(bias) {
+            *o += b;
+        }
+    }
+}
+
+/// Column-wise sum of `m` into a `cols`-length vector (bias gradient).
+#[must_use]
+pub fn col_sum(m: &Matrix) -> Vec<f32> {
+    let n = m.cols();
+    let mut out = vec![0.0f32; n];
+    for row in m.as_slice().chunks(n) {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Row-wise argmax of each row of `m` (predicted class per sample).
+#[must_use]
+pub fn row_argmax(m: &Matrix) -> Vec<usize> {
+    let n = m.cols();
+    m.as_slice()
+        .chunks(n)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[(i, p)] * b[(p, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(&x, &y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r as f32) - (c as f32) * 0.5);
+        let b = Matrix::from_fn(4, 2, |r, c| (r as f32) * 0.25 + c as f32);
+        assert!(approx_eq(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_matches_naive_above_parallel_threshold() {
+        let a = Matrix::from_fn(70, 70, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(70, 70, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
+        assert!(approx_eq(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-2));
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = Matrix::from_fn(5, 3, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(4, 3, |r, c| (r * 2 + c) as f32);
+        let expected = naive_matmul(&a, &b.transpose());
+        assert!(approx_eq(&matmul_transpose_b(&a, &b), &expected, 1e-5));
+    }
+
+    #[test]
+    fn matmul_transpose_a_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r + 2 * c) as f32);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * 3 + c) as f32);
+        let expected = naive_matmul(&a.transpose(), &b);
+        assert!(approx_eq(&matmul_transpose_a(&a, &b), &expected, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut out = vec![1.0, 2.0];
+        axpy(0.5, &[2.0, 4.0], &mut out);
+        assert_eq!(out, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn add_bias_broadcasts_rows() {
+        let mut m = Matrix::zeros(2, 3);
+        add_bias(&mut m, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn col_sum_sums_rows() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        assert_eq!(col_sum(&m), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn row_argmax_picks_max_per_row() {
+        let m = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.7]);
+        assert_eq!(row_argmax(&m), vec![1, 2]);
+    }
+
+    #[test]
+    fn scale_multiplies_in_place() {
+        let mut v = vec![1.0, -2.0, 4.0];
+        scale(0.5, &mut v);
+        assert_eq!(v, vec![0.5, -1.0, 2.0]);
+    }
+}

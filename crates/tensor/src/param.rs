@@ -1,0 +1,159 @@
+//! Flat parameter vectors.
+//!
+//! FedAvg aggregates whole models as weighted means of their parameters.
+//! [`ParamVec`] is the wire/aggregation format: every model can flatten
+//! itself into one and load itself back from one, so the FL layer never
+//! needs to know a model's internal structure.
+
+use crate::ops;
+use serde::{Deserialize, Serialize};
+
+/// A model's parameters flattened into a single `Vec<f32>`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ParamVec(pub Vec<f32>);
+
+impl ParamVec {
+    /// Zero vector of length `n`.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Self(vec![0.0; n])
+    }
+
+    /// Number of parameters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Read-only view.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// `self += alpha * other`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &ParamVec) {
+        ops::axpy(alpha, &other.0, &mut self.0);
+    }
+
+    /// `self *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        ops::scale(alpha, &mut self.0);
+    }
+
+    /// Euclidean distance to another parameter vector.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn l2_distance(&self, other: &ParamVec) -> f32 {
+        assert_eq!(self.len(), other.len(), "l2_distance length mismatch");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Weighted mean of parameter vectors: `Σ w_i v_i / Σ w_i`.
+    ///
+    /// This is exactly line 8 of the paper's Algorithm 1 (FedAvg), with
+    /// `w_i` the training-set size of client `i`.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty, lengths differ, or all weights are zero.
+    #[must_use]
+    pub fn weighted_mean(items: &[(ParamVec, f32)]) -> ParamVec {
+        Self::weighted_mean_ref(&items.iter().map(|(v, w)| (v, *w)).collect::<Vec<_>>())
+    }
+
+    /// [`ParamVec::weighted_mean`] over borrowed vectors (avoids clones).
+    #[must_use]
+    pub fn weighted_mean_ref(items: &[(&ParamVec, f32)]) -> ParamVec {
+        assert!(!items.is_empty(), "weighted_mean of zero vectors");
+        let n = items[0].0.len();
+        let total: f64 = items.iter().map(|(_, w)| f64::from(*w)).sum();
+        assert!(total > 0.0, "weighted_mean with zero total weight");
+        let mut out = ParamVec::zeros(n);
+        for (v, w) in items {
+            assert_eq!(v.len(), n, "weighted_mean length mismatch");
+            let coeff = (f64::from(*w) / total) as f32;
+            out.axpy(coeff, v);
+        }
+        out
+    }
+}
+
+impl From<Vec<f32>> for ParamVec {
+    fn from(v: Vec<f32>) -> Self {
+        Self(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mean_equal_weights_is_mean() {
+        let a = ParamVec(vec![1.0, 2.0]);
+        let b = ParamVec(vec![3.0, 6.0]);
+        let m = ParamVec::weighted_mean(&[(a, 1.0), (b, 1.0)]);
+        assert_eq!(m.0, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let a = ParamVec(vec![0.0]);
+        let b = ParamVec(vec![10.0]);
+        let m = ParamVec::weighted_mean(&[(a, 1.0), (b, 3.0)]);
+        assert!((m.0[0] - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_mean_single_identity() {
+        let a = ParamVec(vec![1.5, -2.5]);
+        let m = ParamVec::weighted_mean(&[(a.clone(), 123.0)]);
+        for (x, y) in m.0.iter().zip(&a.0) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total weight")]
+    fn weighted_mean_rejects_zero_weights() {
+        let _ = ParamVec::weighted_mean(&[(ParamVec(vec![1.0]), 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vectors")]
+    fn weighted_mean_rejects_empty() {
+        let _ = ParamVec::weighted_mean(&[]);
+    }
+
+    #[test]
+    fn l2_distance_basic() {
+        let a = ParamVec(vec![0.0, 0.0]);
+        let b = ParamVec(vec![3.0, 4.0]);
+        assert!((a.l2_distance(&b) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = ParamVec(vec![1.0, 1.0]);
+        a.axpy(2.0, &ParamVec(vec![1.0, 2.0]));
+        assert_eq!(a.0, vec![3.0, 5.0]);
+        a.scale(0.5);
+        assert_eq!(a.0, vec![1.5, 2.5]);
+    }
+}

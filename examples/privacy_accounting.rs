@@ -1,0 +1,54 @@
+//! Client-level differential-privacy accounting for tiered selection
+//! (§4.6).
+//!
+//! ```sh
+//! cargo run --release --example privacy_accounting
+//! ```
+//!
+//! Shows how random-subsampling amplification interacts with tier
+//! policies: each client's local mechanism is (ε, δ)-DP; selecting
+//! clients with rate q amplifies the per-round guarantee to (qε, qδ).
+//! Tiered selection changes q per tier — `q_max` governs the overall
+//! guarantee.
+
+use tifl::core::privacy::{compare, DpGuarantee};
+use tifl::prelude::*;
+
+fn main() {
+    let base = DpGuarantee::new(2.0, 1e-5);
+    let k = 50;
+    let c = 5;
+    let tiers = [10usize; 5];
+
+    println!("each client's local mechanism: ({}, {:.0e})-DP", base.epsilon, base.delta);
+    println!("pool |K| = {k}, selected per round |C| = {c}\n");
+
+    println!(
+        "{:<10} {:>8} {:>16} {:>16}",
+        "policy", "q_max", "per-round eps", "per-round delta"
+    );
+    for policy in Policy::cifar_set(5) {
+        if policy.is_vanilla() {
+            let g = base.amplify(c as f64 / k as f64);
+            println!(
+                "{:<10} {:>8.3} {:>16.4} {:>16.2e}   (q = |C|/|K|)",
+                "vanilla",
+                c as f64 / k as f64,
+                g.epsilon,
+                g.delta
+            );
+        } else {
+            let cmp = compare(base, k, c, &tiers, &policy.probs);
+            println!(
+                "{:<10} {:>8.3} {:>16.4} {:>16.2e}",
+                policy.name, cmp.q_max, cmp.tiered.epsilon, cmp.tiered.delta
+            );
+        }
+    }
+
+    println!(
+        "\nTakeaway: tiering never invalidates the amplified guarantee; the\n\
+         uniform policy matches vanilla exactly, and concentrating on a tier\n\
+         trades some amplification for speed — quantified above."
+    );
+}

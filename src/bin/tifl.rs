@@ -1,0 +1,111 @@
+//! `tifl` — command-line front end for the TiFL reproduction.
+//!
+//! ```sh
+//! tifl init experiment.json            # write a template config
+//! tifl profile experiment.json         # profile + print tiers
+//! tifl estimate experiment.json        # Eq. 6 time estimates per policy
+//! tifl run experiment.json uniform     # train under a policy
+//! tifl run experiment.json adaptive    # train under Algorithm 2
+//! ```
+//!
+//! Configs are JSON-serialised `ExperimentConfig`s, so everything the
+//! library can express is scriptable: `cargo run --release --bin tifl --
+//! init my.json`, edit, `run`.
+
+use std::process::ExitCode;
+use tifl::core::estimator;
+use tifl::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tifl init <config.json>\n  tifl profile <config.json>\n  \
+         tifl estimate <config.json>\n  tifl run <config.json> \
+         <vanilla|slow|uniform|random|fast|fast1|fast2|fast3|adaptive>"
+    );
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> ExperimentConfig {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+fn policy_by_name(name: &str, m: usize) -> Option<Policy> {
+    Some(match name {
+        "vanilla" => Policy::vanilla(),
+        "slow" => Policy::slow(m),
+        "uniform" => Policy::uniform(m),
+        "random" => Policy::random5(m),
+        "fast" => Policy::fast(m),
+        "fast1" => Policy::fast_level(m, 1),
+        "fast2" => Policy::fast_level(m, 2),
+        "fast3" => Policy::fast_level(m, 3),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "init" => {
+            let cfg = ExperimentConfig::cifar10_resource_het(42);
+            let json = serde_json::to_string_pretty(&cfg).expect("serialisable");
+            std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote template config to {path}");
+            ExitCode::SUCCESS
+        }
+        [cmd, path] if cmd == "profile" => {
+            let cfg = load(path);
+            let (tiers, profile) = cfg.profile_and_tier();
+            println!(
+                "profiled {} clients in {:.0} virtual s ({} dropouts)",
+                cfg.num_clients,
+                profile.profiling_time,
+                profile.dropouts().len()
+            );
+            for (t, tier) in tiers.tiers.iter().enumerate() {
+                println!(
+                    "tier {t}: {:>3} clients, mean latency {:>9.2}s",
+                    tier.clients.len(),
+                    tier.avg_latency
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        [cmd, path] if cmd == "estimate" => {
+            let cfg = load(path);
+            let (tiers, _) = cfg.profile_and_tier();
+            println!("{:<10} {:>16}", "policy", "estimate [s]");
+            for p in Policy::cifar_set(tiers.num_tiers()).iter().skip(1) {
+                let est = estimator::estimate_for_policy(&tiers, p, cfg.rounds);
+                println!("{:<10} {est:>16.0}", p.name);
+            }
+            ExitCode::SUCCESS
+        }
+        [cmd, path, policy] if cmd == "run" => {
+            let cfg = load(path);
+            let report = if policy == "adaptive" {
+                cfg.run_adaptive(None)
+            } else {
+                match policy_by_name(policy, cfg.tiering.num_tiers) {
+                    Some(p) => cfg.run_policy(&p),
+                    None => return usage(),
+                }
+            };
+            println!(
+                "{}: {} rounds, {:.0} virtual s, final accuracy {:.3} (best {:.3})",
+                report.policy,
+                report.rounds.len(),
+                report.total_time(),
+                report.final_accuracy(),
+                report.best_accuracy()
+            );
+            for (r, a) in report.accuracy_over_rounds().iter().step_by(10) {
+                println!("round {r:>6}: {a:.3}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,61 @@
+//! # TiFL — a Tier-based Federated Learning System
+//!
+//! A from-scratch Rust reproduction of *TiFL: A Tier-based Federated
+//! Learning System* (Chai et al., HPDC 2020). This facade crate
+//! re-exports the whole workspace so downstream users and the examples
+//! depend on a single crate:
+//!
+//! * [`tensor`] — dense `f32` tensor primitives and deterministic RNG;
+//! * [`nn`] — layers, losses, optimisers, sequential models;
+//! * [`data`] — synthetic federated datasets and non-IID partitioners;
+//! * [`sim`] — the discrete-event testbed simulator (virtual clock,
+//!   CPU-share resource model, latency model);
+//! * [`fl`] — the FL substrate: clients, FedAvg aggregator, round engine;
+//! * [`core`] — the paper's contribution: profiler, tiering, static and
+//!   adaptive tier schedulers, training-time estimator, privacy
+//!   accounting;
+//! * [`leaf`] — the LEAF-like FEMNIST benchmark harness.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete run; the short version:
+//!
+//! ```no_run
+//! use tifl::prelude::*;
+//!
+//! let exp = ExperimentConfig::cifar10_resource_het(42);
+//! let report = exp.run_policy(&Policy::uniform(5));
+//! println!("final accuracy {:.3}", report.final_accuracy());
+//! ```
+
+pub use tifl_core as core;
+pub use tifl_data as data;
+pub use tifl_fl as fl;
+pub use tifl_leaf as leaf;
+pub use tifl_nn as nn;
+pub use tifl_sim as sim;
+pub use tifl_tensor as tensor;
+
+/// Convenience re-exports for examples and quick experiments.
+pub mod prelude {
+    pub use tifl_core::experiment::{DataScenario, ExperimentConfig};
+    pub use tifl_core::policy::Policy;
+    pub use tifl_core::profiler::{Profiler, ProfilerConfig};
+    pub use tifl_core::scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
+    pub use tifl_core::tiering::{TierAssignment, TieringConfig};
+    pub use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
+    pub use tifl_data::{Dataset, FederatedDataset};
+    pub use tifl_core::baselines::DeadlineSelector;
+    pub use tifl_fl::checkpoint::Checkpoint;
+    pub use tifl_fl::client::{ClientConfig, DpNoiseConfig};
+    pub use tifl_fl::hierarchy::AggregationTree;
+    pub use tifl_fl::timeline::{RoundTimeline, TimelineEvent};
+    pub use tifl_fl::report::{RoundReport, TrainingReport};
+    pub use tifl_fl::selector::{ClientSelector, RandomSelector};
+    pub use tifl_fl::session::{AggregationMode, Session, SessionConfig};
+    pub use tifl_leaf::{LeafDataConfig, LeafExperiment};
+    pub use tifl_nn::models::ModelSpec;
+    pub use tifl_sim::cluster::{Cluster, ClusterConfig};
+    pub use tifl_sim::drift::DriftModel;
+    pub use tifl_sim::latency::{LatencyModel, LatencyModelConfig};
+}

@@ -1,0 +1,70 @@
+//! Whole-stack determinism: every experiment is a pure function of its
+//! seed, regardless of rayon parallelism.
+
+use tifl::core::scheduler::AdaptiveConfig;
+use tifl::prelude::*;
+
+#[test]
+fn static_runs_identical_across_invocations() {
+    let cfg = ExperimentConfig::tiny(11);
+    let a = cfg.run_policy(&Policy::uniform(5));
+    let b = cfg.run_policy(&Policy::uniform(5));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn adaptive_runs_identical_across_invocations() {
+    let cfg = ExperimentConfig::tiny(12);
+    let acfg = AdaptiveConfig { interval: 3, credits_per_tier: 50, gamma: 2.0 };
+    let a = cfg.run_adaptive(Some(acfg));
+    let b = cfg.run_adaptive(Some(acfg));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = ExperimentConfig::tiny(13).run_policy(&Policy::vanilla());
+    let b = ExperimentConfig::tiny(14).run_policy(&Policy::vanilla());
+    assert_ne!(a, b);
+}
+
+#[test]
+fn profiling_is_deterministic() {
+    let cfg = ExperimentConfig::tiny(15);
+    let (t1, p1) = cfg.profile_and_tier();
+    let (t2, p2) = cfg.profile_and_tier();
+    assert_eq!(t1, t2);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn dataset_generation_is_deterministic() {
+    let cfg = ExperimentConfig::tiny(16);
+    let a = cfg.build_data();
+    let b = cfg.build_data();
+    assert_eq!(a.global_test, b.global_test);
+    assert_eq!(a.clients[3].train, b.clients[3].train);
+    assert_eq!(a.train_sizes(), b.train_sizes());
+}
+
+#[test]
+fn leaf_runs_identical_across_invocations() {
+    let exp = LeafExperiment::tiny(17);
+    let a = exp.run_policy(&Policy::uniform(5));
+    let b = exp.run_policy(&Policy::uniform(5));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn thread_pool_size_does_not_change_results() {
+    // Run the same experiment under two differently sized rayon pools;
+    // per-client seeding must make the outcome identical.
+    let run_with_threads = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| ExperimentConfig::tiny(18).run_policy(&Policy::uniform(5)))
+    };
+    assert_eq!(run_with_threads(1), run_with_threads(8));
+}

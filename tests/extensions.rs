@@ -1,0 +1,142 @@
+//! Integration tests for the system extensions: related-work baselines
+//! (over-selection, FedCS, FedProx), DP client updates, performance
+//! drift with periodic re-profiling, and config serialisation.
+
+use tifl::core::experiment::DataScenario;
+use tifl::fl::client::DpNoiseConfig;
+use tifl::prelude::*;
+use tifl::sim::DriftModel;
+
+#[test]
+fn overselection_beats_waitall_on_time_and_keeps_learning() {
+    let mut cfg = ExperimentConfig::tiny(41);
+    cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
+    cfg.rounds = 30;
+    let vanilla = cfg.run_policy(&Policy::vanilla());
+    let over = cfg.run_overselection(1.3);
+    assert!(over.total_time() < vanilla.total_time());
+    assert!(over.final_accuracy() > 0.4, "over-selection still trains");
+    assert!(over.discarded_work_fraction() > 0.0);
+}
+
+#[test]
+fn fedcs_deadline_controls_round_latency() {
+    let mut cfg = ExperimentConfig::tiny(42);
+    cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
+    cfg.latency.base_overhead_sec = 0.0;
+    cfg.rounds = 30;
+    let (tiers, _) = cfg.profile_and_tier();
+    let lats = tiers.tier_latencies();
+    let deadline = (lats[1] + lats[2]) / 2.0;
+    let report = cfg.run_fedcs(deadline);
+    // Rounds stay within ~deadline (plus jitter slack).
+    assert!(
+        report.mean_round_latency() < deadline * 1.3,
+        "mean latency {} vs deadline {deadline}",
+        report.mean_round_latency()
+    );
+}
+
+#[test]
+fn fedprox_stays_closer_to_global_under_noniid() {
+    let mut cfg = ExperimentConfig::tiny(43);
+    cfg.data = DataScenario::ClassLimit { per_client: 40, k: 2 };
+    cfg.rounds = 20;
+    let plain = cfg.run_policy(&Policy::vanilla());
+    let prox = cfg.run_fedprox(0.5);
+    // Both learn; FedProx must at least run to completion with the same
+    // round structure.
+    assert_eq!(plain.rounds.len(), prox.rounds.len());
+    assert!(prox.final_accuracy() > 0.2);
+}
+
+#[test]
+fn dp_noise_degrades_accuracy_monotonically_in_expectation() {
+    let accuracy_at = |z: f32| {
+        let mut cfg = ExperimentConfig::tiny(44);
+        cfg.rounds = 30;
+        cfg.client.dp = Some(DpNoiseConfig { clip: 1.0, noise_multiplier: z });
+        cfg.run_policy(&Policy::vanilla()).final_accuracy()
+    };
+    let clean = accuracy_at(0.0);
+    let noisy = accuracy_at(1.0);
+    assert!(
+        clean > noisy + 0.1,
+        "heavy DP noise should hurt accuracy: clean {clean}, noisy {noisy}"
+    );
+}
+
+#[test]
+fn dp_updates_compose_with_tiering() {
+    let mut cfg = ExperimentConfig::tiny(45);
+    cfg.rounds = 40;
+    cfg.client.dp = Some(DpNoiseConfig { clip: 1.0, noise_multiplier: 0.001 });
+    let report = cfg.run_policy(&Policy::uniform(5));
+    assert_eq!(report.rounds.len(), 40);
+    assert!(report.final_accuracy() > 0.3, "mild DP noise should still train");
+}
+
+#[test]
+fn sinusoidal_drift_changes_latencies_over_time() {
+    let mut cfg = ExperimentConfig::tiny(46);
+    cfg.latency.jitter_sigma = 0.0;
+    cfg.latency.base_overhead_sec = 0.0;
+    cfg.drift = DriftModel::Sinusoidal { period: 10.0, amplitude: 0.5, devices: 10 };
+    let session = cfg.make_session();
+    let task = session.task_for(0);
+    // Device 0 has phase 0: round 0 sits at the sine's zero crossing
+    // (scale 1.0) while round 2 sits near the crest (scale ~1.48).
+    let l0 = session.cluster().response(0, 0, &task).unwrap();
+    let l2 = session.cluster().response(0, 2, &task).unwrap();
+    assert!(
+        (l0 - l2).abs() / l0 > 0.12,
+        "quarter-period apart should differ: {l0} vs {l2}"
+    );
+}
+
+#[test]
+fn experiment_config_json_round_trip() {
+    let mut cfg = ExperimentConfig::cifar10_combine(5, 7);
+    cfg.aggregation = AggregationMode::FirstK { factor: 1.3 };
+    cfg.drift = DriftModel::RegimeSwitch { at_round: 100, factors: vec![0.5, 1.0] };
+    cfg.client.dp = Some(DpNoiseConfig { clip: 1.0, noise_multiplier: 0.1 });
+    let json = serde_json::to_string_pretty(&cfg).unwrap();
+    let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn old_configs_without_new_fields_still_parse() {
+    // SessionConfig grew `aggregation` after the initial release shape;
+    // serde(default) must keep old JSON working.
+    let json = r#"{
+        "model": {"Mlp": {"input": 64, "hidden": 16, "classes": 10}},
+        "client": {
+            "batch_size": 10, "local_epochs": 1,
+            "optimizer": {"RmsProp": {"lr": 0.01}}, "lr_round_decay": 0.995
+        },
+        "clients_per_round": 2, "rounds": 5, "eval_every": 1,
+        "tmax_sec": 1000.0, "seed": 1
+    }"#;
+    let cfg: SessionConfig = serde_json::from_str(json).unwrap();
+    assert_eq!(cfg.aggregation, AggregationMode::WaitAll);
+    assert_eq!(cfg.client.proximal_mu, 0.0);
+    assert!(cfg.client.dp.is_none());
+}
+
+#[test]
+fn reprofiling_matches_static_when_nothing_drifts() {
+    // Without drift, re-profiling rebuilds the same tiers, so only the
+    // per-segment selector seeds differ; totals should be close.
+    let mut cfg = ExperimentConfig::tiny(47);
+    cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
+    cfg.rounds = 24;
+    let stat = cfg.run_policy(&Policy::uniform(5));
+    let re = cfg.run_policy_with_reprofiling(&Policy::uniform(5), 8);
+    assert_eq!(stat.rounds.len(), re.rounds.len());
+    let ratio = re.total_time() / stat.total_time();
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "same-regime reprofiling should stay in the same ballpark, ratio {ratio}"
+    );
+}

@@ -1,0 +1,143 @@
+//! Tests pinning the paper's analytical claims to the implementation at
+//! small scale: straggler probability (§3.2), the Eq. 6 estimator
+//! (§4.5, Table 2), and the DP amplification accounting (§4.6).
+
+use tifl::core::analysis;
+use tifl::core::estimator;
+use tifl::core::privacy::{compare, DpGuarantee};
+use tifl::prelude::*;
+
+/// §3.2: empirical straggler-hit frequency under vanilla selection must
+/// match the closed-form Pr_s.
+#[test]
+fn vanilla_straggler_rate_matches_closed_form() {
+    let mut cfg = ExperimentConfig::tiny(21);
+    cfg.rounds = 400;
+    cfg.eval_every = 1000; // skip accuracy work, we only need selections
+    let (assignment, _) = cfg.profile_and_tier();
+    let report = cfg.run_policy(&Policy::vanilla());
+
+    let slowest: &[usize] = &assignment.tiers.last().unwrap().clients;
+    let hits = report
+        .rounds
+        .iter()
+        .filter(|r| r.selected.iter().any(|c| slowest.contains(c)))
+        .count();
+    let empirical = hits as f64 / report.rounds.len() as f64;
+    let theoretical = analysis::prob_hit_stragglers(
+        cfg.num_clients as u64,
+        slowest.len() as u64,
+        cfg.clients_per_round as u64,
+    );
+    assert!(
+        (empirical - theoretical).abs() < 0.08,
+        "empirical {empirical} vs theoretical {theoretical}"
+    );
+}
+
+/// §3.2 conclusion: vanilla rounds are bounded by stragglers, so the
+/// mean vanilla round latency approaches the slowest tier's latency.
+#[test]
+fn vanilla_round_latency_dominated_by_slow_tier() {
+    let mut cfg = ExperimentConfig::tiny(22);
+    cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
+    cfg.rounds = 60;
+    let (assignment, _) = cfg.profile_and_tier();
+    let lats = assignment.tier_latencies();
+    let report = cfg.run_policy(&Policy::vanilla());
+    let mean = report.mean_round_latency();
+    // Mean vanilla latency should be far closer to the slowest tier than
+    // to the fastest.
+    assert!(
+        mean > lats[2],
+        "mean vanilla latency {mean} unexpectedly below median tier {}",
+        lats[2]
+    );
+}
+
+/// Table 2: the Eq. 6 estimate tracks measured time for point-mass and
+/// uniform policies (tolerances widened for the tiny config's jitter).
+#[test]
+fn estimator_tracks_measurements() {
+    let mut cfg = ExperimentConfig::tiny(23);
+    cfg.rounds = 100;
+    cfg.eval_every = 1000;
+    let (assignment, _) = cfg.profile_and_tier();
+    for policy in [Policy::slow(5), Policy::uniform(5), Policy::fast(5)] {
+        let est = estimator::estimate_for_policy(&assignment, &policy, cfg.rounds);
+        let actual = cfg.run_policy(&policy).total_time();
+        let err = estimator::mape(est, actual);
+        assert!(
+            err < 25.0,
+            "policy {}: MAPE {err}% (est {est}, actual {actual})",
+            policy.name
+        );
+    }
+}
+
+/// Eq. 6 sanity: expected time orders policies the same way measurements
+/// do.
+#[test]
+fn estimator_preserves_policy_ordering() {
+    let cfg = ExperimentConfig::tiny(24);
+    let (assignment, _) = cfg.profile_and_tier();
+    let est = |p: &Policy| estimator::estimate_for_policy(&assignment, p, 100);
+    assert!(est(&Policy::fast(5)) < est(&Policy::uniform(5)));
+    assert!(est(&Policy::uniform(5)) < est(&Policy::slow(5)));
+}
+
+/// §4.6: the uniform tier policy yields exactly the vanilla sampling
+/// rate; skewed policies weaken amplification but keep the (qε, qδ) form.
+#[test]
+fn privacy_accounting_matches_section_46() {
+    let base = DpGuarantee::new(1.0, 1e-5);
+    let uniform = compare(base, 50, 5, &[10; 5], &Policy::uniform(5).probs);
+    assert!((uniform.q_max - uniform.q_vanilla).abs() < 1e-12);
+
+    let fast = compare(base, 50, 5, &[10; 5], &Policy::fast(5).probs);
+    assert!(fast.q_max > uniform.q_max);
+    // Amplified guarantees are always at least as strong as the base.
+    assert!(fast.tiered.at_least_as_strong_as(&base));
+    assert!(fast.vanilla.at_least_as_strong_as(&base));
+}
+
+/// §5.2.3: stronger non-IID skew must hurt vanilla accuracy (the Fig. 1b
+/// / Fig. 4 ordering IID >= non-IID(5) >= non-IID(2)), at small scale.
+#[test]
+fn noniid_skew_degrades_accuracy() {
+    let acc = |k: usize| {
+        let mut cfg = ExperimentConfig::cifar10_noniid(k, 25);
+        cfg.num_clients = 10;
+        cfg.clients_per_round = 2;
+        cfg.rounds = 60;
+        cfg.eval_every = 10;
+        cfg.data = tifl::core::experiment::DataScenario::ClassLimit { per_client: 100, k };
+        cfg.run_policy(&Policy::vanilla()).best_accuracy()
+    };
+    let a10 = acc(10);
+    let a2 = acc(2);
+    assert!(
+        a10 > a2 + 0.03,
+        "non-IID(2) ({a2}) should trail non-IID(10) ({a10})"
+    );
+}
+
+/// §4.2: tier membership reflects the hardware groups when data is
+/// homogeneous — profiling recovers the planted resource heterogeneity.
+#[test]
+fn tiers_recover_hardware_groups() {
+    let mut cfg = ExperimentConfig::tiny(26);
+    cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
+    // Drop the fixed protocol overhead so compute dominates latency and
+    // the planted hardware ordering is recoverable even for the tiny
+    // test model.
+    cfg.latency.base_overhead_sec = 0.0;
+    let (assignment, _) = cfg.profile_and_tier();
+    // Clients 0..2 are on the 4-CPU group (10 clients / 5 groups = 2 per
+    // group): they must land in the fastest tier.
+    assert_eq!(assignment.tier_of(0), Some(0));
+    assert_eq!(assignment.tier_of(1), Some(0));
+    // Clients 8..10 are on the 0.1-CPU group: slowest tier.
+    assert_eq!(assignment.tier_of(8), Some(4));
+    assert_eq!(assignment.tier_of(9), Some(4));
+}
