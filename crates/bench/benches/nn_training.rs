@@ -14,9 +14,30 @@ fn bench_local_train(c: &mut Criterion) {
     let mut g = c.benchmark_group("local_train_100_samples");
     g.sample_size(30);
     for (label, spec) in [
-        ("logistic", ModelSpec::Logistic { input: 64, classes: 10 }),
-        ("mlp_128", ModelSpec::Mlp { input: 64, hidden: 128, classes: 10 }),
-        ("cnn_4_8", ModelSpec::Cnn { side: 8, channels: (4, 8), hidden: 32, classes: 10 }),
+        (
+            "logistic",
+            ModelSpec::Logistic {
+                input: 64,
+                classes: 10,
+            },
+        ),
+        (
+            "mlp_128",
+            ModelSpec::Mlp {
+                input: 64,
+                hidden: 128,
+                classes: 10,
+            },
+        ),
+        (
+            "cnn_4_8",
+            ModelSpec::Cnn {
+                side: 8,
+                channels: (4, 8),
+                hidden: 32,
+                classes: 10,
+            },
+        ),
     ] {
         let global = spec.build(1).params();
         g.bench_function(label, |b| {
@@ -39,7 +60,11 @@ fn bench_local_train(c: &mut Criterion) {
 fn bench_evaluate(c: &mut Criterion) {
     let gen = Generator::new(SynthSpec::family(SynthFamily::Cifar10), 0);
     let data = gen.generate_uniform(500, 0);
-    let spec = ModelSpec::Mlp { input: 64, hidden: 128, classes: 10 };
+    let spec = ModelSpec::Mlp {
+        input: 64,
+        hidden: 128,
+        classes: 10,
+    };
     let mut model = spec.build(1);
     c.bench_function("evaluate_500_samples", |b| {
         b.iter(|| model.evaluate(black_box(&data.x), black_box(&data.y)));

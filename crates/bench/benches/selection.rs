@@ -9,8 +9,7 @@ use tifl_core::tiering::{TierAssignment, TieringConfig};
 use tifl_fl::selector::{ClientSelector, RandomSelector};
 
 fn assignment(clients: usize) -> TierAssignment {
-    let latencies: Vec<Option<f64>> =
-        (0..clients).map(|i| Some((i % 100) as f64 + 1.0)).collect();
+    let latencies: Vec<Option<f64>> = (0..clients).map(|i| Some((i % 100) as f64 + 1.0)).collect();
     TierAssignment::from_latencies(&latencies, &TieringConfig::default())
 }
 
@@ -38,7 +37,11 @@ fn bench_selectors(c: &mut Criterion) {
 
     let mut adaptive = AdaptiveTierSelector::new(
         assignment(clients),
-        AdaptiveConfig { interval: 10, credits_per_tier: u64::MAX / 2, gamma: 2.0 },
+        AdaptiveConfig {
+            interval: 10,
+            credits_per_tier: u64::MAX / 2,
+            gamma: 2.0,
+        },
         0,
     );
     g.bench_function("adaptive", |b| {

@@ -54,5 +54,10 @@ fn bench_vector_ops(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_training_shapes, bench_vector_ops);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_training_shapes,
+    bench_vector_ops
+);
 criterion_main!(benches);

@@ -11,8 +11,9 @@ use tifl_sim::{Cluster, ClusterConfig};
 fn bench_tier_assignment(c: &mut Criterion) {
     let mut g = c.benchmark_group("tier_assignment");
     for &n in &[100usize, 1_000, 10_000, 100_000] {
-        let latencies: Vec<Option<f64>> =
-            (0..n).map(|i| Some(((i * 37) % 1000) as f64 / 10.0)).collect();
+        let latencies: Vec<Option<f64>> = (0..n)
+            .map(|i| Some(((i * 37) % 1000) as f64 / 10.0))
+            .collect();
         let cfg = TieringConfig::default();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| TierAssignment::from_latencies(black_box(&latencies), &cfg));

@@ -65,5 +65,10 @@ fn main() {
         "\nTiFL's claim (§2): deadline/over-selection baselines speed rounds up\nbut waste client work or exclude slow clients' data entirely; tiering\nkeeps every tier reachable while avoiding mixed-speed rounds."
     );
 
-    args.maybe_dump_json(&runs.iter().map(|r| (r.policy.clone(), r.total_time(), r.final_accuracy())).collect::<Vec<_>>());
+    args.maybe_dump_json(
+        &runs
+            .iter()
+            .map(|r| (r.policy.clone(), r.total_time(), r.final_accuracy()))
+            .collect::<Vec<_>>(),
+    );
 }

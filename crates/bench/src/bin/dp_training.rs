@@ -28,7 +28,10 @@ fn main() {
         for policy in [Policy::vanilla(), Policy::uniform(5)] {
             let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
             cfg.rounds = args.rounds_or(200);
-            cfg.client.dp = Some(DpNoiseConfig { clip: 1.0, noise_multiplier: z });
+            cfg.client.dp = Some(DpNoiseConfig {
+                clip: 1.0,
+                noise_multiplier: z,
+            });
             eprintln!("[dp] z={z} {} ...", policy.name);
             let report = cfg.run_policy(&policy);
             println!(

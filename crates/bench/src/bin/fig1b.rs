@@ -13,8 +13,12 @@ fn main() {
     let seed = args.seed_or(42);
 
     let mut outcomes = Vec::new();
-    let variants: [(&str, Option<usize>); 4] =
-        [("IID", None), ("non-IID(10)", Some(10)), ("non-IID(5)", Some(5)), ("non-IID(2)", Some(2))];
+    let variants: [(&str, Option<usize>); 4] = [
+        ("IID", None),
+        ("non-IID(10)", Some(10)),
+        ("non-IID(5)", Some(5)),
+        ("non-IID(2)", Some(2)),
+    ];
     for (label, k) in variants {
         let mut cfg = match k {
             None => {
@@ -32,11 +36,17 @@ fn main() {
         outcomes.push(outcome);
     }
 
-    header("Fig. 1(b)", "vanilla-FL accuracy under class-distribution skew");
+    header(
+        "Fig. 1(b)",
+        "vanilla-FL accuracy under class-distribution skew",
+    );
     print_accuracy_over_rounds(&outcomes, 5);
     println!();
     for o in &outcomes {
-        println!("{:<12} final {:.3}  best {:.3}", o.policy, o.final_accuracy, o.best_accuracy);
+        println!(
+            "{:<12} final {:.3}  best {:.3}",
+            o.policy, o.final_accuracy, o.best_accuracy
+        );
     }
     let iid = outcomes[0].best_accuracy;
     let n2 = outcomes[3].best_accuracy;

@@ -8,8 +8,8 @@
 //! Usage: `cargo run -p tifl-bench --release --bin fig3 [--rounds N]`
 
 use tifl_bench::{
-    header, print_accuracy_over_rounds, print_accuracy_over_time, print_time_bars,
-    print_summary, HarnessArgs, PolicyOutcome,
+    header, print_accuracy_over_rounds, print_accuracy_over_time, print_summary, print_time_bars,
+    HarnessArgs, PolicyOutcome,
 };
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
@@ -42,11 +42,17 @@ fn main() {
     print_time_bars(&col2);
     header("Fig. 3(c)", "accuracy over rounds, resource heterogeneity");
     print_accuracy_over_rounds(&col1, 5);
-    header("Fig. 3(d)", "accuracy over rounds, data-quantity heterogeneity");
+    header(
+        "Fig. 3(d)",
+        "accuracy over rounds, data-quantity heterogeneity",
+    );
     print_accuracy_over_rounds(&col2, 5);
     header("Fig. 3(e)", "accuracy over time, resource heterogeneity");
     print_accuracy_over_time(&col1, 10);
-    header("Fig. 3(f)", "accuracy over time, data-quantity heterogeneity");
+    header(
+        "Fig. 3(f)",
+        "accuracy over time, data-quantity heterogeneity",
+    );
     print_accuracy_over_time(&col2, 10);
     header("Fig. 3 summary", "per-policy totals");
     println!("-- resource heterogeneity --");

@@ -26,8 +26,12 @@ fn main() {
     let args = HarnessArgs::parse();
     let seed = args.seed_or(42);
     let rounds = args.rounds_or(500);
-    let levels: [(&str, Option<usize>); 4] =
-        [("IID", None), ("non-IID(10)", Some(10)), ("non-IID(5)", Some(5)), ("non-IID(2)", Some(2))];
+    let levels: [(&str, Option<usize>); 4] = [
+        ("IID", None),
+        ("non-IID(10)", Some(10)),
+        ("non-IID(5)", Some(5)),
+        ("non-IID(2)", Some(2)),
+    ];
 
     let mut all = Vec::new();
     for (panel, policy) in Policy::cifar_set(5).iter().enumerate() {

@@ -3,8 +3,7 @@
 //! fast3 — §5.2.4.
 
 use tifl_bench::{
-    header, print_accuracy_over_rounds, print_summary, print_time_bars, HarnessArgs,
-    PolicyOutcome,
+    header, print_accuracy_over_rounds, print_summary, print_time_bars, HarnessArgs, PolicyOutcome,
 };
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;

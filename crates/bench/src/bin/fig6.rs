@@ -3,8 +3,8 @@
 //! §5.2.4.
 
 use tifl_bench::{
-    header, print_accuracy_over_rounds, print_accuracy_over_time, print_summary,
-    print_time_bars, HarnessArgs, PolicyOutcome,
+    header, print_accuracy_over_rounds, print_accuracy_over_time, print_summary, print_time_bars,
+    HarnessArgs, PolicyOutcome,
 };
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
@@ -33,15 +33,24 @@ fn main() {
 
     header("Fig. 6(a)", "training time, resource + non-IID(5)");
     print_time_bars(&o1);
-    header("Fig. 6(b)", "training time, resource + quantity + non-IID(5)");
+    header(
+        "Fig. 6(b)",
+        "training time, resource + quantity + non-IID(5)",
+    );
     print_time_bars(&o2);
     header("Fig. 6(c)", "accuracy over rounds, resource + non-IID(5)");
     print_accuracy_over_rounds(&o1, 5);
-    header("Fig. 6(d)", "accuracy over rounds, resource + quantity + non-IID(5)");
+    header(
+        "Fig. 6(d)",
+        "accuracy over rounds, resource + quantity + non-IID(5)",
+    );
     print_accuracy_over_rounds(&o2, 5);
     header("Fig. 6(e)", "accuracy over time, resource + non-IID(5)");
     print_accuracy_over_time(&o1, 10);
-    header("Fig. 6(f)", "accuracy over time, resource + quantity + non-IID(5)");
+    header(
+        "Fig. 6(f)",
+        "accuracy over time, resource + quantity + non-IID(5)",
+    );
     print_accuracy_over_time(&o2, 10);
     header("Fig. 6 summary", "per-policy totals");
     println!("-- resource + non-IID(5) --");

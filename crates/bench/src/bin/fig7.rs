@@ -45,7 +45,10 @@ fn main() {
     }
 
     header("Fig. 7(a)", "training time for 500 rounds [s]");
-    println!("{:<10} {:>10} {:>10} {:>10}", "scenario", "vanilla", "uniform", "TiFL");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "scenario", "vanilla", "uniform", "TiFL"
+    );
     for (label, os) in &results {
         println!(
             "{label:<10} {:>10.0} {:>10.0} {:>10.0}",
@@ -54,7 +57,10 @@ fn main() {
     }
 
     header("Fig. 7(b)", "accuracy at 500 rounds [%]");
-    println!("{:<10} {:>10} {:>10} {:>10}", "scenario", "vanilla", "uniform", "TiFL");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "scenario", "vanilla", "uniform", "TiFL"
+    );
     for (label, os) in &results {
         println!(
             "{label:<10} {:>10.1} {:>10.1} {:>10.1}",

@@ -32,7 +32,10 @@ fn main() {
         print_accuracy_over_rounds(&outcomes, 8);
         println!();
         for o in &outcomes {
-            println!("{:<10} final {:.3}  best {:.3}", o.policy, o.final_accuracy, o.best_accuracy);
+            println!(
+                "{:<10} final {:.3}  best {:.3}",
+                o.policy, o.final_accuracy, o.best_accuracy
+            );
         }
         all.push((k, outcomes));
     }

@@ -5,8 +5,7 @@
 //! quick shape check.
 
 use tifl_bench::{
-    header, print_accuracy_over_rounds, print_summary, print_time_bars, HarnessArgs,
-    PolicyOutcome,
+    header, print_accuracy_over_rounds, print_summary, print_time_bars, HarnessArgs, PolicyOutcome,
 };
 use tifl_core::policy::Policy;
 use tifl_leaf::LeafExperiment;
@@ -36,7 +35,10 @@ fn main() {
 
     let vanilla_t = outcomes[0].total_time;
     let tifl_t = outcomes.last().unwrap().total_time;
-    println!("\nadaptive speedup over vanilla: {:.1}x", vanilla_t / tifl_t);
+    println!(
+        "\nadaptive speedup over vanilla: {:.1}x",
+        vanilla_t / tifl_t
+    );
 
     args.maybe_dump_json(&outcomes);
 }

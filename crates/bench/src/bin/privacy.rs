@@ -17,7 +17,10 @@ fn main() {
         "Sec. 4.6",
         "client-level DP amplification: vanilla vs tiered selection",
     );
-    println!("base per-round guarantee: ({}, {})", base.epsilon, base.delta);
+    println!(
+        "base per-round guarantee: ({}, {})",
+        base.epsilon, base.delta
+    );
     println!(
         "pool |K| = {k}, per-round |C| = {c}, tiers = {:?}\n",
         tier_sizes

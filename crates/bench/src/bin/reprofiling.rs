@@ -22,22 +22,36 @@ fn main() {
     for f in factors.iter_mut().take(cfg.num_clients / 5) {
         *f = 0.05;
     }
-    cfg.drift = DriftModel::RegimeSwitch { at_round: rounds / 2, factors };
+    cfg.drift = DriftModel::RegimeSwitch {
+        at_round: rounds / 2,
+        factors,
+    };
 
     eprintln!("[reprofiling] vanilla ...");
     let vanilla = cfg.run_policy(&Policy::vanilla());
     eprintln!("[reprofiling] fast, stale tiers ...");
     let stale = cfg.run_policy(&Policy::fast(5));
-    eprintln!("[reprofiling] fast, re-profiling every {} rounds ...", rounds / 8);
+    eprintln!(
+        "[reprofiling] fast, re-profiling every {} rounds ...",
+        rounds / 8
+    );
     let fresh = cfg.run_policy_with_reprofiling(&Policy::fast(5), rounds / 8);
 
     header(
         "re-profiling",
-        &format!("regime switch at round {} (fast group slows 20x)", rounds / 2),
+        &format!(
+            "regime switch at round {} (fast group slows 20x)",
+            rounds / 2
+        ),
     );
     println!("{:<18} {:>12} {:>11}", "variant", "time [s]", "final acc");
     for r in [&vanilla, &stale, &fresh] {
-        println!("{:<18} {:>12.0} {:>11.3}", r.policy, r.total_time(), r.final_accuracy());
+        println!(
+            "{:<18} {:>12.0} {:>11.3}",
+            r.policy,
+            r.total_time(),
+            r.final_accuracy()
+        );
     }
     println!(
         "\nstale tiers keep selecting the slowed devices after the switch;\nperiodic re-profiling re-tiers and recovers the speedup — the paper's\nrationale for running the profiler periodically (§4.2)."

@@ -20,8 +20,8 @@ fn main() {
         "|K|", "|tau_m|", "|C|", "exact Pr_s", "Eq.5 bound", "Monte-Carlo"
     );
     let cases: [(u64, u64, u64); 6] = [
-        (50, 10, 5),       // the paper's synthetic testbed
-        (182, 37, 10),     // the LEAF deployment
+        (50, 10, 5),   // the paper's synthetic testbed
+        (182, 37, 10), // the LEAF deployment
         (1_000, 200, 50),
         (10_000, 2_000, 100),
         (100_000, 20_000, 500),

@@ -16,9 +16,15 @@ fn main() {
     cfg.rounds = args.rounds_or(cfg.rounds);
 
     let (assignment, profile) = cfg.profile_and_tier();
-    header("Table 1", "scheduling policy configurations (selection probabilities)");
+    header(
+        "Table 1",
+        "scheduling policy configurations (selection probabilities)",
+    );
     println!("{:<10} tier probabilities (fastest first)", "policy");
-    for p in Policy::cifar_set(5).iter().chain(Policy::mnist_set(5).iter().skip(1)) {
+    for p in Policy::cifar_set(5)
+        .iter()
+        .chain(Policy::mnist_set(5).iter().skip(1))
+    {
         if p.is_vanilla() {
             println!("{:<10} (no tiering: uniform over all clients)", p.name);
         } else {
@@ -35,7 +41,10 @@ fn main() {
             assignment.tiers[t].clients.len()
         );
     }
-    println!("profiling cost: {:.0} virtual seconds", profile.profiling_time);
+    println!(
+        "profiling cost: {:.0} virtual seconds",
+        profile.profiling_time
+    );
 
     header("Table 2", "estimated vs actual training time");
     println!(
@@ -43,7 +52,12 @@ fn main() {
         "policy", "estimated [s]", "actual [s]", "MAPE [%]"
     );
     let mut rows = Vec::new();
-    for policy in [Policy::slow(5), Policy::uniform(5), Policy::random5(5), Policy::fast(5)] {
+    for policy in [
+        Policy::slow(5),
+        Policy::uniform(5),
+        Policy::random5(5),
+        Policy::fast(5),
+    ] {
         eprintln!("[table2] {} ...", policy.name);
         let est = estimate_for_policy(&assignment, &policy, cfg.rounds);
         let actual = cfg.run_policy(&policy).total_time();

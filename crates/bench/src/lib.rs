@@ -157,10 +157,7 @@ pub fn print_accuracy_over_rounds(outcomes: &[PolicyOutcome], stride: usize) {
 /// Print accuracy-over-virtual-time curves (Figs. 3e/f, 6e/f): for a set
 /// of common time checkpoints, the accuracy each policy had reached.
 pub fn print_accuracy_over_time(outcomes: &[PolicyOutcome], checkpoints: usize) {
-    let t_max = outcomes
-        .iter()
-        .map(|o| o.total_time)
-        .fold(0.0f64, f64::max);
+    let t_max = outcomes.iter().map(|o| o.total_time).fold(0.0f64, f64::max);
     let mut line = format!("{:>12}", "time [s]");
     for o in outcomes {
         let _ = write!(line, " {:>9}", truncate(&o.policy, 9));

@@ -40,7 +40,11 @@ impl DeadlineSelector {
             latencies.iter().any(Option::is_some),
             "no live clients to select from"
         );
-        Self { latencies, deadline_sec, seed }
+        Self {
+            latencies,
+            deadline_sec,
+            seed,
+        }
     }
 
     /// Clients meeting the deadline.
@@ -72,9 +76,7 @@ impl ClientSelector for DeadlineSelector {
                 .latencies
                 .iter()
                 .enumerate()
-                .filter_map(|(c, l)| {
-                    l.filter(|&l| l > self.deadline_sec).map(|l| (c, l))
-                })
+                .filter_map(|(c, l)| l.filter(|&l| l > self.deadline_sec).map(|l| (c, l)))
                 .collect();
             laggards.sort_by(|a, b| a.1.total_cmp(&b.1));
             eligible.extend(
@@ -99,8 +101,7 @@ mod tests {
 
     fn latencies() -> Vec<Option<f64>> {
         // clients 0..6 fast (1-6s), 7..9 slow (50-70s), 10 dead.
-        let mut l: Vec<Option<f64>> =
-            (0..7).map(|i| Some(1.0 + i as f64)).collect();
+        let mut l: Vec<Option<f64>> = (0..7).map(|i| Some(1.0 + i as f64)).collect();
         l.extend([Some(50.0), Some(60.0), Some(70.0), None]);
         l
     }
@@ -111,7 +112,10 @@ mod tests {
         for r in 0..50 {
             let sel = s.select(r, 3);
             assert_eq!(sel.len(), 3);
-            assert!(sel.iter().all(|&c| c < 7), "round {r} selected slow client: {sel:?}");
+            assert!(
+                sel.iter().all(|&c| c < 7),
+                "round {r} selected slow client: {sel:?}"
+            );
         }
     }
 

@@ -18,11 +18,7 @@ pub fn estimate_training_time(tier_latencies: &[f64], probs: &[f64], rounds: u64
         tier_latencies.len(),
         probs.len()
     );
-    let per_round: f64 = tier_latencies
-        .iter()
-        .zip(probs)
-        .map(|(&l, &p)| l * p)
-        .sum();
+    let per_round: f64 = tier_latencies.iter().zip(probs).map(|(&l, &p)| l * p).sum();
     per_round * rounds as f64
 }
 
@@ -32,11 +28,7 @@ pub fn estimate_training_time(tier_latencies: &[f64], probs: &[f64], rounds: u64
 /// Panics on the vanilla policy (it has no per-tier probabilities; the
 /// paper's Table 2 likewise only evaluates the tiered policies).
 #[must_use]
-pub fn estimate_for_policy(
-    assignment: &TierAssignment,
-    policy: &Policy,
-    rounds: u64,
-) -> f64 {
+pub fn estimate_for_policy(assignment: &TierAssignment, policy: &Policy, rounds: u64) -> f64 {
     assert!(
         !policy.is_vanilla(),
         "Eq. 6 is defined over tier probabilities; vanilla has none"
@@ -63,9 +55,18 @@ mod tests {
     fn assignment() -> TierAssignment {
         TierAssignment {
             tiers: vec![
-                Tier { clients: vec![0, 1], avg_latency: 10.0 },
-                Tier { clients: vec![2, 3], avg_latency: 20.0 },
-                Tier { clients: vec![4, 5], avg_latency: 40.0 },
+                Tier {
+                    clients: vec![0, 1],
+                    avg_latency: 10.0,
+                },
+                Tier {
+                    clients: vec![2, 3],
+                    avg_latency: 20.0,
+                },
+                Tier {
+                    clients: vec![4, 5],
+                    avg_latency: 40.0,
+                },
             ],
         }
     }

@@ -72,12 +72,7 @@ pub enum DataScenario {
 impl DataScenario {
     /// Generate the label partition for `clients` clients.
     #[must_use]
-    pub fn partition(
-        &self,
-        clients: usize,
-        classes: usize,
-        seed: u64,
-    ) -> Partition {
+    pub fn partition(&self, clients: usize, classes: usize, seed: u64) -> Partition {
         let mut rng = seed_rng(split_seed(seed, 0xDA7A));
         match *self {
             DataScenario::Iid { per_client } => {
@@ -86,14 +81,9 @@ impl DataScenario {
             DataScenario::ClassLimit { per_client, k } => {
                 partition::class_limit(clients, per_client, classes, k, &mut rng)
             }
-            DataScenario::Shards { total } => partition::shards(
-                clients,
-                total,
-                classes,
-                clients * 2,
-                2,
-                &mut rng,
-            ),
+            DataScenario::Shards { total } => {
+                partition::shards(clients, total, classes, clients * 2, 2, &mut rng)
+            }
             DataScenario::QuantitySkew { total } => partition::quantity_skew(
                 clients,
                 total,
@@ -183,7 +173,11 @@ impl ExperimentConfig {
             shuffle_assignment: false,
             data: DataScenario::Iid { per_client: 400 },
             feature_skew: 0.0,
-            model: ModelSpec::Mlp { input: 64, hidden: 128, classes: 10 },
+            model: ModelSpec::Mlp {
+                input: 64,
+                hidden: 128,
+                classes: 10,
+            },
             // The paper trains its CIFAR-10 CNN with RMSprop lr 0.01;
             // our synthetic stand-in model is orders of magnitude
             // smaller, so that lr converges almost instantly and would
@@ -197,7 +191,10 @@ impl ExperimentConfig {
             latency: Self::paper_latency(),
             eval_every: 5,
             tiering: TieringConfig::default(),
-            profiler: ProfilerConfig { sync_rounds: 5, tmax_sec: 1000.0 },
+            profiler: ProfilerConfig {
+                sync_rounds: 5,
+                tmax_sec: 1000.0,
+            },
             aggregation: AggregationMode::WaitAll,
             drift: DriftModel::None,
             seed,
@@ -268,9 +265,16 @@ impl ExperimentConfig {
         let mut c = Self::cifar_base(name, seed);
         c.family = family;
         c.cpu_profile = tifl_sim::resource::profiles::MNIST.to_vec();
-        c.data = DataScenario::QuantitySkewClassLimit { total: 20_000, k: 2 };
+        c.data = DataScenario::QuantitySkewClassLimit {
+            total: 20_000,
+            k: 2,
+        };
         c.feature_skew = 0.3;
-        c.model = ModelSpec::Mlp { input: 64, hidden: 128, classes: 10 };
+        c.model = ModelSpec::Mlp {
+            input: 64,
+            hidden: 128,
+            classes: 10,
+        };
         c
     }
 
@@ -285,9 +289,16 @@ impl ExperimentConfig {
         c.clients_per_round = 2;
         c.rounds = 12;
         c.data = DataScenario::Iid { per_client: 40 };
-        c.model = ModelSpec::Mlp { input: 64, hidden: 16, classes: 10 };
+        c.model = ModelSpec::Mlp {
+            input: 64,
+            hidden: 16,
+            classes: 10,
+        };
         c.eval_every = 2;
-        c.profiler = ProfilerConfig { sync_rounds: 2, tmax_sec: 1e6 };
+        c.profiler = ProfilerConfig {
+            sync_rounds: 2,
+            tmax_sec: 1e6,
+        };
         c
     }
 
@@ -301,7 +312,9 @@ impl ExperimentConfig {
             spec.style_scale = self.feature_skew;
         }
         let gen = Generator::new(spec, split_seed(self.seed, 0x6E4));
-        let part = self.data.partition(self.num_clients, spec.classes, self.seed);
+        let part = self
+            .data
+            .partition(self.num_clients, spec.classes, self.seed);
         FederatedDataset::materialize(&gen, &part, 0.1, 50, split_seed(self.seed, 0xFED))
     }
 
@@ -341,10 +354,8 @@ impl ExperimentConfig {
     pub fn profile_and_tier(&self) -> (TierAssignment, ProfileResult) {
         let session = self.make_session();
         let profiler = Profiler::new(self.profiler);
-        let result =
-            profiler.profile(session.cluster(), |c| session.task_for(c));
-        let assignment =
-            TierAssignment::from_latencies(&result.mean_latency, &self.tiering);
+        let result = profiler.profile(session.cluster(), |c| session.task_for(c));
+        let assignment = TierAssignment::from_latencies(&result.mean_latency, &self.tiering);
         (assignment, result)
     }
 
@@ -364,8 +375,7 @@ impl ExperimentConfig {
     pub fn run_policy_session(&self, policy: &Policy) -> (TrainingReport, Session) {
         let mut session = self.make_session();
         let report = if policy.is_vanilla() {
-            let mut sel =
-                RandomSelector::new(self.num_clients, split_seed(self.seed, 0x5E1EC7));
+            let mut sel = RandomSelector::new(self.num_clients, split_seed(self.seed, 0x5E1EC7));
             session.run(&mut sel)
         } else {
             let (assignment, _) = self.profile_and_tier();
@@ -384,11 +394,10 @@ impl ExperimentConfig {
     #[must_use]
     pub fn run_adaptive(&self, config: Option<AdaptiveConfig>) -> TrainingReport {
         let (assignment, _) = self.profile_and_tier();
-        let cfg = config
-            .unwrap_or_else(|| AdaptiveConfig::for_run(self.rounds, assignment.num_tiers()));
+        let cfg =
+            config.unwrap_or_else(|| AdaptiveConfig::for_run(self.rounds, assignment.num_tiers()));
         let mut session = self.make_session();
-        let mut sel =
-            AdaptiveTierSelector::new(assignment, cfg, split_seed(self.seed, 0x5E1EC7));
+        let mut sel = AdaptiveTierSelector::new(assignment, cfg, split_seed(self.seed, 0x5E1EC7));
         session.run(&mut sel)
     }
 
@@ -424,8 +433,7 @@ impl ExperimentConfig {
         let mut cfg = self.clone();
         cfg.aggregation = AggregationMode::FirstK { factor };
         let mut session = cfg.make_session();
-        let mut sel =
-            RandomSelector::new(self.num_clients, split_seed(self.seed, 0x5E1EC7));
+        let mut sel = RandomSelector::new(self.num_clients, split_seed(self.seed, 0x5E1EC7));
         let mut report = session.run(&mut sel);
         report.policy = format!("overselect({factor})");
         report
@@ -438,8 +446,7 @@ impl ExperimentConfig {
         let mut cfg = self.clone();
         cfg.client.proximal_mu = mu;
         let mut session = cfg.make_session();
-        let mut sel =
-            RandomSelector::new(self.num_clients, split_seed(self.seed, 0x5E1EC7));
+        let mut sel = RandomSelector::new(self.num_clients, split_seed(self.seed, 0x5E1EC7));
         let mut report = session.run(&mut sel);
         report.policy = format!("fedprox({mu})");
         report
@@ -459,17 +466,21 @@ impl ExperimentConfig {
         policy: &Policy,
         reprofile_every: u64,
     ) -> TrainingReport {
-        assert!(!policy.is_vanilla(), "re-profiling requires a tiered policy");
-        assert!(reprofile_every > 0, "re-profiling interval must be positive");
+        assert!(
+            !policy.is_vanilla(),
+            "re-profiling requires a tiered policy"
+        );
+        assert!(
+            reprofile_every > 0,
+            "re-profiling interval must be positive"
+        );
         let mut session = self.make_session();
         let profiler = Profiler::new(self.profiler);
         let mut rounds = Vec::with_capacity(self.rounds as usize);
         let mut done = 0u64;
         while done < self.rounds {
-            let profile =
-                profiler.profile_at(session.cluster(), |c| session.task_for(c), done);
-            let assignment =
-                TierAssignment::from_latencies(&profile.mean_latency, &self.tiering);
+            let profile = profiler.profile_at(session.cluster(), |c| session.task_for(c), done);
+            let assignment = TierAssignment::from_latencies(&profile.mean_latency, &self.tiering);
             let mut sel = StaticTierSelector::new(
                 assignment,
                 policy.clone(),
@@ -481,7 +492,10 @@ impl ExperimentConfig {
             }
             done += segment;
         }
-        TrainingReport { policy: format!("{}+reprofile", policy.name), rounds }
+        TrainingReport {
+            policy: format!("{}+reprofile", policy.name),
+            rounds,
+        }
     }
 }
 
@@ -555,7 +569,10 @@ mod tests {
         let sizes = p.sizes();
         assert!(sizes[0] < sizes[9], "quantity skew not applied: {sizes:?}");
 
-        let sc = DataScenario::ClassLimit { per_client: 100, k: 2 };
+        let sc = DataScenario::ClassLimit {
+            per_client: 100,
+            k: 2,
+        };
         let p = sc.partition(10, 10, 0);
         for c in 0..10 {
             assert!(p.distinct_classes(c) <= 2);
@@ -620,7 +637,10 @@ mod tests {
         let mut factors = vec![1.0; 10];
         factors[0] = 0.01;
         factors[1] = 0.01;
-        cfg.drift = DriftModel::RegimeSwitch { at_round: 10, factors };
+        cfg.drift = DriftModel::RegimeSwitch {
+            at_round: 10,
+            factors,
+        };
 
         let report = cfg.run_policy_with_reprofiling(&Policy::fast(5), 10);
         assert_eq!(report.policy, "fast+reprofile");
@@ -633,7 +653,9 @@ mod tests {
             "pre-switch fast tier should be devices 0/1"
         );
         assert!(
-            second.iter().all(|r| !r.selected.contains(&0) && !r.selected.contains(&1)),
+            second
+                .iter()
+                .all(|r| !r.selected.contains(&0) && !r.selected.contains(&1)),
             "post-switch re-profile should evict the slowed devices"
         );
     }
@@ -649,7 +671,10 @@ mod tests {
         let mut factors = vec![1.0; 10];
         factors[0] = 0.01;
         factors[1] = 0.01;
-        cfg.drift = DriftModel::RegimeSwitch { at_round: 10, factors };
+        cfg.drift = DriftModel::RegimeSwitch {
+            at_round: 10,
+            factors,
+        };
 
         let stale = cfg.run_policy(&Policy::fast(5));
         let fresh = cfg.run_policy_with_reprofiling(&Policy::fast(5), 10);

@@ -26,14 +26,23 @@ impl Policy {
     pub fn new(name: impl Into<String>, probs: Vec<f64>) -> Self {
         assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
         let sum: f64 = probs.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-9, "probabilities sum to {sum}, expected 1");
-        Self { name: name.into(), probs }
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "probabilities sum to {sum}, expected 1"
+        );
+        Self {
+            name: name.into(),
+            probs,
+        }
     }
 
     /// The vanilla baseline: no tiering, uniform random over all clients.
     #[must_use]
     pub fn vanilla() -> Self {
-        Self { name: "vanilla".into(), probs: Vec::new() }
+        Self {
+            name: "vanilla".into(),
+            probs: Vec::new(),
+        }
     }
 
     /// True for the vanilla (non-tiered) baseline.
@@ -130,7 +139,10 @@ mod tests {
 
     #[test]
     fn presets_are_normalised() {
-        for p in Policy::cifar_set(5).iter().chain(Policy::mnist_set(5).iter()) {
+        for p in Policy::cifar_set(5)
+            .iter()
+            .chain(Policy::mnist_set(5).iter())
+        {
             if !p.is_vanilla() {
                 let sum: f64 = p.probs.iter().sum();
                 assert!((sum - 1.0).abs() < 1e-9, "{}: sum {sum}", p.name);
@@ -157,12 +169,18 @@ mod tests {
 
     #[test]
     fn fast_levels_match_table1() {
-        assert_eq!(Policy::fast_level(5, 1).probs, vec![0.225, 0.225, 0.225, 0.225, 0.1]);
+        assert_eq!(
+            Policy::fast_level(5, 1).probs,
+            vec![0.225, 0.225, 0.225, 0.225, 0.1]
+        );
         assert_eq!(
             Policy::fast_level(5, 2).probs,
             vec![0.2375, 0.2375, 0.2375, 0.2375, 0.05]
         );
-        assert_eq!(Policy::fast_level(5, 3).probs, vec![0.25, 0.25, 0.25, 0.25, 0.0]);
+        assert_eq!(
+            Policy::fast_level(5, 3).probs,
+            vec![0.25, 0.25, 0.25, 0.25, 0.0]
+        );
     }
 
     #[test]

@@ -46,8 +46,14 @@ impl DpGuarantee {
     /// Panics unless `q` is in `[0, 1]`.
     #[must_use]
     pub fn amplify(&self, q: f64) -> Self {
-        assert!((0.0..=1.0).contains(&q), "sampling rate must be in [0,1], got {q}");
-        Self { epsilon: q * self.epsilon, delta: q * self.delta }
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "sampling rate must be in [0,1], got {q}"
+        );
+        Self {
+            epsilon: q * self.epsilon,
+            delta: q * self.delta,
+        }
     }
 
     /// True when `self` is at least as strong as `other` (both bounds
@@ -78,12 +84,12 @@ pub fn vanilla_sampling_rate(k: usize, c: usize) -> f64 {
 /// # Panics
 /// Panics if lengths mismatch or a tier is smaller than `|C|`.
 #[must_use]
-pub fn tiered_sampling_rates(
-    tier_sizes: &[usize],
-    tier_probs: &[f64],
-    c: usize,
-) -> Vec<f64> {
-    assert_eq!(tier_sizes.len(), tier_probs.len(), "tier vector length mismatch");
+pub fn tiered_sampling_rates(tier_sizes: &[usize], tier_probs: &[f64], c: usize) -> Vec<f64> {
+    assert_eq!(
+        tier_sizes.len(),
+        tier_probs.len(),
+        "tier vector length mismatch"
+    );
     tier_sizes
         .iter()
         .zip(tier_probs)

@@ -23,7 +23,10 @@ pub struct ProfilerConfig {
 
 impl Default for ProfilerConfig {
     fn default() -> Self {
-        Self { sync_rounds: 5, tmax_sec: 1000.0 }
+        Self {
+            sync_rounds: 5,
+            tmax_sec: 1000.0,
+        }
     }
 }
 
@@ -147,7 +150,11 @@ impl Profiler {
             })
             .collect();
 
-        ProfileResult { mean_latency, profiling_time, config: self.config }
+        ProfileResult {
+            mean_latency,
+            profiling_time,
+            config: self.config,
+        }
     }
 }
 
@@ -159,7 +166,12 @@ mod tests {
     use tifl_sim::ClusterConfig;
 
     fn task(_c: usize) -> TrainingTask {
-        TrainingTask { samples: 100, epochs: 1, flops_per_sample: 1_000_000, update_bytes: 1_000 }
+        TrainingTask {
+            samples: 100,
+            epochs: 1,
+            flops_per_sample: 1_000_000,
+            update_bytes: 1_000,
+        }
     }
 
     fn cluster() -> Cluster {
@@ -170,7 +182,10 @@ mod tests {
 
     #[test]
     fn profiled_latency_orders_by_cpu_share() {
-        let p = Profiler::new(ProfilerConfig { sync_rounds: 5, tmax_sec: 1e9 });
+        let p = Profiler::new(ProfilerConfig {
+            sync_rounds: 5,
+            tmax_sec: 1e9,
+        });
         let r = p.profile(&cluster(), task);
         // group means: devices 0-4 fastest ... 15-19 slowest
         let l0 = r.mean_latency[0].unwrap();
@@ -185,7 +200,10 @@ mod tests {
         let mut d = DropoutModel::always_available(20, 0);
         d.kill(&[3, 17]);
         c.set_dropout(d);
-        let p = Profiler::new(ProfilerConfig { sync_rounds: 3, tmax_sec: 1e3 });
+        let p = Profiler::new(ProfilerConfig {
+            sync_rounds: 3,
+            tmax_sec: 1e3,
+        });
         let r = p.profile(&c, task);
         assert_eq!(r.dropouts(), vec![3, 17]);
         assert_eq!(r.live_clients().len(), 18);
@@ -199,7 +217,10 @@ mod tests {
         let mut probs = vec![0.0; 20];
         probs[0] = 0.5;
         c.set_dropout(DropoutModel::from_probs(probs, 42));
-        let p = Profiler::new(ProfilerConfig { sync_rounds: 20, tmax_sec: 100.0 });
+        let p = Profiler::new(ProfilerConfig {
+            sync_rounds: 20,
+            tmax_sec: 100.0,
+        });
         let r = p.profile(&c, task);
         let flaky = r.mean_latency[0].expect("flaky device should not be a dropout");
         let healthy = r.mean_latency[1].unwrap();
@@ -211,11 +232,18 @@ mod tests {
 
     #[test]
     fn profiling_accounts_virtual_time() {
-        let p = Profiler::new(ProfilerConfig { sync_rounds: 5, tmax_sec: 1e9 });
+        let p = Profiler::new(ProfilerConfig {
+            sync_rounds: 5,
+            tmax_sec: 1e9,
+        });
         let r = p.profile(&cluster(), task);
         assert!(r.profiling_time > 0.0);
         // At least sync_rounds * (slowest mean) up to jitter.
-        let slowest = r.mean_latency.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+        let slowest = r
+            .mean_latency
+            .iter()
+            .flatten()
+            .fold(0.0f64, |a, &b| a.max(b));
         assert!(r.profiling_time >= 0.8 * 5.0 * slowest);
     }
 
@@ -233,7 +261,10 @@ mod tests {
         let mut cfg = ClusterConfig::equal_groups(2, &[1.0], 5);
         cfg.latency.base_overhead_sec = 0.0;
         let c = Cluster::new(&cfg);
-        let p = Profiler::new(ProfilerConfig { sync_rounds: 5, tmax_sec: 1e9 });
+        let p = Profiler::new(ProfilerConfig {
+            sync_rounds: 5,
+            tmax_sec: 1e9,
+        });
         let r = p.profile(&c, |client| TrainingTask {
             samples: if client == 0 { 100 } else { 1000 },
             epochs: 1,

@@ -99,7 +99,12 @@ impl StaticTierSelector {
             policy.probs.len(),
             assignment.num_tiers()
         );
-        Self { assignment, policy, seed, tier_history: Vec::new() }
+        Self {
+            assignment,
+            policy,
+            seed,
+            tier_history: Vec::new(),
+        }
     }
 
     /// The underlying tier assignment.
@@ -218,7 +223,6 @@ impl AdaptiveTierSelector {
             *p = w / total;
         }
     }
-
 }
 
 impl ClientSelector for AdaptiveTierSelector {
@@ -266,7 +270,9 @@ impl ClientSelector for AdaptiveTierSelector {
     fn monitored_groups(&self, round: u64) -> Option<Vec<Vec<usize>>> {
         // Only the rounds the update rule will read: `round - 1` and
         // `round - 1 - I` for selection rounds that are multiples of I.
-        (round + 1).is_multiple_of(self.config.interval).then(|| self.assignment.groups())
+        (round + 1)
+            .is_multiple_of(self.config.interval)
+            .then(|| self.assignment.groups())
     }
 
     fn observe(&mut self, round: u64, group_accuracies: &[f64]) {
@@ -286,8 +292,7 @@ mod tests {
 
     /// 10 clients in 5 tiers of 2 (client 2i, 2i+1 in tier i).
     fn assignment() -> TierAssignment {
-        let latencies: Vec<Option<f64>> =
-            (0..10).map(|i| Some((i / 2) as f64 + 1.0)).collect();
+        let latencies: Vec<Option<f64>> = (0..10).map(|i| Some((i / 2) as f64 + 1.0)).collect();
         TierAssignment::from_latencies(&latencies, &TieringConfig::default())
     }
 
@@ -342,9 +347,11 @@ mod tests {
         let a = assignment();
         for r in 0..100 {
             let sel = s.select(r, 2);
-            let tiers: Vec<usize> =
-                sel.iter().map(|&c| a.tier_of(c).unwrap()).collect();
-            assert!(tiers.windows(2).all(|w| w[0] == w[1]), "round {r}: {tiers:?}");
+            let tiers: Vec<usize> = sel.iter().map(|&c| a.tier_of(c).unwrap()).collect();
+            assert!(
+                tiers.windows(2).all(|w| w[0] == w[1]),
+                "round {r}: {tiers:?}"
+            );
         }
     }
 
@@ -368,7 +375,11 @@ mod tests {
     fn adaptive(credits: u64, interval: u64) -> AdaptiveTierSelector {
         AdaptiveTierSelector::new(
             assignment(),
-            AdaptiveConfig { interval, credits_per_tier: credits, gamma: 2.0 },
+            AdaptiveConfig {
+                interval,
+                credits_per_tier: credits,
+                gamma: 2.0,
+            },
             7,
         )
     }
@@ -431,8 +442,9 @@ mod tests {
         let mut s = adaptive(1000, 5);
         for r in 0..50u64 {
             let _ = s.select(r, 2);
-            let accs: Vec<f64> =
-                (0..5).map(|t| 0.3 + 0.1 * t as f64 + 0.001 * r as f64).collect();
+            let accs: Vec<f64> = (0..5)
+                .map(|t| 0.3 + 0.1 * t as f64 + 0.001 * r as f64)
+                .collect();
             s.observe(r, &accs);
         }
         let sum: f64 = s.probs().iter().sum();
@@ -470,5 +482,34 @@ mod tests {
         let c = AdaptiveConfig::for_run(500, 5);
         assert_eq!(c.credits_per_tier, 200);
         assert!(c.interval > 0);
+    }
+
+    #[test]
+    fn adaptive_credits_never_select_an_exhausted_tier() {
+        // Paper invariant (Algorithm 2, lines 8-16): a tier with zero
+        // remaining credits must not be drawn. 5 tiers x 2 credits gives
+        // exactly 10 drawable rounds, so the refill fallback cannot
+        // trigger; if an exhausted tier were drawable, some tier would
+        // exceed its 2 selections.
+        let mut s = adaptive(2, 1000);
+        let mut counts = [0usize; 5];
+        for r in 0..10u64 {
+            let credits_before = s.credits().to_vec();
+            let sel = s.select(r, 2);
+            assert_eq!(sel.len(), 2, "round {r} under-selected");
+            let tier = *s.tier_history.last().expect("tier recorded");
+            assert!(
+                credits_before[tier] > 0,
+                "round {r} drew tier {tier} with zero credits"
+            );
+            counts[tier] += 1;
+            assert!(
+                counts[tier] <= 2,
+                "tier {tier} exceeded its credits: {counts:?}"
+            );
+            s.observe(r, &[0.5; 5]);
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 10, "every round drew a tier");
+        assert!(s.credits().iter().all(|&c| c == 0), "all credits spent");
     }
 }

@@ -37,7 +37,10 @@ pub struct TieringConfig {
 
 impl Default for TieringConfig {
     fn default() -> Self {
-        Self { num_tiers: 5, strategy: SplitStrategy::EqualCount }
+        Self {
+            num_tiers: 5,
+            strategy: SplitStrategy::EqualCount,
+        }
     }
 }
 
@@ -118,7 +121,10 @@ impl TierAssignment {
             .into_iter()
             .map(|g| {
                 let avg = g.iter().map(|&(_, l)| l).sum::<f64>() / g.len() as f64;
-                Tier { clients: g.into_iter().map(|(i, _)| i).collect(), avg_latency: avg }
+                Tier {
+                    clients: g.into_iter().map(|(i, _)| i).collect(),
+                    avg_latency: avg,
+                }
             })
             .collect();
         Self { tiers }
@@ -188,7 +194,10 @@ mod tests {
     #[test]
     fn uneven_population_distributes_remainder() {
         let l = latencies(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
-        let cfg = TieringConfig { num_tiers: 3, ..Default::default() };
+        let cfg = TieringConfig {
+            num_tiers: 3,
+            ..Default::default()
+        };
         let a = TierAssignment::from_latencies(&l, &cfg);
         let sizes: Vec<usize> = a.tiers.iter().map(|t| t.clients.len()).collect();
         assert_eq!(sizes, vec![3, 2, 2]);
@@ -199,7 +208,10 @@ mod tests {
     fn dropouts_are_excluded() {
         let mut l = latencies(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         l[2] = None;
-        let cfg = TieringConfig { num_tiers: 5, ..Default::default() };
+        let cfg = TieringConfig {
+            num_tiers: 5,
+            ..Default::default()
+        };
         let a = TierAssignment::from_latencies(&l, &cfg);
         assert_eq!(a.num_clients(), 5);
         assert_eq!(a.tier_of(2), None);
@@ -210,7 +222,10 @@ mod tests {
         // Two clusters of latencies: 1-2 and 99-100 with 5 requested bins
         // -> only two non-empty bins survive.
         let l = latencies(&[1.0, 1.5, 2.0, 99.0, 99.5, 100.0]);
-        let cfg = TieringConfig { num_tiers: 5, strategy: SplitStrategy::EqualWidth };
+        let cfg = TieringConfig {
+            num_tiers: 5,
+            strategy: SplitStrategy::EqualWidth,
+        };
         let a = TierAssignment::from_latencies(&l, &cfg);
         assert_eq!(a.num_tiers(), 2);
         assert_eq!(a.tiers[0].clients.len(), 3);
@@ -220,7 +235,10 @@ mod tests {
     #[test]
     fn tier_of_finds_every_client() {
         let l = latencies(&[3.0, 1.0, 2.0, 5.0, 4.0]);
-        let cfg = TieringConfig { num_tiers: 5, ..Default::default() };
+        let cfg = TieringConfig {
+            num_tiers: 5,
+            ..Default::default()
+        };
         let a = TierAssignment::from_latencies(&l, &cfg);
         for c in 0..5 {
             assert!(a.tier_of(c).is_some(), "client {c} missing");
@@ -240,9 +258,81 @@ mod tests {
     #[test]
     fn avg_latency_is_group_mean() {
         let l = latencies(&[1.0, 2.0, 10.0, 20.0]);
-        let cfg = TieringConfig { num_tiers: 2, ..Default::default() };
+        let cfg = TieringConfig {
+            num_tiers: 2,
+            ..Default::default()
+        };
         let a = TierAssignment::from_latencies(&l, &cfg);
         assert!((a.tiers[0].avg_latency - 1.5).abs() < 1e-12);
         assert!((a.tiers[1].avg_latency - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clients_land_in_the_latency_correct_tier() {
+        // Paper invariant (§4.2): tier boundaries respect the latency
+        // order — under either split strategy, no client in tier i is
+        // slower than any client in tier i+1.
+        let vals = [
+            37.0, 2.0, 55.0, 8.0, 90.0, 13.0, 71.0, 3.0, 28.0, 44.0, 61.0, 19.0,
+        ];
+        let l = latencies(&vals);
+        for strategy in [SplitStrategy::EqualCount, SplitStrategy::EqualWidth] {
+            let cfg = TieringConfig {
+                num_tiers: 4,
+                strategy,
+            };
+            let a = TierAssignment::from_latencies(&l, &cfg);
+            for (i, w) in a.tiers.windows(2).enumerate() {
+                let fast_max = w[0]
+                    .clients
+                    .iter()
+                    .map(|&c| vals[c])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let slow_min = w[1]
+                    .clients
+                    .iter()
+                    .map(|&c| vals[c])
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    fast_max <= slow_min,
+                    "{strategy:?}: tier {i} max {fast_max} exceeds tier {} min {slow_min}",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiers_partition_the_live_client_set() {
+        // Paper invariant (§4.2): the tiers are a partition of the live
+        // (non-dropout) clients — every live client in exactly one tier,
+        // dropouts in none.
+        let mut l = latencies(&[
+            12.0, 5.0, 33.0, 7.0, 21.0, 48.0, 3.0, 16.0, 27.0, 9.0, 39.0, 14.0, 52.0, 6.0, 24.0,
+        ]);
+        l[4] = None;
+        l[11] = None;
+        for strategy in [SplitStrategy::EqualCount, SplitStrategy::EqualWidth] {
+            let cfg = TieringConfig {
+                num_tiers: 5,
+                strategy,
+            };
+            let a = TierAssignment::from_latencies(&l, &cfg);
+            let mut seen = vec![0usize; l.len()];
+            for tier in &a.tiers {
+                for &c in &tier.clients {
+                    assert!(c < l.len(), "{strategy:?}: unknown client {c}");
+                    seen[c] += 1;
+                }
+            }
+            for (c, lat) in l.iter().enumerate() {
+                assert_eq!(
+                    seen[c],
+                    usize::from(lat.is_some()),
+                    "{strategy:?}: client {c} appears {} times",
+                    seen[c]
+                );
+            }
+        }
     }
 }

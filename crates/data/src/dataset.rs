@@ -54,7 +54,11 @@ impl Dataset {
     pub fn subset(&self, indices: &[usize]) -> Dataset {
         let x = self.x.gather_rows(indices);
         let y = indices.iter().map(|&i| self.y[i]).collect();
-        Dataset { x, y, classes: self.classes }
+        Dataset {
+            x,
+            y,
+            classes: self.classes,
+        }
     }
 
     /// Per-class sample counts.
@@ -81,7 +85,11 @@ impl Dataset {
     /// Panics if `n > self.len()`.
     #[must_use]
     pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
-        assert!(n <= self.len(), "split_at({n}) beyond {} samples", self.len());
+        assert!(
+            n <= self.len(),
+            "split_at({n}) beyond {} samples",
+            self.len()
+        );
         let head: Vec<usize> = (0..n).collect();
         let tail: Vec<usize> = (n..self.len()).collect();
         (self.subset(&head), self.subset(&tail))

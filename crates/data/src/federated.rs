@@ -50,7 +50,10 @@ impl FederatedDataset {
         global_test_per_class: usize,
         seed: u64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&test_fraction), "test_fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&test_fraction),
+            "test_fraction out of range"
+        );
         let clients = partition
             .labels
             .iter()
@@ -82,9 +85,12 @@ impl FederatedDataset {
                 ClientData { train, test }
             })
             .collect();
-        let global_test =
-            gen.generate_balanced(global_test_per_class, split_seed(seed, 0x6E57));
-        Self { clients, global_test, classes: partition.classes }
+        let global_test = gen.generate_balanced(global_test_per_class, split_seed(seed, 0x6E57));
+        Self {
+            clients,
+            global_test,
+            classes: partition.classes,
+        }
     }
 
     /// Number of clients.
@@ -106,8 +112,7 @@ impl FederatedDataset {
     /// Panics if `client_ids` is empty.
     #[must_use]
     pub fn tier_test_set(&self, client_ids: &[usize]) -> Dataset {
-        let parts: Vec<&Dataset> =
-            client_ids.iter().map(|&c| &self.clients[c].test).collect();
+        let parts: Vec<&Dataset> = client_ids.iter().map(|&c| &self.clients[c].test).collect();
         Dataset::concat(&parts)
     }
 }

@@ -81,7 +81,11 @@ pub fn shards(
         clients * shards_per_client,
         "shards must equal clients * shards_per_client"
     );
-    assert_eq!(total % shards, 0, "total samples must divide evenly into shards");
+    assert_eq!(
+        total % shards,
+        0,
+        "total samples must divide evenly into shards"
+    );
     let shard_size = total / shards;
 
     // Balanced label pool sorted by value (the "sort by label" step).
@@ -169,9 +173,15 @@ pub fn quantity_skew(
     rng: &mut StdRng,
 ) -> Partition {
     let groups = fractions.len();
-    assert!(groups > 0 && clients.is_multiple_of(groups), "clients must divide into groups");
+    assert!(
+        groups > 0 && clients.is_multiple_of(groups),
+        "clients must divide into groups"
+    );
     let sum: f64 = fractions.iter().sum();
-    assert!((sum - 1.0).abs() < 1e-6, "fractions must sum to 1, got {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "fractions must sum to 1, got {sum}"
+    );
     let per_group = clients / groups;
 
     let labels = (0..clients)
@@ -213,7 +223,10 @@ pub fn quantity_skew_class_limit(
             out
         })
         .collect();
-    Partition { labels, classes: base.classes }
+    Partition {
+        labels,
+        classes: base.classes,
+    }
 }
 
 #[cfg(test)]

@@ -128,7 +128,11 @@ impl Generator {
                 *v = spec.overlap * common[j] + (1.0 - spec.overlap) * own;
             }
         }
-        Self { spec, prototypes, seed }
+        Self {
+            spec,
+            prototypes,
+            seed,
+        }
     }
 
     /// The generator's specification.
@@ -144,16 +148,14 @@ impl Generator {
     }
 
     /// Draw one sample of class `label` with optional writer `style`.
-    fn sample_into(
-        &self,
-        label: usize,
-        style: Option<&[f32]>,
-        rng: &mut StdRng,
-        out: &mut [f32],
-    ) {
+    fn sample_into(&self, label: usize, style: Option<&[f32]>, rng: &mut StdRng, out: &mut [f32]) {
         let normal = Normal::new(0.0f32, self.spec.noise).expect("valid normal");
         let j = self.spec.brightness_jitter;
-        let brightness = if j > 0.0 { rng.gen_range(1.0 - j..1.0 + j) } else { 1.0 };
+        let brightness = if j > 0.0 {
+            rng.gen_range(1.0 - j..1.0 + j)
+        } else {
+            1.0
+        };
         let proto = self.prototypes.row(label);
         for (i, o) in out.iter_mut().enumerate() {
             let s = style.map_or(0.0, |st| st[i]);
@@ -191,8 +193,9 @@ impl Generator {
     #[must_use]
     pub fn generate_uniform(&self, n: usize, stream: u64) -> Dataset {
         let mut rng = seed_rng(split_seed(self.seed, split_seed(stream, 0x1AB)));
-        let labels: Vec<usize> =
-            (0..n).map(|_| rng.gen_range(0..self.spec.classes)).collect();
+        let labels: Vec<usize> = (0..n)
+            .map(|_| rng.gen_range(0..self.spec.classes))
+            .collect();
         self.generate_with_labels(&labels, stream)
     }
 
@@ -210,9 +213,10 @@ impl Generator {
     #[must_use]
     pub fn draw_style(&self, writer: u64) -> Vec<f32> {
         let mut rng = seed_rng(split_seed(self.seed, split_seed(writer, 0x577)));
-        let normal =
-            Normal::new(0.0f32, self.spec.style_scale).expect("valid normal");
-        (0..self.spec.features()).map(|_| normal.sample(&mut rng)).collect()
+        let normal = Normal::new(0.0f32, self.spec.style_scale).expect("valid normal");
+        (0..self.spec.features())
+            .map(|_| normal.sample(&mut rng))
+            .collect()
     }
 }
 
@@ -327,6 +331,9 @@ mod tests {
         let mnist = acc(SynthFamily::Mnist);
         let cifar = acc(SynthFamily::Cifar10);
         assert!(mnist > 0.9, "mnist-like nearest-prototype accuracy {mnist}");
-        assert!(cifar < mnist, "cifar ({cifar}) should be harder than mnist ({mnist})");
+        assert!(
+            cifar < mnist,
+            "cifar ({cifar}) should be harder than mnist ({mnist})"
+        );
     }
 }

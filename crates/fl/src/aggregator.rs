@@ -1,6 +1,6 @@
 //! FedAvg aggregation (Algorithm 1, line 8).
 
-use crossbeam::channel;
+use std::sync::mpsc;
 use tifl_tensor::ParamVec;
 
 /// One client's contribution to a round: updated weights plus the local
@@ -38,13 +38,13 @@ pub fn aggregate_fedavg(updates: &[ClientUpdate]) -> ParamVec {
 /// selected clients have reported (synchronous FL waits for every
 /// response, §3.1).
 pub struct UpdateCollector {
-    rx: channel::Receiver<ClientUpdate>,
+    rx: mpsc::Receiver<ClientUpdate>,
 }
 
 /// Sending half handed to each in-flight client.
 #[derive(Clone)]
 pub struct UpdateSender {
-    tx: channel::Sender<ClientUpdate>,
+    tx: mpsc::Sender<ClientUpdate>,
 }
 
 impl UpdateSender {
@@ -53,7 +53,9 @@ impl UpdateSender {
     /// # Panics
     /// Panics if the collector was dropped (protocol bug).
     pub fn send(&self, update: ClientUpdate) {
-        self.tx.send(update).expect("aggregator dropped while clients in flight");
+        self.tx
+            .send(update)
+            .expect("aggregator dropped while clients in flight");
     }
 }
 
@@ -61,7 +63,7 @@ impl UpdateCollector {
     /// Create a collector and its sending half.
     #[must_use]
     pub fn new() -> (Self, UpdateSender) {
-        let (tx, rx) = channel::unbounded();
+        let (tx, rx) = mpsc::channel();
         (Self { rx }, UpdateSender { tx })
     }
 
@@ -76,7 +78,11 @@ impl UpdateCollector {
     #[must_use]
     pub fn collect_and_aggregate(&self, expected: usize) -> ParamVec {
         let mut updates: Vec<ClientUpdate> = (0..expected)
-            .map(|_| self.rx.recv().expect("client worker dropped before reporting"))
+            .map(|_| {
+                self.rx
+                    .recv()
+                    .expect("client worker dropped before reporting")
+            })
             .collect();
         updates.sort_by_key(|u| u.client);
         aggregate_fedavg(&updates)
@@ -88,7 +94,11 @@ mod tests {
     use super::*;
 
     fn upd(client: usize, vals: Vec<f32>, samples: usize) -> ClientUpdate {
-        ClientUpdate { client, params: ParamVec(vals), samples }
+        ClientUpdate {
+            client,
+            params: ParamVec(vals),
+            samples,
+        }
     }
 
     #[test]

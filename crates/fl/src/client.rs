@@ -193,7 +193,12 @@ fn apply_dp_noise(params: &mut ParamVec, global: &ParamVec, dp: DpNoiseConfig, s
     assert!(dp.noise_multiplier >= 0.0, "noise multiplier must be >= 0");
     let mut delta = params.clone();
     delta.axpy(-1.0, global);
-    let norm = delta.as_slice().iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
+    let norm = delta
+        .as_slice()
+        .iter()
+        .map(|&v| f64::from(v) * f64::from(v))
+        .sum::<f64>()
+        .sqrt();
     if norm > f64::from(dp.clip) {
         delta.scale((f64::from(dp.clip) / norm) as f32);
     }
@@ -224,7 +229,11 @@ mod tests {
     use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
 
     fn setup() -> (ModelSpec, ParamVec, Dataset) {
-        let spec = ModelSpec::Mlp { input: 64, hidden: 32, classes: 10 };
+        let spec = ModelSpec::Mlp {
+            input: 64,
+            hidden: 32,
+            classes: 10,
+        };
         let global = spec.build(1).params();
         let gen = Generator::new(SynthSpec::family(SynthFamily::Mnist), 0);
         let data = gen.generate_uniform(60, 0);
@@ -261,7 +270,10 @@ mod tests {
     #[test]
     fn local_train_reduces_local_loss() {
         let (spec, global, data) = setup();
-        let cfg = ClientConfig { local_epochs: 5, ..ClientConfig::paper_synthetic() };
+        let cfg = ClientConfig {
+            local_epochs: 5,
+            ..ClientConfig::paper_synthetic()
+        };
         let mut before = eval_model(&spec, &global);
         let loss_before = before.evaluate(&data.x, &data.y).loss;
         let updated = local_train(&spec, &global, &data, &cfg, 0, 0, 42);
@@ -295,7 +307,10 @@ mod tests {
     fn proximal_term_pulls_toward_global() {
         let (spec, global, data) = setup();
         let plain = ClientConfig::paper_synthetic();
-        let prox = ClientConfig { proximal_mu: 5.0, ..plain };
+        let prox = ClientConfig {
+            proximal_mu: 5.0,
+            ..plain
+        };
         let w_plain = local_train(&spec, &global, &data, &plain, 0, 0, 42);
         let w_prox = local_train(&spec, &global, &data, &prox, 0, 0, 42);
         assert!(
@@ -310,7 +325,10 @@ mod tests {
     fn proximal_zero_is_plain_fedavg() {
         let (spec, global, data) = setup();
         let plain = ClientConfig::paper_synthetic();
-        let prox0 = ClientConfig { proximal_mu: 0.0, ..plain };
+        let prox0 = ClientConfig {
+            proximal_mu: 0.0,
+            ..plain
+        };
         assert_eq!(
             local_train(&spec, &global, &data, &plain, 0, 0, 42),
             local_train(&spec, &global, &data, &prox0, 0, 0, 42)
@@ -322,23 +340,35 @@ mod tests {
         let (spec, global, data) = setup();
         let clip = 0.05f32;
         let cfg = ClientConfig {
-            dp: Some(DpNoiseConfig { clip, noise_multiplier: 0.0 }),
+            dp: Some(DpNoiseConfig {
+                clip,
+                noise_multiplier: 0.0,
+            }),
             ..ClientConfig::paper_synthetic()
         };
         let w = local_train(&spec, &global, &data, &cfg, 0, 0, 42);
         let norm = w.l2_distance(&global);
-        assert!(norm <= clip * 1.001, "update norm {norm} exceeds clip {clip}");
+        assert!(
+            norm <= clip * 1.001,
+            "update norm {norm} exceeds clip {clip}"
+        );
     }
 
     #[test]
     fn dp_noise_perturbs_updates_deterministically() {
         let (spec, global, data) = setup();
         let noiseless = ClientConfig {
-            dp: Some(DpNoiseConfig { clip: 1.0, noise_multiplier: 0.0 }),
+            dp: Some(DpNoiseConfig {
+                clip: 1.0,
+                noise_multiplier: 0.0,
+            }),
             ..ClientConfig::paper_synthetic()
         };
         let noisy = ClientConfig {
-            dp: Some(DpNoiseConfig { clip: 1.0, noise_multiplier: 0.5 }),
+            dp: Some(DpNoiseConfig {
+                clip: 1.0,
+                noise_multiplier: 0.5,
+            }),
             ..ClientConfig::paper_synthetic()
         };
         let a = local_train(&spec, &global, &data, &noisy, 0, 0, 42);
@@ -354,7 +384,10 @@ mod tests {
         let (spec, global, data) = setup();
         let plain = ClientConfig::paper_synthetic();
         let dp = ClientConfig {
-            dp: Some(DpNoiseConfig { clip: 1e9, noise_multiplier: 0.0 }),
+            dp: Some(DpNoiseConfig {
+                clip: 1e9,
+                noise_multiplier: 0.0,
+            }),
             ..plain
         };
         let a = local_train(&spec, &global, &data, &plain, 0, 0, 42);

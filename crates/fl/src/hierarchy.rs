@@ -38,7 +38,10 @@ impl AggregationTree {
     #[must_use]
     pub fn with_fan_out(fan_out: usize) -> Self {
         assert!(fan_out > 0, "fan-out must be positive");
-        Self { fan_out, sec_per_update_mb: 0.005 }
+        Self {
+            fan_out,
+            sec_per_update_mb: 0.005,
+        }
     }
 
     /// Number of child aggregators needed for `updates` updates.
@@ -64,13 +67,14 @@ impl AggregationTree {
             .chunks(self.fan_out)
             .map(|chunk| {
                 let total: usize = chunk.iter().map(|u| u.samples).sum();
-                let refs: Vec<(&ParamVec, f32)> =
-                    chunk.iter().map(|u| (&u.params, u.samples as f32)).collect();
+                let refs: Vec<(&ParamVec, f32)> = chunk
+                    .iter()
+                    .map(|u| (&u.params, u.samples as f32))
+                    .collect();
                 (ParamVec::weighted_mean_ref(&refs), total as f32)
             })
             .collect();
-        let refs: Vec<(&ParamVec, f32)> =
-            partials.iter().map(|(p, w)| (p, *w)).collect();
+        let refs: Vec<(&ParamVec, f32)> = partials.iter().map(|(p, w)| (p, *w)).collect();
         ParamVec::weighted_mean_ref(&refs)
     }
 
@@ -108,7 +112,9 @@ mod tests {
             .map(|c| ClientUpdate {
                 client: c,
                 params: ParamVec(
-                    (0..dim).map(|i| ((c * 31 + i * 7) % 100) as f32 / 50.0 - 1.0).collect(),
+                    (0..dim)
+                        .map(|i| ((c * 31 + i * 7) % 100) as f32 / 50.0 - 1.0)
+                        .collect(),
                 ),
                 samples: 50 + (c * 13) % 200,
             })
@@ -123,10 +129,7 @@ mod tests {
             let tree = AggregationTree::with_fan_out(fan_out);
             let hier = tree.aggregate(&ups);
             for (a, b) in hier.as_slice().iter().zip(flat.as_slice()) {
-                assert!(
-                    (a - b).abs() < 1e-5,
-                    "fan_out {fan_out}: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-5, "fan_out {fan_out}: {a} vs {b}");
             }
         }
     }

@@ -43,7 +43,10 @@ impl RandomSelector {
     /// Select uniformly from clients `0..num_clients`.
     #[must_use]
     pub fn new(num_clients: usize, seed: u64) -> Self {
-        Self { pool: (0..num_clients).collect(), seed }
+        Self {
+            pool: (0..num_clients).collect(),
+            seed,
+        }
     }
 
     /// Select uniformly from an explicit pool (e.g. excluding dropouts).
@@ -125,7 +128,10 @@ mod tests {
         let expect = rounds as f64 * 2.0 / 10.0;
         for (c, &n) in counts.iter().enumerate() {
             let dev = (n as f64 - expect).abs() / expect;
-            assert!(dev < 0.15, "client {c} selected {n} times (expect ~{expect})");
+            assert!(
+                dev < 0.15,
+                "client {c} selected {n} times (expect ~{expect})"
+            );
         }
     }
 

@@ -170,11 +170,7 @@ impl Session {
     pub fn evaluate_global_per_class(&self) -> Vec<Option<f64>> {
         let mut model = client::eval_model(&self.config.model, &self.global);
         let logits = model.forward(self.data.global_test.x.clone(), false);
-        tifl_nn::metrics::per_class_accuracy(
-            &logits,
-            &self.data.global_test.y,
-            self.data.classes,
-        )
+        tifl_nn::metrics::per_class_accuracy(&logits, &self.data.global_test.y, self.data.classes)
     }
 
     /// Evaluate the global model on the union of the given clients'
@@ -226,8 +222,7 @@ impl Session {
             AggregationMode::WaitAll => target,
             AggregationMode::FirstK { factor } => {
                 assert!(factor >= 1.0, "over-selection factor must be >= 1");
-                ((target as f64 * factor).ceil() as usize)
-                    .min(self.data.num_clients())
+                ((target as f64 * factor).ceil() as usize).min(self.data.num_clients())
             }
         };
         let selected = selector.select(round, ask);
@@ -255,20 +250,22 @@ impl Session {
                     .iter()
                     .map(|(_, l)| l.unwrap_or(self.config.tmax_sec))
                     .fold(0.0f64, f64::max);
-                let contributors: Vec<usize> =
-                    responses.iter().filter_map(|&(c, l)| l.map(|_| c)).collect();
+                let contributors: Vec<usize> = responses
+                    .iter()
+                    .filter_map(|&(c, l)| l.map(|_| c))
+                    .collect();
                 (contributors, latency)
             }
             AggregationMode::FirstK { .. } => {
                 // Over-selection: take the `target` fastest responders;
                 // the round ends when the last of them reports.
-                let mut ok: Vec<(usize, f64)> =
-                    responses.iter().filter_map(|&(c, l)| l.map(|l| (c, l))).collect();
+                let mut ok: Vec<(usize, f64)> = responses
+                    .iter()
+                    .filter_map(|&(c, l)| l.map(|l| (c, l)))
+                    .collect();
                 ok.sort_by(|a, b| a.1.total_cmp(&b.1));
                 ok.truncate(target);
-                let latency = ok
-                    .last()
-                    .map_or(self.config.tmax_sec, |&(_, l)| l);
+                let latency = ok.last().map_or(self.config.tmax_sec, |&(_, l)| l);
                 (ok.into_iter().map(|(c, _)| c).collect(), latency)
             }
         };
@@ -316,8 +313,7 @@ impl Session {
 
         // Feed monitored-group accuracies back to the selector.
         if let Some(groups) = selector.monitored_groups(round) {
-            let accs: Vec<f64> =
-                groups.iter().map(|g| self.evaluate_group(g)).collect();
+            let accs: Vec<f64> = groups.iter().map(|g| self.evaluate_group(g)).collect();
             selector.observe(round, &accs);
         }
 
@@ -339,7 +335,10 @@ impl Session {
         for _ in self.round..self.config.rounds {
             rounds.push(self.run_round(selector));
         }
-        TrainingReport { policy: selector.name(), rounds }
+        TrainingReport {
+            policy: selector.name(),
+            rounds,
+        }
     }
 }
 
@@ -364,7 +363,11 @@ mod tests {
         ccfg.latency.base_overhead_sec = 0.0;
         let cluster = Cluster::new(&ccfg);
         let config = SessionConfig {
-            model: ModelSpec::Mlp { input: 64, hidden: 32, classes: 10 },
+            model: ModelSpec::Mlp {
+                input: 64,
+                hidden: 32,
+                classes: 10,
+            },
             client: ClientConfig::paper_synthetic(),
             clients_per_round: 3,
             rounds,
@@ -393,10 +396,10 @@ mod tests {
         for w in report.rounds.windows(2) {
             assert!(w[1].time > w[0].time);
         }
-        assert!((report.total_time()
-            - report.rounds.iter().map(|r| r.latency).sum::<f64>())
-        .abs()
-            < 1e-9);
+        assert!(
+            (report.total_time() - report.rounds.iter().map(|r| r.latency).sum::<f64>()).abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -436,7 +439,10 @@ mod tests {
             sel_sorted.sort_unstable();
             let mut agg_sorted = r.aggregated.clone();
             agg_sorted.sort_unstable();
-            assert_eq!(sel_sorted, agg_sorted, "no dropouts: all selected aggregate");
+            assert_eq!(
+                sel_sorted, agg_sorted,
+                "no dropouts: all selected aggregate"
+            );
         }
         assert_eq!(report.discarded_work_fraction(), 0.0);
     }
@@ -519,10 +525,8 @@ mod tests {
         // All clients on device group 5 (0.25 CPU) must yield slower
         // rounds than all on group 1 (2 CPUs).
         let s = small_session(1, 6);
-        let fast: Vec<(usize, TrainingTask)> =
-            vec![(0, s.task_for(0)), (1, s.task_for(1))];
-        let slow: Vec<(usize, TrainingTask)> =
-            vec![(8, s.task_for(8)), (9, s.task_for(9))];
+        let fast: Vec<(usize, TrainingTask)> = vec![(0, s.task_for(0)), (1, s.task_for(1))];
+        let slow: Vec<(usize, TrainingTask)> = vec![(8, s.task_for(8)), (9, s.task_for(9))];
         let lf = s.cluster().round_latency(&fast, 0, 1e9);
         let ls = s.cluster().round_latency(&slow, 0, 1e9);
         assert!(ls > 2.0 * lf, "fast {lf}, slow {ls}");

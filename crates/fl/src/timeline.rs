@@ -74,9 +74,7 @@ impl RoundTimeline {
             last = e.time;
             events.push((e.time, e.payload));
         }
-        let agg_cost = tree.map_or(0.0, |(t, bytes)| {
-            t.aggregation_latency(completions, bytes)
-        });
+        let agg_cost = tree.map_or(0.0, |(t, bytes)| t.aggregation_latency(completions, bytes));
         events.push((last + agg_cost, TimelineEvent::RoundEnd));
         Self { events }
     }
@@ -97,7 +95,12 @@ impl RoundTimeline {
         let completions: Vec<f64> = self
             .events
             .iter()
-            .filter(|(_, e)| matches!(e, TimelineEvent::Complete { .. } | TimelineEvent::TimedOut { .. }))
+            .filter(|(_, e)| {
+                matches!(
+                    e,
+                    TimelineEvent::Complete { .. } | TimelineEvent::TimedOut { .. }
+                )
+            })
             .map(|&(t, _)| t)
             .collect();
         match (completions.first(), completions.last()) {
@@ -127,10 +130,7 @@ mod tests {
     #[test]
     fn dispatches_precede_completions() {
         let t = RoundTimeline::build(&[(7, Some(0.5))], 100.0, None);
-        assert_eq!(
-            t.events[0],
-            (0.0, TimelineEvent::Dispatch { client: 7 })
-        );
+        assert_eq!(t.events[0], (0.0, TimelineEvent::Dispatch { client: 7 }));
         assert_eq!(t.events[1], (0.5, TimelineEvent::Complete { client: 7 }));
     }
 

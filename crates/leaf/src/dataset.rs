@@ -5,8 +5,8 @@ use rand::prelude::*;
 use rand_distr::LogNormal;
 use serde::{Deserialize, Serialize};
 use tifl_data::dataset::Dataset;
-use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
 use tifl_data::federated::{ClientData, FederatedDataset};
+use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
 use tifl_tensor::{seed_rng, split_seed};
 
 /// FEMNIST-like generation parameters.
@@ -62,11 +62,8 @@ pub fn build_femnist(config: &LeafDataConfig, seed: u64) -> FederatedDataset {
     let gen = Generator::new(spec, split_seed(seed, 0xFE31));
     let classes = spec.classes;
 
-    let count_dist = LogNormal::new(
-        (config.median_samples as f64).ln(),
-        config.quantity_sigma,
-    )
-    .expect("valid lognormal");
+    let count_dist = LogNormal::new((config.median_samples as f64).ln(), config.quantity_sigma)
+        .expect("valid lognormal");
 
     let clients: Vec<ClientData> = (0..config.num_clients)
         .map(|w| {
@@ -110,7 +107,11 @@ pub fn build_femnist(config: &LeafDataConfig, seed: u64) -> FederatedDataset {
     let global_test: Dataset =
         gen.generate_balanced(config.global_test_per_class, split_seed(seed, 0x6E57));
 
-    FederatedDataset { clients, global_test, classes }
+    FederatedDataset {
+        clients,
+        global_test,
+        classes,
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +119,11 @@ mod tests {
     use super::*;
 
     fn small() -> LeafDataConfig {
-        LeafDataConfig { num_clients: 30, global_test_per_class: 2, ..Default::default() }
+        LeafDataConfig {
+            num_clients: 30,
+            global_test_per_class: 2,
+            ..Default::default()
+        }
     }
 
     #[test]

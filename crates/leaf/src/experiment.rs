@@ -55,7 +55,11 @@ impl LeafExperiment {
             cpu_profile: tifl_sim::resource::profiles::CIFAR.to_vec(),
             clients_per_round: 10,
             rounds: 2000,
-            model: ModelSpec::Mlp { input: 64, hidden: 128, classes: 62 },
+            model: ModelSpec::Mlp {
+                input: 64,
+                hidden: 128,
+                classes: 62,
+            },
             client: ClientConfig::paper_leaf(),
             latency: LatencyModelConfig {
                 flops_per_cpu_sec: 5.0e6,
@@ -64,7 +68,10 @@ impl LeafExperiment {
             },
             eval_every: 20,
             tiering: TieringConfig::default(),
-            profiler: ProfilerConfig { sync_rounds: 5, tmax_sec: 1000.0 },
+            profiler: ProfilerConfig {
+                sync_rounds: 5,
+                tmax_sec: 1000.0,
+            },
             aggregation: AggregationMode::WaitAll,
             seed,
         }
@@ -81,7 +88,11 @@ impl LeafExperiment {
         c.clients_per_round = 3;
         c.rounds = 10;
         c.eval_every = 2;
-        c.model = ModelSpec::Mlp { input: 64, hidden: 32, classes: 62 };
+        c.model = ModelSpec::Mlp {
+            input: 64,
+            hidden: 32,
+            classes: 62,
+        };
         c.profiler.sync_rounds = 2;
         c
     }
@@ -135,8 +146,7 @@ impl LeafExperiment {
         let session = self.make_session();
         let profiler = Profiler::new(self.profiler);
         let result = profiler.profile(session.cluster(), |c| session.task_for(c));
-        let assignment =
-            TierAssignment::from_latencies(&result.mean_latency, &self.tiering);
+        let assignment = TierAssignment::from_latencies(&result.mean_latency, &self.tiering);
         (assignment, result)
     }
 
@@ -145,10 +155,8 @@ impl LeafExperiment {
     pub fn run_policy(&self, policy: &Policy) -> TrainingReport {
         let mut session = self.make_session();
         if policy.is_vanilla() {
-            let mut sel = RandomSelector::new(
-                self.data.num_clients,
-                split_seed(self.seed, 0x5E1EC7),
-            );
+            let mut sel =
+                RandomSelector::new(self.data.num_clients, split_seed(self.seed, 0x5E1EC7));
             session.run(&mut sel)
         } else {
             let (assignment, _) = self.profile_and_tier();
@@ -165,14 +173,10 @@ impl LeafExperiment {
     #[must_use]
     pub fn run_adaptive(&self, config: Option<AdaptiveConfig>) -> TrainingReport {
         let (assignment, _) = self.profile_and_tier();
-        let cfg = config
-            .unwrap_or_else(|| AdaptiveConfig::for_run(self.rounds, assignment.num_tiers()));
+        let cfg =
+            config.unwrap_or_else(|| AdaptiveConfig::for_run(self.rounds, assignment.num_tiers()));
         let mut session = self.make_session();
-        let mut sel = AdaptiveTierSelector::new(
-            assignment,
-            cfg,
-            split_seed(self.seed, 0x5E1EC7),
-        );
+        let mut sel = AdaptiveTierSelector::new(assignment, cfg, split_seed(self.seed, 0x5E1EC7));
         session.run(&mut sel)
     }
 }

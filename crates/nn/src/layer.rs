@@ -178,7 +178,10 @@ impl Relu {
     /// New ReLU for feature width `width` (used only for FLOP counting).
     #[must_use]
     pub fn new(width: usize) -> Self {
-        Self { mask: Vec::new(), width }
+        Self {
+            mask: Vec::new(),
+            width,
+        }
     }
 }
 
@@ -239,8 +242,16 @@ impl Dropout {
     /// Panics if `p` is outside `[0, 1)`.
     #[must_use]
     pub fn new(p: f32, width: usize, rng: StdRng) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
-        Self { p, rng, mask: Vec::new(), width }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
+        Self {
+            p,
+            rng,
+            mask: Vec::new(),
+            width,
+        }
     }
 }
 
@@ -521,13 +532,21 @@ impl MaxPool2d {
             in_shape.h,
             in_shape.w
         );
-        Self { in_shape, argmax: Vec::new(), cache_batch: 0 }
+        Self {
+            in_shape,
+            argmax: Vec::new(),
+            cache_batch: 0,
+        }
     }
 
     /// Output volume shape.
     #[must_use]
     pub fn out_shape(&self) -> Shape3 {
-        Shape3 { c: self.in_shape.c, h: self.in_shape.h / 2, w: self.in_shape.w / 2 }
+        Shape3 {
+            c: self.in_shape.c,
+            h: self.in_shape.h / 2,
+            w: self.in_shape.w / 2,
+        }
     }
 }
 
@@ -537,7 +556,11 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, x: Matrix, _train: bool) -> Matrix {
-        assert_eq!(x.cols(), self.in_shape.len(), "MaxPool2d input width mismatch");
+        assert_eq!(
+            x.cols(),
+            self.in_shape.len(),
+            "MaxPool2d input width mismatch"
+        );
         let Shape3 { c, h, w } = self.in_shape;
         let (oh, ow) = (h / 2, w / 2);
         let batch = x.rows();
@@ -691,8 +714,7 @@ mod tests {
     fn dropout_scales_survivors_at_train() {
         let mut d = Dropout::new(0.5, 1000, seed_rng(6));
         let y = d.forward(Matrix::filled(1, 1000, 1.0), true);
-        let survivors: Vec<f32> =
-            y.as_slice().iter().copied().filter(|&v| v != 0.0).collect();
+        let survivors: Vec<f32> = y.as_slice().iter().copied().filter(|&v| v != 0.0).collect();
         assert!(survivors.iter().all(|&v| (v - 2.0).abs() < 1e-6));
         // roughly half survive
         let frac = survivors.len() as f32 / 1000.0;

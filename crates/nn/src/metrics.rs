@@ -8,7 +8,11 @@ use tifl_tensor::{ops, Matrix};
 /// Panics if row counts disagree.
 #[must_use]
 pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
-    assert_eq!(logits.rows(), labels.len(), "accuracy: label count mismatch");
+    assert_eq!(
+        logits.rows(),
+        labels.len(),
+        "accuracy: label count mismatch"
+    );
     if labels.is_empty() {
         return 0.0;
     }
@@ -24,7 +28,11 @@ pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
 /// aggressive tier-selection policies.
 #[must_use]
 pub fn per_class_accuracy(logits: &Matrix, labels: &[usize], classes: usize) -> Vec<Option<f64>> {
-    assert_eq!(logits.rows(), labels.len(), "per_class_accuracy: label count mismatch");
+    assert_eq!(
+        logits.rows(),
+        labels.len(),
+        "per_class_accuracy: label count mismatch"
+    );
     let preds = ops::row_argmax(logits);
     let mut correct = vec![0usize; classes];
     let mut total = vec![0usize; classes];
@@ -38,7 +46,13 @@ pub fn per_class_accuracy(logits: &Matrix, labels: &[usize], classes: usize) -> 
     correct
         .iter()
         .zip(&total)
-        .map(|(&c, &t)| if t == 0 { None } else { Some(c as f64 / t as f64) })
+        .map(|(&c, &t)| {
+            if t == 0 {
+                None
+            } else {
+                Some(c as f64 / t as f64)
+            }
+        })
         .collect()
 }
 

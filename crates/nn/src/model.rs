@@ -104,12 +104,7 @@ impl Sequential {
     }
 
     /// One optimisation step on a mini-batch; returns the batch loss.
-    pub fn train_batch(
-        &mut self,
-        x: Matrix,
-        labels: &[usize],
-        opt: &mut dyn Optimizer,
-    ) -> f32 {
+    pub fn train_batch(&mut self, x: Matrix, labels: &[usize], opt: &mut dyn Optimizer) -> f32 {
         let logits = self.forward(x, true);
         let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
         self.backward(dlogits);
@@ -125,16 +120,16 @@ impl Sequential {
     pub fn evaluate(&mut self, x: &Matrix, labels: &[usize]) -> EvalResult {
         assert_eq!(x.rows(), labels.len(), "evaluate: label count mismatch");
         if labels.is_empty() {
-            return EvalResult { loss: 0.0, accuracy: 0.0, samples: 0 };
+            return EvalResult {
+                loss: 0.0,
+                accuracy: 0.0,
+                samples: 0,
+            };
         }
         let logits = self.forward(x.clone(), false);
         let (loss, _) = softmax_cross_entropy(&logits, labels);
         let preds = ops::row_argmax(&logits);
-        let correct = preds
-            .iter()
-            .zip(labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
         EvalResult {
             loss,
             accuracy: correct as f64 / labels.len() as f64,

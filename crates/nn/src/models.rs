@@ -82,13 +82,26 @@ impl ModelSpec {
             ModelSpec::Logistic { input, classes } => {
                 Sequential::new(vec![Box::new(Dense::new(input, classes, &mut rng))])
             }
-            ModelSpec::Mlp { input, hidden, classes } => Sequential::new(vec![
+            ModelSpec::Mlp {
+                input,
+                hidden,
+                classes,
+            } => Sequential::new(vec![
                 Box::new(Dense::new(input, hidden, &mut rng)),
                 Box::new(Relu::new(hidden)),
                 Box::new(Dense::new(hidden, classes, &mut rng)),
             ]),
-            ModelSpec::Cnn { side, channels, hidden, classes } => {
-                let in_shape = Shape3 { c: 1, h: side, w: side };
+            ModelSpec::Cnn {
+                side,
+                channels,
+                hidden,
+                classes,
+            } => {
+                let in_shape = Shape3 {
+                    c: 1,
+                    h: side,
+                    w: side,
+                };
                 let conv1 = Conv2d::new(in_shape, channels.0, 3, &mut rng);
                 let s1 = conv1.out_shape();
                 let conv2 = Conv2d::new(s1, channels.1, 3, &mut rng);
@@ -98,16 +111,8 @@ impl ModelSpec {
                 let flat = sp.len();
                 // Dropout RNGs are derived from the model seed so two
                 // builds of the same spec+seed behave identically.
-                let d1 = Dropout::new(
-                    0.25,
-                    flat,
-                    StdRng::seed_from_u64(split_seed(seed, 101)),
-                );
-                let d2 = Dropout::new(
-                    0.5,
-                    hidden,
-                    StdRng::seed_from_u64(split_seed(seed, 102)),
-                );
+                let d1 = Dropout::new(0.25, flat, StdRng::seed_from_u64(split_seed(seed, 101)));
+                let d2 = Dropout::new(0.5, hidden, StdRng::seed_from_u64(split_seed(seed, 102)));
                 Sequential::new(vec![
                     Box::new(conv1),
                     Box::new(Relu::new(s1.len())),
@@ -132,14 +137,21 @@ mod tests {
 
     #[test]
     fn logistic_shape() {
-        let spec = ModelSpec::Logistic { input: 64, classes: 10 };
+        let spec = ModelSpec::Logistic {
+            input: 64,
+            classes: 10,
+        };
         let m = spec.build(0);
         assert_eq!(m.param_count(), 64 * 10 + 10);
     }
 
     #[test]
     fn mlp_forward_shape() {
-        let spec = ModelSpec::Mlp { input: 64, hidden: 32, classes: 10 };
+        let spec = ModelSpec::Mlp {
+            input: 64,
+            hidden: 32,
+            classes: 10,
+        };
         let mut m = spec.build(0);
         let y = m.forward(Matrix::zeros(5, 64), false);
         assert_eq!(y.shape(), (5, 10));
@@ -147,7 +159,12 @@ mod tests {
 
     #[test]
     fn cnn_forward_shape() {
-        let spec = ModelSpec::Cnn { side: 8, channels: (4, 8), hidden: 32, classes: 10 };
+        let spec = ModelSpec::Cnn {
+            side: 8,
+            channels: (4, 8),
+            hidden: 32,
+            classes: 10,
+        };
         let mut m = spec.build(0);
         let y = m.forward(Matrix::zeros(3, 64), false);
         assert_eq!(y.shape(), (3, 10));
@@ -155,19 +172,32 @@ mod tests {
 
     #[test]
     fn same_seed_same_model() {
-        let spec = ModelSpec::Mlp { input: 16, hidden: 8, classes: 4 };
+        let spec = ModelSpec::Mlp {
+            input: 16,
+            hidden: 8,
+            classes: 4,
+        };
         assert_eq!(spec.build(42).params(), spec.build(42).params());
     }
 
     #[test]
     fn different_seed_different_model() {
-        let spec = ModelSpec::Mlp { input: 16, hidden: 8, classes: 4 };
+        let spec = ModelSpec::Mlp {
+            input: 16,
+            hidden: 8,
+            classes: 4,
+        };
         assert_ne!(spec.build(1).params(), spec.build(2).params());
     }
 
     #[test]
     fn spec_metadata_consistent() {
-        let spec = ModelSpec::Cnn { side: 8, channels: (4, 8), hidden: 32, classes: 62 };
+        let spec = ModelSpec::Cnn {
+            side: 8,
+            channels: (4, 8),
+            hidden: 32,
+            classes: 62,
+        };
         assert_eq!(spec.input_features(), 64);
         assert_eq!(spec.classes(), 62);
     }

@@ -38,13 +38,21 @@ impl Sgd {
     /// SGD with learning rate `lr` and no momentum.
     #[must_use]
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with classical momentum.
     #[must_use]
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -102,7 +110,12 @@ impl RmsProp {
     /// RMSprop with explicit smoothing constant and epsilon.
     #[must_use]
     pub fn with_params(lr: f32, rho: f32, eps: f32) -> Self {
-        Self { lr, rho, eps, cache: Vec::new() }
+        Self {
+            lr,
+            rho,
+            eps,
+            cache: Vec::new(),
+        }
     }
 }
 
@@ -169,7 +182,10 @@ mod tests {
             opt.step(&mut p, &g);
         }
         let ratio = p.0[0] / p.0[1];
-        assert!((0.5..2.0).contains(&ratio), "steps not normalised, ratio {ratio}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "steps not normalised, ratio {ratio}"
+        );
     }
 
     #[test]

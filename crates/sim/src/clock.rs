@@ -30,7 +30,10 @@ impl VirtualClock {
     /// # Panics
     /// Panics if `dt` is negative or not finite.
     pub fn advance(&mut self, dt: f64) {
-        assert!(dt.is_finite() && dt >= 0.0, "clock advance must be finite and >= 0, got {dt}");
+        assert!(
+            dt.is_finite() && dt >= 0.0,
+            "clock advance must be finite and >= 0, got {dt}"
+        );
         self.now += dt;
     }
 
@@ -39,7 +42,11 @@ impl VirtualClock {
     /// # Panics
     /// Panics if `t` would move the clock backwards.
     pub fn advance_to(&mut self, t: f64) {
-        assert!(t >= self.now, "clock cannot move backwards ({t} < {})", self.now);
+        assert!(
+            t >= self.now,
+            "clock cannot move backwards ({t} < {})",
+            self.now
+        );
         self.now = t;
     }
 

@@ -51,7 +51,10 @@ impl ClusterConfig {
         Self {
             groups: cpu_profile
                 .iter()
-                .map(|&cpu_share| GroupSpec { count: per, cpu_share })
+                .map(|&cpu_share| GroupSpec {
+                    count: per,
+                    cpu_share,
+                })
                 .collect(),
             bandwidth_bps: 1_000_000.0,
             latency: LatencyModelConfig::default(),
@@ -79,15 +82,17 @@ impl Cluster {
             .groups
             .iter()
             .flat_map(|g| {
-                std::iter::repeat_n(DeviceResources {
-                    cpu_share: g.cpu_share,
-                    bandwidth_bps: config.bandwidth_bps,
-                }, g.count)
+                std::iter::repeat_n(
+                    DeviceResources {
+                        cpu_share: g.cpu_share,
+                        bandwidth_bps: config.bandwidth_bps,
+                    },
+                    g.count,
+                )
             })
             .collect();
         if config.shuffle_assignment {
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(split_seed(config.seed, 0xA551));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(split_seed(config.seed, 0xA551));
             devices.shuffle(&mut rng);
         }
         let n = devices.len();
@@ -145,18 +150,20 @@ impl Cluster {
         }
         let dev = self.devices[d];
         let cpu = dev.cpu_share * self.drift.cpu_scale(d, round);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(split_seed(
-            self.seed,
-            split_seed(d as u64, round),
-        ));
-        Some(self.latency.sample_latency(task, cpu, dev.bandwidth_bps, &mut rng))
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(split_seed(self.seed, split_seed(d as u64, round)));
+        Some(
+            self.latency
+                .sample_latency(task, cpu, dev.bandwidth_bps, &mut rng),
+        )
     }
 
     /// Jitter-free latency of device `d` for `task` (profiling truth).
     #[must_use]
     pub fn nominal_response(&self, d: usize, task: &TrainingTask) -> f64 {
         let dev = self.devices[d];
-        self.latency.nominal_latency(task, dev.cpu_share, dev.bandwidth_bps)
+        self.latency
+            .nominal_latency(task, dev.cpu_share, dev.bandwidth_bps)
     }
 
     /// Round latency (Eq. 1): max response latency over `selected`
@@ -165,12 +172,7 @@ impl Cluster {
     /// # Panics
     /// Panics if `selected` is empty.
     #[must_use]
-    pub fn round_latency(
-        &self,
-        selected: &[(usize, TrainingTask)],
-        round: u64,
-        tmax: f64,
-    ) -> f64 {
+    pub fn round_latency(&self, selected: &[(usize, TrainingTask)], round: u64, tmax: f64) -> f64 {
         assert!(!selected.is_empty(), "round with no selected clients");
         selected
             .iter()
@@ -185,7 +187,12 @@ mod tests {
     use crate::resource::profiles;
 
     fn task() -> TrainingTask {
-        TrainingTask { samples: 100, epochs: 1, flops_per_sample: 1_000_000, update_bytes: 10_000 }
+        TrainingTask {
+            samples: 100,
+            epochs: 1,
+            flops_per_sample: 1_000_000,
+            update_bytes: 10_000,
+        }
     }
 
     fn cluster() -> Cluster {
@@ -226,7 +233,10 @@ mod tests {
         let sel: Vec<(usize, TrainingTask)> = vec![(0, task()), (49, task())];
         let l = c.round_latency(&sel, 0, f64::INFINITY);
         let l49 = c.response(49, 0, &task()).unwrap();
-        assert!((l - l49).abs() < 1e-9, "round latency should equal slowest member");
+        assert!(
+            (l - l49).abs() < 1e-9,
+            "round latency should equal slowest member"
+        );
     }
 
     #[test]

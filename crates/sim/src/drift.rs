@@ -61,7 +61,11 @@ impl DriftModel {
                     1.0
                 }
             }
-            DriftModel::Sinusoidal { period, amplitude, devices } => {
+            DriftModel::Sinusoidal {
+                period,
+                amplitude,
+                devices,
+            } => {
                 assert!(*period > 0.0, "period must be positive");
                 assert!((0.0..1.0).contains(amplitude), "amplitude must be in [0,1)");
                 let phase = d as f64 / (*devices).max(1) as f64;
@@ -85,7 +89,10 @@ mod tests {
 
     #[test]
     fn regime_switch_applies_after_round() {
-        let d = DriftModel::RegimeSwitch { at_round: 100, factors: vec![0.5, 2.0] };
+        let d = DriftModel::RegimeSwitch {
+            at_round: 100,
+            factors: vec![0.5, 2.0],
+        };
         assert_eq!(d.cpu_scale(0, 99), 1.0);
         assert_eq!(d.cpu_scale(0, 100), 0.5);
         assert_eq!(d.cpu_scale(1, 100), 2.0);
@@ -94,7 +101,10 @@ mod tests {
 
     #[test]
     fn profiling_flag_maps_to_training_round() {
-        let d = DriftModel::RegimeSwitch { at_round: 100, factors: vec![0.5] };
+        let d = DriftModel::RegimeSwitch {
+            at_round: 100,
+            factors: vec![0.5],
+        };
         // A profiling round issued at training round 50 sees the old
         // regime; one issued at 200 sees the new regime.
         assert_eq!(d.cpu_scale(0, 50 | PROFILING_ROUND_FLAG), 1.0);
@@ -103,10 +113,17 @@ mod tests {
 
     #[test]
     fn sinusoidal_stays_positive_and_periodic() {
-        let d = DriftModel::Sinusoidal { period: 50.0, amplitude: 0.3, devices: 10 };
+        let d = DriftModel::Sinusoidal {
+            period: 50.0,
+            amplitude: 0.3,
+            devices: 10,
+        };
         for r in 0..200 {
             let s = d.cpu_scale(3, r);
-            assert!(s > 0.0 && (0.69..=1.31).contains(&s), "scale {s} at round {r}");
+            assert!(
+                s > 0.0 && (0.69..=1.31).contains(&s),
+                "scale {s} at round {r}"
+            );
         }
         let a = d.cpu_scale(3, 7);
         let b = d.cpu_scale(3, 57);
@@ -115,7 +132,11 @@ mod tests {
 
     #[test]
     fn devices_have_distinct_phases() {
-        let d = DriftModel::Sinusoidal { period: 50.0, amplitude: 0.3, devices: 10 };
+        let d = DriftModel::Sinusoidal {
+            period: 50.0,
+            amplitude: 0.3,
+            devices: 10,
+        };
         assert_ne!(d.cpu_scale(0, 10), d.cpu_scale(5, 10));
     }
 }

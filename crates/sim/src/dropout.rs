@@ -24,7 +24,10 @@ impl DropoutModel {
     /// All devices always available.
     #[must_use]
     pub fn always_available(devices: usize, seed: u64) -> Self {
-        Self { fail_prob: vec![0.0; devices], seed }
+        Self {
+            fail_prob: vec![0.0; devices],
+            seed,
+        }
     }
 
     /// Explicit per-device failure probabilities.
@@ -65,8 +68,7 @@ impl DropoutModel {
         if p >= 1.0 {
             return false;
         }
-        let mut rng =
-            StdRng::seed_from_u64(split_seed(self.seed, split_seed(d as u64, round)));
+        let mut rng = StdRng::seed_from_u64(split_seed(self.seed, split_seed(d as u64, round)));
         rng.gen::<f64>() >= p
     }
 }

@@ -37,7 +37,11 @@ pub struct LatencyModelConfig {
 
 impl Default for LatencyModelConfig {
     fn default() -> Self {
-        Self { flops_per_cpu_sec: 5.0e7, jitter_sigma: 0.05, base_overhead_sec: 0.2 }
+        Self {
+            flops_per_cpu_sec: 5.0e7,
+            jitter_sigma: 0.05,
+            base_overhead_sec: 0.2,
+        }
     }
 }
 
@@ -68,7 +72,10 @@ impl LatencyModel {
     /// Panics if the config contains non-positive throughput.
     #[must_use]
     pub fn new(config: LatencyModelConfig) -> Self {
-        assert!(config.flops_per_cpu_sec > 0.0, "throughput must be positive");
+        assert!(
+            config.flops_per_cpu_sec > 0.0,
+            "throughput must be positive"
+        );
         assert!(config.jitter_sigma >= 0.0, "jitter sigma must be >= 0");
         let jitter = if config.jitter_sigma > 0.0 {
             // Mean-1 lognormal: mu = -sigma^2/2.
@@ -91,12 +98,7 @@ impl LatencyModel {
     /// # Panics
     /// Panics if `cpu_share` or `bandwidth_bps` is not positive.
     #[must_use]
-    pub fn nominal_latency(
-        &self,
-        task: &TrainingTask,
-        cpu_share: f64,
-        bandwidth_bps: f64,
-    ) -> f64 {
+    pub fn nominal_latency(&self, task: &TrainingTask, cpu_share: f64, bandwidth_bps: f64) -> f64 {
         assert!(cpu_share > 0.0, "cpu_share must be positive");
         assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
         let flops = task.samples as f64 * task.epochs as f64 * task.flops_per_sample as f64;
@@ -128,7 +130,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn task(samples: usize) -> TrainingTask {
-        TrainingTask { samples, epochs: 1, flops_per_sample: 1_000_000, update_bytes: 100_000 }
+        TrainingTask {
+            samples,
+            epochs: 1,
+            flops_per_sample: 1_000_000,
+            update_bytes: 100_000,
+        }
     }
 
     fn model(jitter: f64) -> LatencyModel {
@@ -158,7 +165,12 @@ mod tests {
     #[test]
     fn communication_term_counts_both_directions() {
         let m = model(0.0);
-        let t = TrainingTask { samples: 0, epochs: 1, flops_per_sample: 0, update_bytes: 500 };
+        let t = TrainingTask {
+            samples: 0,
+            epochs: 1,
+            flops_per_sample: 0,
+            update_bytes: 500,
+        };
         let l = m.nominal_latency(&t, 1.0, 1000.0);
         assert!((l - 1.0).abs() < 1e-9, "2*500/1000 = 1s, got {l}");
     }

@@ -23,6 +23,6 @@ pub mod latency;
 pub mod resource;
 
 pub use clock::VirtualClock;
-pub use drift::DriftModel;
 pub use cluster::{Cluster, ClusterConfig, GroupSpec};
+pub use drift::DriftModel;
 pub use latency::{LatencyModel, LatencyModelConfig};

@@ -16,7 +16,10 @@ impl DeviceResources {
     /// Device with `cpu_share` CPUs and the default 1 MB/s link.
     #[must_use]
     pub fn with_cpus(cpu_share: f64) -> Self {
-        Self { cpu_share, bandwidth_bps: 1_000_000.0 }
+        Self {
+            cpu_share,
+            bandwidth_bps: 1_000_000.0,
+        }
     }
 }
 
@@ -42,7 +45,11 @@ mod tests {
 
     #[test]
     fn profiles_are_decreasing() {
-        for p in [&profiles::CASE_STUDY[..], &profiles::MNIST[..], &profiles::CIFAR[..]] {
+        for p in [
+            &profiles::CASE_STUDY[..],
+            &profiles::MNIST[..],
+            &profiles::CIFAR[..],
+        ] {
             for w in p.windows(2) {
                 assert!(w[0] > w[1], "profile not strictly decreasing: {p:?}");
             }

@@ -23,7 +23,11 @@ pub fn he_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
 /// Uniform initialisation over `[lo, hi)`.
 #[must_use]
 pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut StdRng) -> Matrix {
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect())
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect(),
+    )
 }
 
 #[cfg(test)]

@@ -20,13 +20,21 @@ impl Matrix {
     /// Zero-filled `rows x cols` matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with `value`.
     #[must_use]
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Build from an existing buffer; `data.len()` must equal `rows * cols`.

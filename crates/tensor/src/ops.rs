@@ -44,7 +44,10 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
             .enumerate()
             .for_each(kernel);
     } else {
-        out.as_mut_slice().chunks_mut(n).enumerate().for_each(kernel);
+        out.as_mut_slice()
+            .chunks_mut(n)
+            .enumerate()
+            .for_each(kernel);
     }
     out
 }
@@ -57,7 +60,10 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let (n, k2) = b.shape();
-    assert_eq!(k, k2, "matmul_transpose_b inner dimension mismatch: {k} vs {k2}");
+    assert_eq!(
+        k, k2,
+        "matmul_transpose_b inner dimension mismatch: {k} vs {k2}"
+    );
 
     let mut out = Matrix::zeros(m, n);
     let kernel = |(row_idx, out_row): (usize, &mut [f32])| {
@@ -78,7 +84,10 @@ pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
             .enumerate()
             .for_each(kernel);
     } else {
-        out.as_mut_slice().chunks_mut(n).enumerate().for_each(kernel);
+        out.as_mut_slice()
+            .chunks_mut(n)
+            .enumerate()
+            .for_each(kernel);
     }
     out
 }
@@ -91,7 +100,10 @@ pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
     let (k, m) = a.shape();
     let (k2, n) = b.shape();
-    assert_eq!(k, k2, "matmul_transpose_a inner dimension mismatch: {k} vs {k2}");
+    assert_eq!(
+        k, k2,
+        "matmul_transpose_a inner dimension mismatch: {k} vs {k2}"
+    );
 
     let mut out = Matrix::zeros(m, n);
     // Accumulate rank-1 updates; sequential over k keeps this deterministic.

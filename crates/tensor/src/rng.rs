@@ -66,7 +66,10 @@ impl SeedStream {
     /// is mixed through SplitMix64 twice).
     #[must_use]
     pub fn named(&self, stream: u64) -> SeedStream {
-        SeedStream::new(split_seed(split_seed(self.parent, u64::MAX ^ stream), stream))
+        SeedStream::new(split_seed(
+            split_seed(self.parent, u64::MAX ^ stream),
+            stream,
+        ))
     }
 }
 

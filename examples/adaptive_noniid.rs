@@ -18,7 +18,10 @@ fn main() {
     cfg.rounds = 150;
     cfg.name = "adaptive-demo".into();
 
-    println!("scenario: {} ({} clients, non-IID(2))\n", cfg.name, cfg.num_clients);
+    println!(
+        "scenario: {} ({} clients, non-IID(2))\n",
+        cfg.name, cfg.num_clients
+    );
 
     let vanilla = cfg.run_policy(&Policy::vanilla());
     let uniform = cfg.run_policy(&Policy::uniform(5));
@@ -29,7 +32,10 @@ fn main() {
         gamma: 2.0,
     }));
 
-    println!("{:<10} {:>12} {:>11} {:>10}", "policy", "time [s]", "final acc", "best acc");
+    println!(
+        "{:<10} {:>12} {:>11} {:>10}",
+        "policy", "time [s]", "final acc", "best acc"
+    );
     for r in [&vanilla, &uniform, &fast, &adaptive] {
         println!(
             "{:<10} {:>12.0} {:>11.3} {:>10.3}",

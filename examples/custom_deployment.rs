@@ -29,9 +29,18 @@ fn main() {
     // Testbed: three hardware kinds + one permanently dead device.
     let mut cluster_cfg = ClusterConfig {
         groups: vec![
-            GroupSpec { count: 4, cpu_share: 4.0 },
-            GroupSpec { count: 4, cpu_share: 1.0 },
-            GroupSpec { count: 4, cpu_share: 0.25 },
+            GroupSpec {
+                count: 4,
+                cpu_share: 4.0,
+            },
+            GroupSpec {
+                count: 4,
+                cpu_share: 1.0,
+            },
+            GroupSpec {
+                count: 4,
+                cpu_share: 0.25,
+            },
         ],
         bandwidth_bps: 500_000.0,
         latency: LatencyModelConfig::default(),
@@ -47,7 +56,12 @@ fn main() {
     // Model: the CNN variant (conv-conv-pool-dense, §5's architecture
     // family) over the 8x8 synthetic images.
     let session_cfg = SessionConfig {
-        model: ModelSpec::Cnn { side: 8, channels: (16, 32), hidden: 128, classes: 10 },
+        model: ModelSpec::Cnn {
+            side: 8,
+            channels: (16, 32),
+            hidden: 128,
+            classes: 10,
+        },
         client: ClientConfig::paper_synthetic(),
         clients_per_round: 3,
         rounds: 40,
@@ -59,15 +73,24 @@ fn main() {
     let mut session = Session::new(fed, cluster, session_cfg);
 
     // Profile + tier into 3 tiers; the dead device must be excluded.
-    let profiler = Profiler::new(ProfilerConfig { sync_rounds: 3, tmax_sec: 60.0 });
+    let profiler = Profiler::new(ProfilerConfig {
+        sync_rounds: 3,
+        tmax_sec: 60.0,
+    });
     let profile = profiler.profile(session.cluster(), |c| session.task_for(c));
     println!("dropouts detected: {:?}", profile.dropouts());
     let tiers = TierAssignment::from_latencies(
         &profile.mean_latency,
-        &TieringConfig { num_tiers: 3, ..Default::default() },
+        &TieringConfig {
+            num_tiers: 3,
+            ..Default::default()
+        },
     );
     for (t, tier) in tiers.tiers.iter().enumerate() {
-        println!("tier {t}: clients {:?} (mean {:.1}s)", tier.clients, tier.avg_latency);
+        println!(
+            "tier {t}: clients {:?} (mean {:.1}s)",
+            tier.clients, tier.avg_latency
+        );
     }
 
     // Train with a custom 60/30/10 policy.

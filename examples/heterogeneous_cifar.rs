@@ -15,11 +15,14 @@ fn main() {
     cfg.rounds = 120; // shortened from the paper's 500 for a quick demo
     let (tiers, _) = cfg.profile_and_tier();
 
-    println!("tier latencies: {:?}", tiers
-        .tier_latencies()
-        .iter()
-        .map(|l| format!("{l:.1}s"))
-        .collect::<Vec<_>>());
+    println!(
+        "tier latencies: {:?}",
+        tiers
+            .tier_latencies()
+            .iter()
+            .map(|l| format!("{l:.1}s"))
+            .collect::<Vec<_>>()
+    );
 
     println!(
         "\n{:<10} {:>13} {:>13} {:>9} {:>10}",

@@ -39,7 +39,12 @@ fn main() {
 
     println!("\n{:<10} {:>12} {:>11}", "policy", "time [s]", "final acc");
     for r in [&vanilla, &uniform, &adaptive] {
-        println!("{:<10} {:>12.0} {:>11.3}", r.policy, r.total_time(), r.final_accuracy());
+        println!(
+            "{:<10} {:>12.0} {:>11.3}",
+            r.policy,
+            r.total_time(),
+            r.final_accuracy()
+        );
     }
     println!(
         "\nadaptive speedup over vanilla: {:.1}x",

@@ -20,7 +20,10 @@ fn main() {
     let c = 5;
     let tiers = [10usize; 5];
 
-    println!("each client's local mechanism: ({}, {:.0e})-DP", base.epsilon, base.delta);
+    println!(
+        "each client's local mechanism: ({}, {:.0e})-DP",
+        base.epsilon, base.delta
+    );
     println!("pool |K| = {k}, selected per round |C| = {c}\n");
 
     println!(

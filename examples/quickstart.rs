@@ -25,7 +25,11 @@ fn main() {
 
     // Step 1-2: profile and tier (§4.2 of the paper).
     let (tiers, profile) = cfg.profile_and_tier();
-    println!("profiled {} clients ({} dropouts)", cfg.num_clients, profile.dropouts().len());
+    println!(
+        "profiled {} clients ({} dropouts)",
+        cfg.num_clients,
+        profile.dropouts().len()
+    );
     for (t, tier) in tiers.tiers.iter().enumerate() {
         println!(
             "  tier {t}: {:>2} clients, mean latency {:>7.2}s",
@@ -40,7 +44,12 @@ fn main() {
 
     println!("\n{:<10} {:>12} {:>11}", "policy", "time [s]", "final acc");
     for r in [&vanilla, &uniform] {
-        println!("{:<10} {:>12.0} {:>11.3}", r.policy, r.total_time(), r.final_accuracy());
+        println!(
+            "{:<10} {:>12.0} {:>11.3}",
+            r.policy,
+            r.total_time(),
+            r.final_accuracy()
+        );
     }
     println!(
         "\nTiFL speedup over vanilla: {:.1}x at {:+.1} accuracy points",

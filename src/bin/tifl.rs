@@ -26,8 +26,7 @@ fn usage() -> ExitCode {
 }
 
 fn load(path: &str) -> ExperimentConfig {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
     serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
 }
 

@@ -40,8 +40,15 @@ fn fedcs_deadline_controls_round_latency() {
 #[test]
 fn fedprox_stays_closer_to_global_under_noniid() {
     let mut cfg = ExperimentConfig::tiny(43);
-    cfg.data = DataScenario::ClassLimit { per_client: 40, k: 2 };
-    cfg.rounds = 20;
+    cfg.data = DataScenario::ClassLimit {
+        per_client: 40,
+        k: 2,
+    };
+    // 30 rounds, not 20: with only 2 clients/round on a k=2 non-IID
+    // split, 20 rounds leaves accuracy right at the 0.2 floor (~0.198
+    // under the vendored RNG stream); 30 rounds clears it with margin
+    // without slowing the suite meaningfully.
+    cfg.rounds = 30;
     let plain = cfg.run_policy(&Policy::vanilla());
     let prox = cfg.run_fedprox(0.5);
     // Both learn; FedProx must at least run to completion with the same
@@ -55,7 +62,10 @@ fn dp_noise_degrades_accuracy_monotonically_in_expectation() {
     let accuracy_at = |z: f32| {
         let mut cfg = ExperimentConfig::tiny(44);
         cfg.rounds = 30;
-        cfg.client.dp = Some(DpNoiseConfig { clip: 1.0, noise_multiplier: z });
+        cfg.client.dp = Some(DpNoiseConfig {
+            clip: 1.0,
+            noise_multiplier: z,
+        });
         cfg.run_policy(&Policy::vanilla()).final_accuracy()
     };
     let clean = accuracy_at(0.0);
@@ -70,10 +80,16 @@ fn dp_noise_degrades_accuracy_monotonically_in_expectation() {
 fn dp_updates_compose_with_tiering() {
     let mut cfg = ExperimentConfig::tiny(45);
     cfg.rounds = 40;
-    cfg.client.dp = Some(DpNoiseConfig { clip: 1.0, noise_multiplier: 0.001 });
+    cfg.client.dp = Some(DpNoiseConfig {
+        clip: 1.0,
+        noise_multiplier: 0.001,
+    });
     let report = cfg.run_policy(&Policy::uniform(5));
     assert_eq!(report.rounds.len(), 40);
-    assert!(report.final_accuracy() > 0.3, "mild DP noise should still train");
+    assert!(
+        report.final_accuracy() > 0.3,
+        "mild DP noise should still train"
+    );
 }
 
 #[test]
@@ -81,7 +97,11 @@ fn sinusoidal_drift_changes_latencies_over_time() {
     let mut cfg = ExperimentConfig::tiny(46);
     cfg.latency.jitter_sigma = 0.0;
     cfg.latency.base_overhead_sec = 0.0;
-    cfg.drift = DriftModel::Sinusoidal { period: 10.0, amplitude: 0.5, devices: 10 };
+    cfg.drift = DriftModel::Sinusoidal {
+        period: 10.0,
+        amplitude: 0.5,
+        devices: 10,
+    };
     let session = cfg.make_session();
     let task = session.task_for(0);
     // Device 0 has phase 0: round 0 sits at the sine's zero crossing
@@ -98,8 +118,14 @@ fn sinusoidal_drift_changes_latencies_over_time() {
 fn experiment_config_json_round_trip() {
     let mut cfg = ExperimentConfig::cifar10_combine(5, 7);
     cfg.aggregation = AggregationMode::FirstK { factor: 1.3 };
-    cfg.drift = DriftModel::RegimeSwitch { at_round: 100, factors: vec![0.5, 1.0] };
-    cfg.client.dp = Some(DpNoiseConfig { clip: 1.0, noise_multiplier: 0.1 });
+    cfg.drift = DriftModel::RegimeSwitch {
+        at_round: 100,
+        factors: vec![0.5, 1.0],
+    };
+    cfg.client.dp = Some(DpNoiseConfig {
+        clip: 1.0,
+        noise_multiplier: 0.1,
+    });
     let json = serde_json::to_string_pretty(&cfg).unwrap();
     let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
     assert_eq!(back, cfg);

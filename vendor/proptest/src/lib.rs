@@ -1,0 +1,271 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro, numeric-range strategies, `prop::collection::vec`,
+//! `prop::option::weighted`, `prop_assume!`, `prop_assert!` and
+//! `prop_assert_eq!`. Each test runs 64 random cases from a seed derived
+//! from the test's name, so failures reproduce exactly across runs and
+//! machines. There is no shrinking: a failing case reports its inputs
+//! via the assertion message (all strategies produce `Debug` values).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cases per property (upstream default is 256; 64 keeps the suite
+/// fast while still exercising the space).
+pub const CASES: usize = 64;
+
+/// A generator of random values for one test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Just<T>: always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy combinators under the `prop::` path, mirroring upstream.
+pub mod prop {
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Vec of values from `element`, with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let len = if self.size.lo >= self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..self.size.hi)
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        //! Option strategies.
+
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// `Some(value)` with probability `p`, else `None`.
+        pub fn weighted<S: Strategy>(p: f64, value: S) -> WeightedOption<S> {
+            WeightedOption { p, value }
+        }
+
+        /// Strategy returned by [`weighted`].
+        pub struct WeightedOption<S> {
+            p: f64,
+            value: S,
+        }
+
+        impl<S: Strategy> Strategy for WeightedOption<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                if rng.gen_bool(self.p) {
+                    Some(self.value.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Length specification for collection strategies: a fixed size or a
+/// half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub lo: usize,
+    /// Exclusive upper bound.
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: r.end() + 1,
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fresh RNG for a named test.
+pub fn rng_for(name: &str) -> StdRng {
+    StdRng::seed_from_u64(seed_for(name))
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running [`CASES`] deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::rng_for(stringify!($name));
+                let mut cases_run = 0usize;
+                let mut attempts = 0usize;
+                // The 20x attempt cap bounds pathological prop_assume!
+                // rejection without hiding a vacuous test.
+                while cases_run < $crate::CASES && attempts < $crate::CASES * 20 {
+                    attempts += 1;
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
+                    $body
+                    cases_run += 1;
+                }
+                assert!(
+                    cases_run > 0,
+                    "prop_assume! rejected every generated case in {}",
+                    stringify!($name)
+                );
+            }
+        )*
+    };
+}
+
+/// Skip the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Assert within a property (no shrinking; plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => {
+        assert!($($args)*)
+    };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => {
+        assert_eq!($($args)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn vec_respects_size_range(
+            v in prop::collection::vec(0u64..10, 3..7),
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn weighted_option_mixes(
+            opts in prop::collection::vec(prop::option::weighted(0.5, 0u32..100), 100),
+        ) {
+            let somes = opts.iter().flatten().count();
+            prop_assert!(somes > 10 && somes < 90, "somes {}", somes);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+    }
+}

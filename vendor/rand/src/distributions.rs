@@ -1,0 +1,156 @@
+//! The [`Distribution`] trait and [`WeightedIndex`].
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Error from [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were supplied.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights are zero.
+    AllWeightsZero,
+}
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let msg = match self {
+            WeightedError::NoItem => "no weights supplied",
+            WeightedError::InvalidWeight => "negative or non-finite weight",
+            WeightedError::AllWeightsZero => "all weights are zero",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Conversion helper so `WeightedIndex::new` accepts `&Vec<f64>`,
+/// `&[f32]`, iterators of integers, etc.
+pub trait IntoWeight {
+    /// The weight as `f64`.
+    fn into_weight(self) -> f64;
+}
+
+macro_rules! impl_into_weight {
+    ($($t:ty),*) => {$(
+        impl IntoWeight for $t {
+            fn into_weight(self) -> f64 {
+                self as f64
+            }
+        }
+        impl IntoWeight for &$t {
+            fn into_weight(self) -> f64 {
+                *self as f64
+            }
+        }
+    )*};
+}
+impl_into_weight!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Samples indices `0..n` proportionally to a weight vector, via binary
+/// search over the cumulative sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Build from any iterable of non-negative weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: IntoWeight,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = w.into_weight();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = crate::SampleStandard::sample_standard(rng);
+        let target = self.total * if u < 1.0 { u } else { 0.0 };
+        // First index whose cumulative weight exceeds the target.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("finite"))
+        {
+            Ok(i) | Err(i) => {
+                // Skip zero-weight entries (cumulative equal to predecessor).
+                let mut i = i.min(self.cumulative.len() - 1);
+                while i + 1 < self.cumulative.len() && self.cumulative[i] <= target {
+                    i += 1;
+                }
+                i
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_prefers_heavy_items() {
+        let dist = WeightedIndex::new(&vec![1.0f64, 0.0, 9.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight item never sampled");
+        assert!(
+            counts[2] > counts[0] * 5,
+            "9:1 ratio approximately held: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(
+            WeightedIndex::new(Vec::<f64>::new()),
+            Err(WeightedError::NoItem)
+        );
+        assert_eq!(
+            WeightedIndex::new(&vec![0.0f64, 0.0]),
+            Err(WeightedError::AllWeightsZero)
+        );
+        assert_eq!(
+            WeightedIndex::new(&vec![1.0f64, -2.0]),
+            Err(WeightedError::InvalidWeight)
+        );
+    }
+}

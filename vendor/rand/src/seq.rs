@@ -1,0 +1,118 @@
+//! Slice sampling helpers (`shuffle`, `choose`, `choose_multiple`).
+
+use crate::{uniform_u64_below, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher-Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly pick one element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Pick `amount` distinct elements (all of them if `amount >= len`),
+    /// in random order.
+    fn choose_multiple<'a, R: RngCore + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'a, Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_u64_below(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_u64_below(rng, self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_multiple<'a, R: RngCore + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'a, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher-Yates over an index array: the first `amount`
+        // entries end up a uniform sample without replacement.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + uniform_u64_below(rng, (idx.len() - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        SliceChooseIter {
+            slice: self,
+            indices: idx.into_iter().take(amount),
+        }
+    }
+}
+
+/// Iterator returned by [`SliceRandom::choose_multiple`].
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: core::iter::Take<std::vec::IntoIter<usize>>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        self.indices.next().map(|i| &self.slice[i])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.indices.size_hint()
+    }
+}
+
+impl<T> ExactSizeIterator for SliceChooseIter<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let v: Vec<u32> = (0..20).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        let picked: Vec<&u32> = v.choose_multiple(&mut rng, 8).collect();
+        assert_eq!(picked.len(), 8);
+        let mut uniq: Vec<u32> = picked.iter().map(|&&x| x).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8, "no duplicates");
+    }
+
+    #[test]
+    fn choose_multiple_caps_at_len() {
+        let v = [1, 2, 3];
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(v.choose_multiple(&mut rng, 10).count(), 3);
+    }
+}

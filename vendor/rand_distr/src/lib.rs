@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the two continuous distributions this workspace samples —
+//! [`Normal`] and [`LogNormal`] — generic over `f32`/`f64`, plus a
+//! re-export of [`Distribution`]. Normal deviates come from the
+//! Box-Muller transform: two uniform words per sample, fully
+//! deterministic given the RNG stream (the upstream crate's ziggurat
+//! would produce different — but equally valid — streams).
+
+pub use rand::distributions::Distribution;
+use rand::{RngCore, SampleStandard};
+
+/// Error from distribution constructors (non-finite or non-positive
+/// scale parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The standard deviation was negative or not finite.
+    BadStdDev,
+    /// The mean was not finite.
+    BadMean,
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let msg = match self {
+            Error::BadStdDev => "standard deviation must be finite and >= 0",
+            Error::BadMean => "mean must be finite",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Upstream-compatible alias: `rand_distr::NormalError`.
+pub type NormalError = Error;
+
+/// Minimal float abstraction so `Normal<f32>` and `Normal<f64>` share
+/// one implementation.
+pub trait Float: Copy + PartialOrd {
+    /// Lossless-enough conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// `self` is neither NaN nor infinite.
+    fn is_finite_f(self) -> bool;
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn is_finite_f(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn is_finite_f(self) -> bool {
+        self.is_finite()
+    }
+}
+
+/// Draw a standard normal deviate via Box-Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite; u2 in [0, 1).
+    let u1 = 1.0 - f64::sample_standard(rng);
+    let u2 = f64::sample_standard(rng);
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Construct; `std_dev` must be finite and non-negative.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, Error> {
+        if !mean.is_finite_f() {
+            return Err(Error::BadMean);
+        }
+        if !std_dev.is_finite_f() || std_dev.to_f64() < 0.0 {
+            return Err(Error::BadStdDev);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The mean parameter.
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    /// The standard-deviation parameter.
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let z = standard_normal(rng);
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F: Float> {
+    norm: Normal<F>,
+}
+
+impl<F: Float> LogNormal<F> {
+    /// Construct from the underlying normal's `mu` and `sigma`.
+    pub fn new(mu: F, sigma: F) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.norm.sample(rng).to_f64().exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let dist = Normal::new(3.0f64, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let dist = Normal::new(1.5f32, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(dist.sample(&mut rng), 1.5);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let dist = LogNormal::new(0.0f64, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(dist.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_negative_sigma() {
+        assert!(Normal::new(0.0f64, -1.0).is_err());
+    }
+}

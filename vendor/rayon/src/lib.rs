@@ -1,0 +1,370 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small parallel-iterator surface this workspace uses —
+//! `par_iter().map().collect()`, `par_chunks_mut().enumerate().for_each()`
+//! and `ThreadPoolBuilder::install` — on `std::thread::scope` instead of
+//! a work-stealing pool. Work is split into one contiguous block per
+//! thread, which is the right shape for the uniform per-item costs in
+//! this workspace (per-client training, per-row GEMM).
+//!
+//! The active thread count is a thread-local so nested
+//! `ThreadPool::install` calls behave like rayon's: code inside
+//! `install` sees that pool's configured parallelism.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// The parallelism in effect (set by [`ThreadPool::install`], else the
+/// machine default).
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Run `f(index, n_jobs)` for every job in `0..n_jobs` across the
+/// active thread count. `f` receives disjoint job indices.
+fn run_jobs<F>(n_jobs: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = current_num_threads().min(n_jobs).max(1);
+    if threads <= 1 || n_jobs <= 1 {
+        for j in 0..n_jobs {
+            f(j);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let f = &f;
+            // Blocks of contiguous jobs: thread t takes [start, end).
+            let start = n_jobs * t / threads;
+            let end = n_jobs * (t + 1) / threads;
+            scope.spawn(move || {
+                // Workers run nested parallel calls sequentially: the
+                // split is one-level by design, and without this cap an
+                // inner par_chunks_mut would spawn its own full thread
+                // set per outer job (oversubscription), and
+                // ThreadPool::install(1) would not serialize nested work.
+                CURRENT_THREADS.with(|c| c.set(Some(1)));
+                for j in start..end {
+                    f(j);
+                }
+            });
+        }
+    });
+}
+
+/// Convenience re-exports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator, ParallelSliceMut};
+}
+
+pub mod iter {
+    //! Parallel iterator shims.
+
+    use super::run_jobs;
+    use std::sync::Mutex;
+
+    /// Marker trait so generic bounds written against rayon still
+    /// compile; the concrete adapters below carry the real methods.
+    pub trait ParallelIterator {}
+
+    /// `.par_iter()` on slices (and anything derefing to a slice).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Borrow as a parallel iterator.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    /// Borrowed parallel iterator over a slice.
+    pub struct ParIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<T> ParallelIterator for ParIter<'_, T> {}
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Map each element (in parallel at collect time).
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            F: Fn(&'a T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                slice: self.slice,
+                f,
+            }
+        }
+
+        /// Copy out the elements.
+        pub fn copied(self) -> ParMap<'a, T, fn(&'a T) -> T>
+        where
+            T: Copy + Send,
+        {
+            ParMap {
+                slice: self.slice,
+                f: |x: &'a T| *x,
+            }
+        }
+
+        /// Parallel for-each.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a T) + Sync,
+        {
+            let slice = self.slice;
+            run_jobs(slice.len(), |j| f(&slice[j]));
+        }
+    }
+
+    /// Mapped parallel iterator over a slice.
+    pub struct ParMap<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    impl<T, F> ParallelIterator for ParMap<'_, T, F> {}
+
+    impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+        /// Evaluate in parallel, preserving input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let n = self.slice.len();
+            let mut out: Vec<Option<R>> = Vec::new();
+            out.resize_with(n, || None);
+            let cells = Mutex::new(&mut out);
+            // Each job writes a distinct index; the mutex only guards
+            // the Vec handle, contention is one lock per item. Good
+            // enough for the coarse-grained work here (whole-client
+            // training steps).
+            run_jobs(n, |j| {
+                let r = (self.f)(&self.slice[j]);
+                let mut guard = cells.lock().expect("poisoned");
+                guard[j] = Some(r);
+            });
+            out.into_iter().map(|slot| slot.expect("job ran")).collect()
+        }
+
+        /// Sum of mapped values.
+        pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+            self.collect::<Vec<R>>().into_iter().sum()
+        }
+    }
+
+    /// `.par_chunks_mut(n)` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Split into disjoint mutable chunks processed in parallel.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+
+    /// Parallel mutable-chunks adapter.
+    pub struct ParChunksMut<'a, T> {
+        slice: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<T> ParallelIterator for ParChunksMut<'_, T> {}
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pair each chunk with its index.
+        pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+            ParChunksMutEnumerate { inner: self }
+        }
+
+        /// Parallel for-each over chunks.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            self.enumerate().for_each(|(_, chunk)| f(chunk));
+        }
+    }
+
+    /// Enumerated parallel mutable-chunks adapter.
+    pub struct ParChunksMutEnumerate<'a, T> {
+        inner: ParChunksMut<'a, T>,
+    }
+
+    impl<T> ParallelIterator for ParChunksMutEnumerate<'_, T> {}
+
+    impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+        /// Parallel for-each over `(index, chunk)` pairs.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut [T])) + Sync,
+        {
+            let chunks: Vec<(usize, &mut [T])> = self
+                .inner
+                .slice
+                .chunks_mut(self.inner.chunk_size)
+                .enumerate()
+                .collect();
+            // Hand each job its own &mut chunk. The UnsafeCell-free way:
+            // wrap in Mutex<Vec<Option<..>>> and take() per job — each
+            // index is touched exactly once.
+            let slots: Vec<std::sync::Mutex<Option<(usize, &mut [T])>>> = chunks
+                .into_iter()
+                .map(|c| std::sync::Mutex::new(Some(c)))
+                .collect();
+            run_jobs(slots.len(), |j| {
+                let item = slots[j]
+                    .lock()
+                    .expect("poisoned")
+                    .take()
+                    .expect("job ran once");
+                f(item);
+            });
+        }
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced; kept for
+/// signature parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder (machine-default parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the thread count (0 means machine default, as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_threads),
+        })
+    }
+}
+
+/// A "pool": in this shim, a parallelism level applied for the duration
+/// of [`install`](ThreadPool::install).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's parallelism active.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let result = f();
+        CURRENT_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u64; 97];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v += i as u64 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v >= 1));
+        assert_eq!(data[96], 10, "last chunk has index 9");
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+        let nested = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(crate::current_num_threads), 1);
+            assert_eq!(crate::current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn single_thread_pool_gives_same_result() {
+        let input: Vec<u64> = (0..100).collect();
+        let par: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let seq: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * x).collect());
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a small value-tree serialisation framework under serde's
+//! names: `#[derive(Serialize, Deserialize)]` (from the sibling
+//! `serde_derive` shim) map types to and from a JSON-shaped [`Value`],
+//! and the `serde_json` shim renders/parses that tree as JSON text.
+//!
+//! Supported surface (all this workspace uses):
+//! * structs with named fields, newtype/tuple structs;
+//! * enums with unit and struct variants, externally tagged
+//!   (`"Unit"` / `{"Variant": {...}}`) exactly like upstream serde;
+//! * `#[serde(default)]` on fields;
+//! * primitives, `String`, `Option`, `Vec`, arrays, tuples, maps.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::{Number, Value};
+
+/// Serialisation: convert `self` into a [`Value`] tree.
+///
+/// Note: unlike upstream serde this is not zero-copy and has no
+/// serializer abstraction; the tree is the interchange format.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialisation: rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Owned-deserialisation alias for API parity with upstream
+/// (`serde::de::DeserializeOwned`).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// In this shim every [`Deserialize`] is owned.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Serialisation / deserialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Type-mismatch helper.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Missing-field helper used by derived code.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::custom(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    /// Unknown-variant helper used by derived code.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error::custom(format!("unknown variant `{variant}` for `{ty}`"))
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Support items referenced by `serde_derive`-generated code. Not part
+/// of the public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::{Deserialize, Error, Serialize, Value};
+
+    /// Look up `key` in an object's pair list.
+    pub fn find<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}

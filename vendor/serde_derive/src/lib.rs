@@ -1,0 +1,502 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim.
+//!
+//! Implemented directly on `proc_macro` token trees (the offline build
+//! has no `syn`/`quote`). Supports the shapes this workspace uses:
+//! structs with named fields, tuple/newtype structs, unit structs, and
+//! enums with unit / struct / tuple variants (externally tagged, like
+//! upstream serde's default). The only field attribute understood is
+//! `#[serde(default)]`. Generic types are rejected with a compile
+//! error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// --------------------------------------------------------------- item model
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Strip a raw-identifier prefix for use as a JSON key.
+fn key_name(ident: &str) -> String {
+    ident.strip_prefix("r#").unwrap_or(ident).to_owned()
+}
+
+/// Does this attribute body (the tokens inside `#[...]`) say
+/// `serde(default)` (possibly among other serde options)?
+fn attr_is_serde_default(body: &[TokenTree]) -> bool {
+    match body {
+        [first, TokenTree::Group(args)] if ident_of(first).as_deref() == Some("serde") => args
+            .stream()
+            .into_iter()
+            .any(|t| ident_of(&t).as_deref() == Some("default")),
+        _ => false,
+    }
+}
+
+/// Consume attributes at `*i`; report whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                has_default |= attr_is_serde_default(&body);
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    has_default
+}
+
+/// Consume `pub`, `pub(crate)`, `pub(in ...)` at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && ident_of(&tokens[*i]).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Consume one type (or expression) up to a top-level `,`, tracking
+/// angle-bracket depth; groups are atomic token trees so only `<`/`>`
+/// need counting.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < tokens.len() {
+        let tt = &tokens[*i];
+        if is_punct(tt, '<') {
+            angle += 1;
+        } else if is_punct(tt, '>') && angle > 0 {
+            angle -= 1;
+        } else if is_punct(tt, ',') && angle == 0 {
+            return;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = ident_of(
+            tokens
+                .get(i)
+                .ok_or_else(|| "unexpected end of field list".to_owned())?,
+        )
+        .ok_or_else(|| format!("expected field name, got `{}`", tokens[i]))?;
+        i += 1;
+        if !tokens.get(i).is_some_and(|t| is_punct(t, ':')) {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i); // e.g. #[default], doc comments
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i])
+            .ok_or_else(|| format!("expected variant name, got `{}`", tokens[i]))?;
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant`, then the separating comma.
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kw = ident_of(
+        tokens
+            .get(i)
+            .ok_or_else(|| "empty derive input".to_owned())?,
+    )
+    .ok_or_else(|| "expected `struct` or `enum`".to_owned())?;
+    i += 1;
+    let name = ident_of(
+        tokens
+            .get(i)
+            .ok_or_else(|| "missing type name".to_owned())?,
+    )
+    .ok_or_else(|| "expected type name".to_owned())?;
+    i += 1;
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err(format!(
+            "the vendored serde shim cannot derive for generic type `{name}`"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => {
+            // Scan forward past any where clause to the body.
+            while i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        return Ok(Item::Struct {
+                            name,
+                            fields: Fields::Named(parse_named_fields(g.stream())?),
+                        });
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Ok(Item::Struct {
+                            name,
+                            fields: Fields::Tuple(count_tuple_fields(g.stream())),
+                        });
+                    }
+                    t if is_punct(t, ';') => {
+                        return Ok(Item::Struct {
+                            name,
+                            fields: Fields::Unit,
+                        });
+                    }
+                    _ => i += 1,
+                }
+            }
+            Err(format!("no body found for struct `{name}`"))
+        }
+        "enum" => {
+            while i < tokens.len() {
+                if let TokenTree::Group(g) = &tokens[i] {
+                    if g.delimiter() == Delimiter::Brace {
+                        return Ok(Item::Enum {
+                            name,
+                            variants: parse_variants(g.stream())?,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            Err(format!("no body found for enum `{name}`"))
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn named_fields_to_object(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from(
+        "{ let mut pairs: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let key = key_name(&f.name);
+        let access = format!("{}{}", access_prefix, f.name);
+        out.push_str(&format!(
+            "pairs.push((\"{key}\".to_string(), ::serde::Serialize::to_value(&{access})));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Object(pairs) }");
+    out
+}
+
+/// Build the deserialiser expression for one named field, reading from
+/// a `pairs` binding.
+fn named_field_from_pairs(ty_name: &str, f: &Field) -> String {
+    let key = key_name(&f.name);
+    let missing = if f.default {
+        "::std::default::Default::default()".to_owned()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field(\"{ty_name}\", \"{key}\"))"
+        )
+    };
+    format!(
+        "{name}: match ::serde::__private::find(pairs, \"{key}\") {{\n\
+         ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }}",
+        name = f.name
+    )
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => named_fields_to_object(fs, "self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let bind: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                        let obj = named_fields_to_object(fs, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), {obj})]),\n",
+                            binds = bind.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let bind: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = bind
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), {inner})]),\n",
+                            binds = bind.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let field_exprs: Vec<String> =
+                        fs.iter().map(|f| named_field_from_pairs(name, f)).collect();
+                    format!(
+                        "let pairs = v.as_object().ok_or_else(|| \
+                         ::serde::Error::expected(\"object\", v))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        field_exprs.join(",\n")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = v.as_array().ok_or_else(|| \
+                         ::serde::Error::expected(\"array\", v))?;\n\
+                         if items.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::custom(format!(\"expected {n} elements for {name}, got {{}}\", items.len()))); }}\n\
+                         ::std::result::Result::Ok({name}({items}))",
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    )
+                })
+                .collect();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        // Accept `{"Unit": null}` for leniency.
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let field_exprs: Vec<String> =
+                            fs.iter().map(|f| named_field_from_pairs(name, f)).collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let pairs = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::expected(\"object\", inner))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {} }})\n}}\n",
+                            field_exprs.join(",\n")
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::expected(\"array\", inner))?;\n\
+                             if items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong tuple-variant arity\".to_string())); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({items}))\n}}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                 }},\n\
+                 ::serde::Value::Object(outer) if outer.len() == 1 => {{\n\
+                 let (tag, inner) = &outer[0];\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::expected(\"externally tagged enum\", v)),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn run(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!(\"serde shim derive: {msg}\");"),
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    run(input, generate_serialize)
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    run(input, generate_deserialize)
+}

@@ -1,0 +1,372 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored serde shim's [`Value`] tree as JSON text and
+//! parses JSON text back into it. Numbers keep their integer/float
+//! distinction; floats round-trip exactly via Rust's shortest-repr
+//! formatting; non-finite floats serialise as `null` (as upstream
+//! `serde_json::to_string` would reject them, the shim opts for the
+//! lenient behaviour so diagnostic dumps never panic).
+
+use serde::{Deserialize, Number, Serialize, Value};
+
+/// Re-export: `serde_json::Error` is the shim's serde error.
+pub type Error = serde::Error;
+
+/// Result alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialise to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialise to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse a JSON string into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_complete(s)?;
+    T::from_value(&value)
+}
+
+/// Parse a JSON string into a raw [`Value`].
+pub fn parse_value_complete(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+// ------------------------------------------------------------------ writer
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * level));
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    use std::fmt::Write as _;
+    match n {
+        Number::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::F64(v) if !v.is_finite() => out.push_str("null"),
+        Number::F64(v) => {
+            // Rust's Display prints the shortest representation that
+            // round-trips; keep a trailing `.0` so the integer/float
+            // distinction survives the round trip.
+            let mut buf = format!("{v}");
+            if !buf.contains(['.', 'e', 'E']) {
+                buf.push_str(".0");
+            }
+            out.push_str(&buf);
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------------ parser
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<()> {
+    if *pos < bytes.len() && bytes[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::custom(format!(
+            "expected `{}` at byte {}",
+            ch as char, *pos
+        )))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::custom("unexpected end of input")),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::custom(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let val = parse_value(bytes, pos)?;
+                pairs.push((key, val));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(pairs));
+                    }
+                    _ => return Err(Error::custom(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, kw: &str, value: Value) -> Result<Value> {
+    if bytes[*pos..].starts_with(kw.as_bytes()) {
+        *pos += kw.len();
+        Ok(value)
+    } else {
+        Err(Error::custom(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::custom("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::custom("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::custom("bad \\u escape"))?;
+                        // Surrogate pairs are not reassembled; this
+                        // workspace never emits them (no astral-plane
+                        // escapes in any config).
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::custom("bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::custom("invalid UTF-8"))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error::custom("invalid UTF-8 in number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::custom(format!("invalid number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U64(v)));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::I64(v)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|v| Value::Number(Number::F64(v)))
+        .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i32>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert_eq!(from_str::<String>(r#""a\nbA""#).unwrap(), "a\nbA");
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for &x in &[0.1f64, 1.0 / 3.0, 1e-300, 123456.789, -0.0] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x, "via {s}");
+        }
+        let f = 0.12345679f32;
+        let s = to_string(&f).unwrap();
+        assert_eq!(from_str::<f32>(&s).unwrap(), f);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![(1.5f64, "x".to_string()), (2.5, "y".to_string())];
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Vec<(f64, String)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u64>("42 junk").is_err());
+    }
+
+    #[test]
+    fn integer_float_distinction_survives() {
+        let s = to_string(&3.0f64).unwrap();
+        assert_eq!(s, "3.0");
+        assert_eq!(to_string(&3u64).unwrap(), "3");
+    }
+}
