@@ -5,6 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 use tifl_core::scheduler::StaticTierSelector;
 use tifl_fl::selector::RandomSelector;
 

@@ -9,6 +9,7 @@
 use tifl_bench::{header, HarnessArgs};
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -25,11 +26,11 @@ fn main() {
         let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
         cfg.rounds = rounds;
         cfg.tiering.num_tiers = m;
-        let (assignment, _) = cfg.profile_and_tier();
-        let lats = assignment.tier_latencies();
+        let mut runner = cfg.runner();
+        let lats = runner.tiers().tier_latencies();
         let spread = lats.last().unwrap() / lats.first().unwrap();
         eprintln!("[ablation] m = {m} ...");
-        let report = cfg.run_policy(&Policy::uniform(m));
+        let report = runner.policy(&Policy::uniform(m)).run();
         println!(
             "{m:<6} {:>14.0} {:>11.3} {:>18.1}x",
             report.total_time(),

@@ -13,6 +13,7 @@
 use tifl_bench::{header, HarnessArgs};
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 use tifl_fl::TrainingReport;
 
 fn main() {
@@ -21,27 +22,28 @@ fn main() {
     let mut cfg = ExperimentConfig::cifar10_resource_noniid(5, seed);
     cfg.rounds = args.rounds_or(300);
 
+    // One runner for the whole table: the profile behind the FedCS
+    // deadline pick is the same one tiering and fedcs selection reuse.
+    let mut runner = cfg.runner();
+    let lats = runner.tiers().tier_latencies();
     // FedCS deadline: median profiled latency, so roughly the fastest
     // half of the fleet qualifies.
-    let (assignment, _) = cfg.profile_and_tier();
-    let lats = assignment.tier_latencies();
     let deadline = lats[lats.len() / 2];
 
     let mut runs: Vec<TrainingReport> = Vec::new();
     eprintln!("[baselines] vanilla ...");
-    runs.push(cfg.run_policy(&Policy::vanilla()));
+    runs.push(runner.vanilla().run());
     eprintln!("[baselines] overselect(1.3) ...");
-    runs.push(cfg.run_overselection(1.3));
+    runs.push(runner.overselect(1.3).run());
     eprintln!("[baselines] fedcs (deadline {deadline:.0}s) ...");
-    runs.push(cfg.run_fedcs(deadline));
+    runs.push(runner.reset().deadline(deadline).run());
     eprintln!("[baselines] fedprox(0.1) ...");
-    runs.push(cfg.run_fedprox(0.1));
+    runs.push(runner.reset().fedprox(0.1).run());
     eprintln!("[baselines] uniform ...");
-    runs.push(cfg.run_policy(&Policy::uniform(5)));
+    runs.push(runner.reset().policy(&Policy::uniform(5)).run());
     eprintln!("[baselines] adaptive ...");
-    let mut adaptive = cfg.run_adaptive(None);
-    adaptive.policy = "TiFL".into();
-    runs.push(adaptive);
+    runs.push(runner.adaptive(None).label("TiFL").run());
+    assert_eq!(runner.profile_count(), 1, "profiling must happen once");
 
     header(
         "baselines",

@@ -9,6 +9,7 @@
 use tifl_bench::{header, HarnessArgs};
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -16,10 +17,11 @@ fn main() {
     let mut cfg = ExperimentConfig::cifar10_combine(2, seed);
     cfg.rounds = args.rounds_or(300);
 
+    let mut runner = cfg.runner();
     let mut rows: Vec<(String, Vec<Option<f64>>, f64)> = Vec::new();
     for policy in [Policy::vanilla(), Policy::fast(5), Policy::uniform(5)] {
         eprintln!("[class_bias] {} ...", policy.name);
-        let (report, session) = cfg.run_policy_session(&policy);
+        let (report, session) = runner.policy(&policy).run_with_session();
         let per_class = session.evaluate_global_per_class();
         let present: Vec<f64> = per_class.iter().flatten().copied().collect();
         let spread = present.iter().copied().fold(0.0f64, f64::max)

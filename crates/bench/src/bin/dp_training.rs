@@ -9,6 +9,7 @@
 use tifl_bench::{header, HarnessArgs};
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 use tifl_fl::client::DpNoiseConfig;
 
 fn main() {
@@ -25,15 +26,16 @@ fn main() {
     );
     let mut rows = Vec::new();
     for z in [0.0f32, 0.01, 0.05, 0.2] {
+        let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
+        cfg.rounds = args.rounds_or(200);
+        cfg.client.dp = Some(DpNoiseConfig {
+            clip: 1.0,
+            noise_multiplier: z,
+        });
+        let mut runner = cfg.runner();
         for policy in [Policy::vanilla(), Policy::uniform(5)] {
-            let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
-            cfg.rounds = args.rounds_or(200);
-            cfg.client.dp = Some(DpNoiseConfig {
-                clip: 1.0,
-                noise_multiplier: z,
-            });
             eprintln!("[dp] z={z} {} ...", policy.name);
-            let report = cfg.run_policy(&policy);
+            let report = runner.policy(&policy).run();
             println!(
                 "{z:<18} {:>10} {:>18.3} {:>18.0}",
                 report.policy,

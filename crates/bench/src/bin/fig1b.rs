@@ -6,7 +6,7 @@
 
 use tifl_bench::{header, print_accuracy_over_rounds, HarnessArgs, PolicyOutcome};
 use tifl_core::experiment::{DataScenario, ExperimentConfig};
-use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -31,7 +31,7 @@ fn main() {
         };
         cfg.rounds = args.rounds_or(cfg.rounds);
         eprintln!("[fig1b] {label} ...");
-        let mut outcome = PolicyOutcome::from(&cfg.run_policy(&Policy::vanilla()));
+        let mut outcome = PolicyOutcome::from(&cfg.runner().vanilla().run());
         outcome.policy = label.to_string();
         outcomes.push(outcome);
     }

@@ -13,15 +13,21 @@ use tifl_bench::{
 };
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 
 fn run_column(cfg: &ExperimentConfig) -> Vec<PolicyOutcome> {
-    Policy::cifar_set(cfg.tiering.num_tiers)
+    // One runner per configuration: profiling/tiering happens once and
+    // is shared by every policy curve.
+    let mut runner = cfg.runner();
+    let outcomes = Policy::cifar_set(cfg.tiering.num_tiers)
         .iter()
         .map(|p| {
             eprintln!("[fig3] {} / {} ...", cfg.name, p.name);
-            PolicyOutcome::from(&cfg.run_policy(p))
+            PolicyOutcome::from(&runner.policy(p).run())
         })
-        .collect()
+        .collect();
+    assert!(runner.profile_count() <= 1, "profiled more than once");
+    outcomes
 }
 
 fn main() {

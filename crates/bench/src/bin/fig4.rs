@@ -7,6 +7,7 @@
 use tifl_bench::{header, print_accuracy_over_rounds, HarnessArgs, PolicyOutcome};
 use tifl_core::experiment::{DataScenario, ExperimentConfig};
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 
 fn config_for(k: Option<usize>, seed: u64, rounds: u64) -> ExperimentConfig {
     let mut cfg = match k {
@@ -33,14 +34,21 @@ fn main() {
         ("non-IID(2)", Some(2)),
     ];
 
+    // One config + runner per non-IID level: each level profiles once
+    // and serves all five policy curves.
+    let cfgs: Vec<ExperimentConfig> = levels
+        .iter()
+        .map(|&(_, k)| config_for(k, seed, rounds))
+        .collect();
+    let mut runners: Vec<_> = cfgs.iter().map(|c| c.runner()).collect();
+
     let mut all = Vec::new();
     for (panel, policy) in Policy::cifar_set(5).iter().enumerate() {
         let mut outcomes = Vec::new();
-        for (label, k) in levels {
+        for ((label, _), runner) in levels.iter().zip(runners.iter_mut()) {
             eprintln!("[fig4] {} / {label} ...", policy.name);
-            let cfg = config_for(k, seed, rounds);
-            let mut o = PolicyOutcome::from(&cfg.run_policy(policy));
-            o.policy = label.to_string();
+            let mut o = PolicyOutcome::from(&runner.policy(policy).run());
+            o.policy = (*label).to_string();
             outcomes.push(o);
         }
         header(

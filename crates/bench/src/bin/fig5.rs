@@ -7,16 +7,18 @@ use tifl_bench::{
 };
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 use tifl_data::synth::SynthFamily;
 
 fn run_column(family: SynthFamily, seed: u64, rounds: u64) -> Vec<PolicyOutcome> {
     let mut cfg = ExperimentConfig::mnist_like_combined(family, seed);
     cfg.rounds = rounds;
+    let mut runner = cfg.runner();
     Policy::mnist_set(cfg.tiering.num_tiers)
         .iter()
         .map(|p| {
             eprintln!("[fig5] {} / {} ...", cfg.name, p.name);
-            PolicyOutcome::from(&cfg.run_policy(p))
+            PolicyOutcome::from(&runner.policy(p).run())
         })
         .collect()
 }

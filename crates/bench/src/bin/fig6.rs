@@ -8,13 +8,15 @@ use tifl_bench::{
 };
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 
 fn run_column(cfg: &ExperimentConfig) -> Vec<PolicyOutcome> {
+    let mut runner = cfg.runner();
     Policy::cifar_set(cfg.tiering.num_tiers)
         .iter()
         .map(|p| {
             eprintln!("[fig6] {} / {} ...", cfg.name, p.name);
-            PolicyOutcome::from(&cfg.run_policy(p))
+            PolicyOutcome::from(&runner.policy(p).run())
         })
         .collect()
 }

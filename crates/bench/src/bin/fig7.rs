@@ -11,6 +11,7 @@
 use tifl_bench::{header, HarnessArgs, PolicyOutcome};
 use tifl_core::experiment::{DataScenario, ExperimentConfig};
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -32,13 +33,14 @@ fn main() {
 
     let mut results: Vec<(String, Vec<PolicyOutcome>)> = Vec::new();
     for (label, cfg) in &scenarios {
+        let mut runner = cfg.runner();
         let mut outcomes = Vec::new();
         for p in [Policy::vanilla(), Policy::uniform(5)] {
             eprintln!("[fig7] {label} / {} ...", p.name);
-            outcomes.push(PolicyOutcome::from(&cfg.run_policy(&p)));
+            outcomes.push(PolicyOutcome::from(&runner.policy(&p).run()));
         }
         eprintln!("[fig7] {label} / adaptive ...");
-        let mut a = PolicyOutcome::from(&cfg.run_adaptive(None));
+        let mut a = PolicyOutcome::from(&runner.adaptive(None).run());
         a.policy = "TiFL".into();
         outcomes.push(a);
         results.push(((*label).to_string(), outcomes));

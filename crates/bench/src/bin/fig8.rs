@@ -5,6 +5,7 @@
 use tifl_bench::{header, print_accuracy_over_rounds, HarnessArgs, PolicyOutcome};
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -15,13 +16,14 @@ fn main() {
         let mut cfg = ExperimentConfig::cifar10_noniid(k, seed);
         cfg.rounds = args.rounds_or(cfg.rounds);
 
+        let mut runner = cfg.runner();
         let mut outcomes = Vec::new();
         for p in [Policy::vanilla(), Policy::uniform(5)] {
             eprintln!("[fig8] non-IID({k}) / {} ...", p.name);
-            outcomes.push(PolicyOutcome::from(&cfg.run_policy(&p)));
+            outcomes.push(PolicyOutcome::from(&runner.policy(&p).run()));
         }
         eprintln!("[fig8] non-IID({k}) / adaptive ...");
-        let mut a = PolicyOutcome::from(&cfg.run_adaptive(None));
+        let mut a = PolicyOutcome::from(&runner.adaptive(None).run());
         a.policy = "TiFL".into();
         outcomes.push(a);
 

@@ -8,6 +8,7 @@ use tifl_bench::{
     header, print_accuracy_over_rounds, print_summary, print_time_bars, HarnessArgs, PolicyOutcome,
 };
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 use tifl_leaf::LeafExperiment;
 
 fn main() {
@@ -16,13 +17,14 @@ fn main() {
     let mut exp = LeafExperiment::paper(seed);
     exp.rounds = args.rounds_or(exp.rounds);
 
+    let mut runner = exp.runner();
     let mut outcomes = Vec::new();
     for p in Policy::cifar_set(exp.tiering.num_tiers) {
         eprintln!("[fig9] {} ...", p.name);
-        outcomes.push(PolicyOutcome::from(&exp.run_policy(&p)));
+        outcomes.push(PolicyOutcome::from(&runner.policy(&p).run()));
     }
     eprintln!("[fig9] adaptive ...");
-    let mut a = PolicyOutcome::from(&exp.run_adaptive(None));
+    let mut a = PolicyOutcome::from(&runner.adaptive(None).run());
     a.policy = "TiFL".into();
     outcomes.push(a);
 

@@ -8,6 +8,7 @@
 use tifl_bench::{header, HarnessArgs};
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 use tifl_sim::DriftModel;
 
 fn main() {
@@ -27,15 +28,16 @@ fn main() {
         factors,
     };
 
+    let mut runner = cfg.runner();
     eprintln!("[reprofiling] vanilla ...");
-    let vanilla = cfg.run_policy(&Policy::vanilla());
+    let vanilla = runner.vanilla().run();
     eprintln!("[reprofiling] fast, stale tiers ...");
-    let stale = cfg.run_policy(&Policy::fast(5));
+    let stale = runner.policy(&Policy::fast(5)).run();
     eprintln!(
         "[reprofiling] fast, re-profiling every {} rounds ...",
         rounds / 8
     );
-    let fresh = cfg.run_policy_with_reprofiling(&Policy::fast(5), rounds / 8);
+    let fresh = runner.reprofile_every(rounds / 8).run();
 
     header(
         "re-profiling",

@@ -5,9 +5,10 @@
 //! the virtual time measured by running the full training.
 
 use tifl_bench::{header, HarnessArgs};
-use tifl_core::estimator::{estimate_for_policy, mape};
+use tifl_core::estimator::mape;
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -15,7 +16,8 @@ fn main() {
     let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
     cfg.rounds = args.rounds_or(cfg.rounds);
 
-    let (assignment, profile) = cfg.profile_and_tier();
+    let mut runner = cfg.runner();
+    let (assignment, profile) = runner.profile().clone();
     header(
         "Table 1",
         "scheduling policy configurations (selection probabilities)",
@@ -59,8 +61,8 @@ fn main() {
         Policy::fast(5),
     ] {
         eprintln!("[table2] {} ...", policy.name);
-        let est = estimate_for_policy(&assignment, &policy, cfg.rounds);
-        let actual = cfg.run_policy(&policy).total_time();
+        let est = runner.estimate(&policy);
+        let actual = runner.policy(&policy).run().total_time();
         let err = mape(est, actual);
         println!("{:<10} {est:>14.0} {actual:>12.0} {err:>9.2}", policy.name);
         rows.push((policy.name.clone(), est, actual, err));

@@ -8,6 +8,7 @@
 use tifl_bench::{header, HarnessArgs};
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
+use tifl_core::runner::Experiment;
 use tifl_fl::TrainingReport;
 
 fn main() {
@@ -18,15 +19,14 @@ fn main() {
     cfg.eval_every = 2;
 
     let targets = [0.5f64, 0.6, 0.7, 0.75, 0.8];
+    let mut runner = cfg.runner();
     let mut runs: Vec<TrainingReport> = Vec::new();
     for p in Policy::cifar_set(5) {
         eprintln!("[time_to_acc] {} ...", p.name);
-        runs.push(cfg.run_policy(&p));
+        runs.push(runner.policy(&p).run());
     }
     eprintln!("[time_to_acc] adaptive ...");
-    let mut a = cfg.run_adaptive(None);
-    a.policy = "TiFL".into();
-    runs.push(a);
+    runs.push(runner.adaptive(None).label("TiFL").run());
 
     header(
         "time to accuracy",

@@ -2,8 +2,11 @@
 //!
 //! An [`ExperimentConfig`] bundles dataset family, partition scenario,
 //! hardware profile, model and hyper-parameters; the bench binaries and
-//! examples build one, then call [`ExperimentConfig::run_policy`] /
-//! [`ExperimentConfig::run_adaptive`] per curve.
+//! examples build one, then compose runs through the
+//! [`crate::runner::Runner`] it hands out via
+//! [`crate::runner::Experiment::runner`]
+//! (`cfg.runner().policy(&p).run()`, `cfg.runner().adaptive(None).run()`
+//! and so on).
 //!
 //! Calibration note: the synthetic models are far smaller than the
 //! paper's Keras CNNs, so the simulated device throughput
@@ -13,15 +16,15 @@
 //! numbers are virtual seconds.
 
 use crate::policy::Policy;
-use crate::profiler::{ProfileResult, Profiler, ProfilerConfig};
-use crate::scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
-use crate::tiering::{TierAssignment, TieringConfig};
+use crate::profiler::ProfilerConfig;
+use crate::runner::Experiment;
+use crate::scheduler::AdaptiveConfig;
+use crate::tiering::TieringConfig;
 use serde::{Deserialize, Serialize};
 use tifl_data::partition::{self, Partition};
 use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
 use tifl_data::FederatedDataset;
-use tifl_fl::selector::RandomSelector;
-use tifl_fl::session::{AggregationMode, Session, SessionConfig};
+use tifl_fl::session::{AggregationMode, Session, SessionConfig, SessionOverrides};
 use tifl_fl::{ClientConfig, TrainingReport};
 use tifl_nn::models::ModelSpec;
 use tifl_sim::latency::LatencyModelConfig;
@@ -336,6 +339,123 @@ impl ExperimentConfig {
     /// Build a fresh training session (deterministic per config).
     #[must_use]
     pub fn make_session(&self) -> Session {
+        self.build_session(&SessionOverrides::default())
+    }
+
+    /// Eq. 6 estimate for a (non-vanilla) policy under this config's
+    /// profiled tiers.
+    #[must_use]
+    pub fn estimate_policy(&self, policy: &Policy) -> f64 {
+        self.runner().estimate(policy)
+    }
+
+    // -- legacy execution wrappers ----------------------------------------
+    //
+    // The pipeline these methods used to duplicate lives in
+    // `crate::runner`; each one is now a thin spec over it. They remain
+    // bit-for-bit compatible (same seeds, same labels).
+
+    /// Run one full training under a static policy (vanilla bypasses
+    /// tiering, matching Algorithm 1).
+    #[deprecated(since = "0.2.0", note = "use `cfg.runner().policy(policy).run()`")]
+    #[must_use]
+    pub fn run_policy(&self, policy: &Policy) -> TrainingReport {
+        self.runner().policy(policy).run()
+    }
+
+    /// As `run_policy` but also returns the finished session, so callers
+    /// can inspect the final global model.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `cfg.runner().policy(policy).run_with_session()`"
+    )]
+    #[must_use]
+    pub fn run_policy_session(&self, policy: &Policy) -> (TrainingReport, Session) {
+        self.runner().policy(policy).run_with_session()
+    }
+
+    /// Run one full training under the adaptive policy (Algorithm 2).
+    #[deprecated(since = "0.2.0", note = "use `cfg.runner().adaptive(config).run()`")]
+    #[must_use]
+    pub fn run_adaptive(&self, config: Option<AdaptiveConfig>) -> TrainingReport {
+        self.runner().adaptive(config).run()
+    }
+
+    /// Run the FedCS baseline (§2): random selection filtered by a
+    /// per-round deadline over profiled latencies.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `cfg.runner().deadline(deadline_sec).run()`"
+    )]
+    #[must_use]
+    pub fn run_fedcs(&self, deadline_sec: f64) -> TrainingReport {
+        self.runner().deadline(deadline_sec).run()
+    }
+
+    /// Run the Bonawitz et al. over-selection baseline (§2).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `cfg.runner().vanilla().overselect(factor).run()`"
+    )]
+    #[must_use]
+    pub fn run_overselection(&self, factor: f64) -> TrainingReport {
+        self.runner().vanilla().overselect(factor).run()
+    }
+
+    /// Run vanilla selection with the FedProx proximal objective (§2).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `cfg.runner().vanilla().fedprox(mu).run()`"
+    )]
+    #[must_use]
+    pub fn run_fedprox(&self, mu: f32) -> TrainingReport {
+        self.runner().vanilla().fedprox(mu).run()
+    }
+
+    /// Run a static tier policy with periodic re-profiling every
+    /// `reprofile_every` rounds (§4.2).
+    ///
+    /// # Panics
+    /// Panics on a vanilla policy or a zero interval.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `cfg.runner().policy(policy).reprofile_every(n).run()`"
+    )]
+    #[must_use]
+    pub fn run_policy_with_reprofiling(
+        &self,
+        policy: &Policy,
+        reprofile_every: u64,
+    ) -> TrainingReport {
+        self.runner()
+            .policy(policy)
+            .reprofile_every(reprofile_every)
+            .run()
+    }
+}
+
+impl Experiment for ExperimentConfig {
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    fn profiler_config(&self) -> ProfilerConfig {
+        self.profiler
+    }
+
+    fn tiering_config(&self) -> TieringConfig {
+        self.tiering
+    }
+
+    fn build_session(&self, overrides: &SessionOverrides) -> Session {
         let session_cfg = SessionConfig {
             model: self.model,
             client: self.client,
@@ -345,157 +465,9 @@ impl ExperimentConfig {
             tmax_sec: self.profiler.tmax_sec,
             aggregation: self.aggregation,
             seed: split_seed(self.seed, 0x5E55),
-        };
+        }
+        .with_overrides(overrides);
         Session::new(self.build_data(), self.build_cluster(), session_cfg)
-    }
-
-    /// Run the profiler over all clients and tier them (§4.2).
-    #[must_use]
-    pub fn profile_and_tier(&self) -> (TierAssignment, ProfileResult) {
-        let session = self.make_session();
-        let profiler = Profiler::new(self.profiler);
-        let result = profiler.profile(session.cluster(), |c| session.task_for(c));
-        let assignment = TierAssignment::from_latencies(&result.mean_latency, &self.tiering);
-        (assignment, result)
-    }
-
-    // -- execution --------------------------------------------------------
-
-    /// Run one full training under a static policy (vanilla bypasses
-    /// tiering, matching Algorithm 1).
-    #[must_use]
-    pub fn run_policy(&self, policy: &Policy) -> TrainingReport {
-        self.run_policy_session(policy).0
-    }
-
-    /// As [`ExperimentConfig::run_policy`] but also returns the finished
-    /// session, so callers can inspect the final global model (per-class
-    /// accuracy, further evaluation, checkpointing).
-    #[must_use]
-    pub fn run_policy_session(&self, policy: &Policy) -> (TrainingReport, Session) {
-        let mut session = self.make_session();
-        let report = if policy.is_vanilla() {
-            let mut sel = RandomSelector::new(self.num_clients, split_seed(self.seed, 0x5E1EC7));
-            session.run(&mut sel)
-        } else {
-            let (assignment, _) = self.profile_and_tier();
-            let mut sel = StaticTierSelector::new(
-                assignment,
-                policy.clone(),
-                split_seed(self.seed, 0x5E1EC7),
-            );
-            session.run(&mut sel)
-        };
-        (report, session)
-    }
-
-    /// Run one full training under the adaptive policy (Algorithm 2).
-    /// `config = None` uses [`AdaptiveConfig::for_run`] defaults.
-    #[must_use]
-    pub fn run_adaptive(&self, config: Option<AdaptiveConfig>) -> TrainingReport {
-        let (assignment, _) = self.profile_and_tier();
-        let cfg =
-            config.unwrap_or_else(|| AdaptiveConfig::for_run(self.rounds, assignment.num_tiers()));
-        let mut session = self.make_session();
-        let mut sel = AdaptiveTierSelector::new(assignment, cfg, split_seed(self.seed, 0x5E1EC7));
-        session.run(&mut sel)
-    }
-
-    /// Eq. 6 estimate for a (non-vanilla) policy under this config's
-    /// profiled tiers.
-    #[must_use]
-    pub fn estimate_policy(&self, policy: &Policy) -> f64 {
-        let (assignment, _) = self.profile_and_tier();
-        crate::estimator::estimate_for_policy(&assignment, policy, self.rounds)
-    }
-
-    /// Run the FedCS baseline (§2): random selection filtered by a
-    /// per-round deadline over profiled latencies.
-    #[must_use]
-    pub fn run_fedcs(&self, deadline_sec: f64) -> TrainingReport {
-        let session0 = self.make_session();
-        let profiler = Profiler::new(self.profiler);
-        let profile = profiler.profile(session0.cluster(), |c| session0.task_for(c));
-        let mut sel = crate::baselines::DeadlineSelector::new(
-            profile.mean_latency,
-            deadline_sec,
-            split_seed(self.seed, 0x5E1EC7),
-        );
-        let mut session = self.make_session();
-        session.run(&mut sel)
-    }
-
-    /// Run the Bonawitz et al. over-selection baseline (§2): vanilla
-    /// random selection with `factor` over-provisioning, aggregating the
-    /// first `|C|` responders and discarding the rest.
-    #[must_use]
-    pub fn run_overselection(&self, factor: f64) -> TrainingReport {
-        let mut cfg = self.clone();
-        cfg.aggregation = AggregationMode::FirstK { factor };
-        let mut session = cfg.make_session();
-        let mut sel = RandomSelector::new(self.num_clients, split_seed(self.seed, 0x5E1EC7));
-        let mut report = session.run(&mut sel);
-        report.policy = format!("overselect({factor})");
-        report
-    }
-
-    /// Run vanilla selection with the FedProx proximal objective (§2),
-    /// coefficient `mu`.
-    #[must_use]
-    pub fn run_fedprox(&self, mu: f32) -> TrainingReport {
-        let mut cfg = self.clone();
-        cfg.client.proximal_mu = mu;
-        let mut session = cfg.make_session();
-        let mut sel = RandomSelector::new(self.num_clients, split_seed(self.seed, 0x5E1EC7));
-        let mut report = session.run(&mut sel);
-        report.policy = format!("fedprox({mu})");
-        report
-    }
-
-    /// Run a static tier policy with periodic re-profiling every
-    /// `reprofile_every` rounds (§4.2's answer to drifting device
-    /// performance). Each re-profile rebuilds the tiers from fresh
-    /// latency measurements taken at the current round position, so a
-    /// [`DriftModel`] regime change is picked up at the next boundary.
-    ///
-    /// # Panics
-    /// Panics on a vanilla policy or a zero interval.
-    #[must_use]
-    pub fn run_policy_with_reprofiling(
-        &self,
-        policy: &Policy,
-        reprofile_every: u64,
-    ) -> TrainingReport {
-        assert!(
-            !policy.is_vanilla(),
-            "re-profiling requires a tiered policy"
-        );
-        assert!(
-            reprofile_every > 0,
-            "re-profiling interval must be positive"
-        );
-        let mut session = self.make_session();
-        let profiler = Profiler::new(self.profiler);
-        let mut rounds = Vec::with_capacity(self.rounds as usize);
-        let mut done = 0u64;
-        while done < self.rounds {
-            let profile = profiler.profile_at(session.cluster(), |c| session.task_for(c), done);
-            let assignment = TierAssignment::from_latencies(&profile.mean_latency, &self.tiering);
-            let mut sel = StaticTierSelector::new(
-                assignment,
-                policy.clone(),
-                split_seed(self.seed, split_seed(0x5E1EC7, done)),
-            );
-            let segment = reprofile_every.min(self.rounds - done);
-            for _ in 0..segment {
-                rounds.push(session.run_round(&mut sel));
-            }
-            done += segment;
-        }
-        TrainingReport {
-            policy: format!("{}+reprofile", policy.name),
-            rounds,
-        }
     }
 }
 
@@ -507,8 +479,9 @@ mod tests {
     #[test]
     fn tiny_config_runs_all_policies() {
         let cfg = ExperimentConfig::tiny(1);
+        let mut runner = cfg.runner();
         for policy in [Policy::vanilla(), Policy::uniform(5), Policy::fast(5)] {
-            let report = cfg.run_policy(&policy);
+            let report = runner.policy(&policy).run();
             assert_eq!(report.rounds.len(), 12, "policy {}", policy.name);
             assert!(report.total_time() > 0.0);
         }
@@ -517,7 +490,7 @@ mod tests {
     #[test]
     fn tiny_adaptive_runs() {
         let cfg = ExperimentConfig::tiny(2);
-        let report = cfg.run_adaptive(None);
+        let report = cfg.runner().adaptive(None).run();
         assert_eq!(report.policy, "adaptive");
         assert_eq!(report.rounds.len(), 12);
     }
@@ -526,8 +499,9 @@ mod tests {
     fn fast_policy_is_faster_than_slow() {
         let mut cfg = ExperimentConfig::tiny(3);
         cfg.cpu_profile = tifl_sim::resource::profiles::CIFAR.to_vec();
-        let fast = cfg.run_policy(&Policy::fast(5)).total_time();
-        let slow = cfg.run_policy(&Policy::slow(5)).total_time();
+        let mut runner = cfg.runner();
+        let fast = runner.policy(&Policy::fast(5)).run().total_time();
+        let slow = runner.policy(&Policy::slow(5)).run().total_time();
         assert!(slow > 2.0 * fast, "slow {slow} vs fast {fast}");
     }
 
@@ -548,7 +522,7 @@ mod tests {
         let cfg = ExperimentConfig::tiny(5);
         let policy = Policy::uniform(5);
         let est = cfg.estimate_policy(&policy);
-        let actual = cfg.run_policy(&policy).total_time();
+        let actual = cfg.runner().policy(&policy).run().total_time();
         let err = crate::estimator::mape(est, actual);
         assert!(err < 30.0, "MAPE {err}% (est {est}, actual {actual})");
     }
@@ -556,8 +530,8 @@ mod tests {
     #[test]
     fn experiments_are_deterministic() {
         let cfg = ExperimentConfig::tiny(6);
-        let a = cfg.run_policy(&Policy::uniform(5));
-        let b = cfg.run_policy(&Policy::uniform(5));
+        let a = cfg.runner().policy(&Policy::uniform(5)).run();
+        let b = cfg.runner().policy(&Policy::uniform(5)).run();
         assert_eq!(a, b);
     }
 
@@ -589,7 +563,7 @@ mod tests {
         // qualify.
         let lats = assignment.tier_latencies();
         let deadline = (lats[2] + lats[3]) / 2.0;
-        let report = cfg.run_fedcs(deadline);
+        let report = cfg.runner().deadline(deadline).run();
         assert_eq!(report.policy, "fedcs");
         let slow_clients = &assignment.tiers[4].clients;
         let counts = report.selection_counts(cfg.num_clients);
@@ -597,7 +571,7 @@ mod tests {
             assert_eq!(counts[c], 0, "fedcs selected deadline-violating client {c}");
         }
         // And it is faster than vanilla as a result.
-        let vanilla = cfg.run_policy(&Policy::vanilla());
+        let vanilla = cfg.runner().vanilla().run();
         assert!(report.total_time() < vanilla.total_time());
     }
 
@@ -605,9 +579,9 @@ mod tests {
     fn overselection_baseline_discards_work() {
         let mut cfg = ExperimentConfig::tiny(32);
         cfg.cpu_profile = tifl_sim::resource::profiles::CIFAR.to_vec();
-        let report = cfg.run_overselection(1.5);
+        let report = cfg.runner().vanilla().overselect(1.5).run();
         assert!(report.discarded_work_fraction() > 0.2);
-        let vanilla = cfg.run_policy(&Policy::vanilla());
+        let vanilla = cfg.runner().vanilla().run();
         assert!(
             report.total_time() < vanilla.total_time(),
             "over-selection {} should beat wait-all vanilla {}",
@@ -619,7 +593,7 @@ mod tests {
     #[test]
     fn fedprox_baseline_runs_and_labels() {
         let cfg = ExperimentConfig::tiny(33);
-        let report = cfg.run_fedprox(0.1);
+        let report = cfg.runner().vanilla().fedprox(0.1).run();
         assert_eq!(report.policy, "fedprox(0.1)");
         assert_eq!(report.rounds.len(), 12);
     }
@@ -642,7 +616,11 @@ mod tests {
             factors,
         };
 
-        let report = cfg.run_policy_with_reprofiling(&Policy::fast(5), 10);
+        let report = cfg
+            .runner()
+            .policy(&Policy::fast(5))
+            .reprofile_every(10)
+            .run();
         assert_eq!(report.policy, "fast+reprofile");
         // First segment: fast tier = devices 0,1; second segment: they
         // must vanish from selection.
@@ -676,8 +654,9 @@ mod tests {
             factors,
         };
 
-        let stale = cfg.run_policy(&Policy::fast(5));
-        let fresh = cfg.run_policy_with_reprofiling(&Policy::fast(5), 10);
+        let mut runner = cfg.runner();
+        let stale = runner.policy(&Policy::fast(5)).run();
+        let fresh = runner.reprofile_every(10).run();
         assert!(
             fresh.total_time() < stale.total_time() / 2.0,
             "re-profiling ({}) should be much faster than stale tiers ({})",

@@ -14,7 +14,11 @@
 //!   §4.6;
 //! * [`experiment`] — ready-made experiment configurations reproducing
 //!   the setups of §5.1, used by the examples and the per-figure bench
-//!   binaries.
+//!   binaries;
+//! * [`runner`] — the composable run API: a serializable [`RunSpec`]
+//!   describing one cell of the §5 evaluation matrix, and the
+//!   [`Runner`] that executes it through the one canonical
+//!   profile → tier → select → train pipeline (with a profiling cache).
 
 pub mod analysis;
 pub mod baselines;
@@ -23,10 +27,12 @@ pub mod experiment;
 pub mod policy;
 pub mod privacy;
 pub mod profiler;
+pub mod runner;
 pub mod scheduler;
 pub mod tiering;
 
 pub use policy::Policy;
 pub use profiler::{Profiler, ProfilerConfig};
+pub use runner::{Experiment, LocalTraining, RunRequest, RunSpec, Runner, SelectionStrategy};
 pub use scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
 pub use tiering::{TierAssignment, TieringConfig};

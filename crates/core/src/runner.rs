@@ -1,0 +1,751 @@
+//! The composable run API: [`RunSpec`] describes *what* to run,
+//! [`Runner`] owns the one canonical profile → tier → select → train
+//! pipeline that executes it.
+//!
+//! The paper's evaluation (§5) is a cross product of selection strategy
+//! (vanilla / static tier policy / adaptive / deadline), aggregation
+//! mode (wait-all vs Bonawitz-style over-selection), local-training
+//! variant (FedAvg vs FedProx) and re-profiling cadence. A [`RunSpec`]
+//! is exactly that cross product as a serde-serializable value, so every
+//! cell of the grid — including combinations the paper never ran, like
+//! FedProx under adaptive tiering — is one declarative description away:
+//!
+//! ```no_run
+//! use tifl_core::experiment::ExperimentConfig;
+//! use tifl_core::runner::Experiment;
+//!
+//! let cfg = ExperimentConfig::cifar10_resource_het(42);
+//! let report = cfg.runner().adaptive(None).fedprox(0.01).run();
+//! println!("final accuracy {:.3}", report.final_accuracy());
+//! ```
+//!
+//! A [`Runner`] binds specs to one experiment and caches the profiling
+//! outcome ([`TierAssignment`] + [`ProfileResult`]), so multi-curve
+//! figure binaries profile once per configuration instead of once per
+//! curve. Anything implementing [`Experiment`] gets the full API —
+//! `ExperimentConfig` and `tifl_leaf::LeafExperiment` both do.
+//!
+//! RNG streams are bit-for-bit compatible with the legacy `run_*`
+//! methods: the selector stream is `split_seed(seed, 0x5E1EC7)` (keyed
+//! per re-profiling segment exactly as before) and the session stream is
+//! owned by [`Experiment::build_session`], so a spec reproducing a
+//! legacy call reproduces its [`TrainingReport`] exactly.
+
+use crate::baselines::DeadlineSelector;
+use crate::experiment::ExperimentConfig;
+use crate::policy::Policy;
+use crate::profiler::{ProfileResult, Profiler, ProfilerConfig};
+use crate::scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
+use crate::tiering::{TierAssignment, TieringConfig};
+use serde::{Deserialize, Serialize};
+use tifl_fl::selector::{ClientSelector, RandomSelector};
+use tifl_fl::session::{AggregationMode, Session, SessionOverrides};
+use tifl_fl::TrainingReport;
+use tifl_tensor::split_seed;
+
+/// Which client-selection strategy drives the run (the rows of the
+/// paper's evaluation matrix).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Vanilla FedAvg: uniform random over the whole pool (Algorithm 1).
+    #[default]
+    Vanilla,
+    /// Static tier selection under a fixed probability vector (§4.3).
+    /// A vanilla [`Policy`] degrades gracefully to [`Vanilla`]
+    /// (matching the legacy `run_policy` behaviour).
+    ///
+    /// [`Vanilla`]: SelectionStrategy::Vanilla
+    TierPolicy {
+        /// The Table 1 policy to select tiers with.
+        policy: Policy,
+    },
+    /// Adaptive credit-based tier selection (Algorithm 2, §4.4).
+    Adaptive {
+        /// Selector parameters; `None` uses [`AdaptiveConfig::for_run`]
+        /// defaults for the experiment's round count and tier count.
+        config: Option<AdaptiveConfig>,
+    },
+    /// FedCS-style deadline-filtered random selection (§2 related work).
+    Deadline {
+        /// Per-round response deadline over profiled latencies.
+        deadline_sec: f64,
+    },
+}
+
+impl SelectionStrategy {
+    /// True when the strategy selects uniformly from the whole pool
+    /// (either explicitly or via a vanilla tier policy).
+    #[must_use]
+    pub fn is_vanilla(&self) -> bool {
+        match self {
+            SelectionStrategy::Vanilla => true,
+            SelectionStrategy::TierPolicy { policy } => policy.is_vanilla(),
+            _ => false,
+        }
+    }
+
+    /// True when the strategy needs profiled latencies to select.
+    #[must_use]
+    pub fn needs_profile(&self) -> bool {
+        !self.is_vanilla()
+    }
+}
+
+/// The local-training objective (§2 related work).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum LocalTraining {
+    /// Plain FedAvg local SGD/RMSprop — keeps whatever proximal
+    /// coefficient the experiment's `ClientConfig` already carries.
+    #[default]
+    FedAvg,
+    /// FedProx (Li et al.): add the proximal term `μ‖w − w_global‖²/2`
+    /// to every local objective.
+    FedProx {
+        /// Proximal coefficient μ.
+        mu: f32,
+    },
+}
+
+/// A declarative, serializable description of one training run — the
+/// cross product of the §5 evaluation axes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Client-selection strategy.
+    #[serde(default)]
+    pub selection: SelectionStrategy,
+    /// Update-collection strategy: `None` inherits the experiment's
+    /// configured mode; `Some(WaitAll)` reproduces Algorithm 1 and
+    /// `Some(FirstK { .. })` the Bonawitz et al. over-selection
+    /// baseline, regardless of what the experiment configured.
+    #[serde(default)]
+    pub aggregation: Option<AggregationMode>,
+    /// Local-training variant.
+    #[serde(default)]
+    pub local: LocalTraining,
+    /// Re-profile (and re-tier) every this many rounds (§4.2's answer
+    /// to drifting device performance). `None` profiles once up front.
+    #[serde(default)]
+    pub reprofile_every: Option<u64>,
+    /// Report label override; `None` derives one from the other fields
+    /// (see [`RunSpec::display_label`]).
+    #[serde(default)]
+    pub label: Option<String>,
+}
+
+impl RunSpec {
+    /// The session-level overrides this spec implies.
+    #[must_use]
+    pub fn session_overrides(&self) -> SessionOverrides {
+        SessionOverrides {
+            aggregation: self.aggregation,
+            proximal_mu: match self.local {
+                LocalTraining::FedAvg => None,
+                LocalTraining::FedProx { mu } => Some(mu),
+            },
+        }
+    }
+
+    /// The `TrainingReport::policy` label for this spec: the explicit
+    /// [`RunSpec::label`] if set, otherwise the selector's name with
+    /// `fedprox(μ)` / `overselect(factor)` / `+reprofile` decorations
+    /// (matching the labels the legacy `run_*` methods produced).
+    /// An inherited aggregation mode (`aggregation: None`) is not
+    /// decorated, mirroring how legacy `run_policy` never relabelled
+    /// runs on over-selecting configs.
+    #[must_use]
+    pub fn display_label(&self) -> String {
+        if let Some(label) = &self.label {
+            return label.clone();
+        }
+        let mut base = match &self.selection {
+            SelectionStrategy::Vanilla => "vanilla".to_string(),
+            SelectionStrategy::TierPolicy { policy } => policy.name.clone(),
+            SelectionStrategy::Adaptive { .. } => "adaptive".to_string(),
+            SelectionStrategy::Deadline { .. } => "fedcs".to_string(),
+        };
+        if let LocalTraining::FedProx { mu } = self.local {
+            base = if self.selection.is_vanilla() {
+                format!("fedprox({mu})")
+            } else {
+                format!("{base}+fedprox({mu})")
+            };
+        }
+        if let Some(AggregationMode::FirstK { factor }) = self.aggregation {
+            base = if base == "vanilla" {
+                format!("overselect({factor})")
+            } else {
+                format!("{base}+overselect({factor})")
+            };
+        }
+        if self.reprofile_every.is_some() {
+            base = format!("{base}+reprofile");
+        }
+        base
+    }
+}
+
+/// An experiment a [`Runner`] can execute: everything the canonical
+/// pipeline needs — seeds, horizons, and fresh [`Session`]s.
+///
+/// Implemented by [`ExperimentConfig`] and `tifl_leaf::LeafExperiment`;
+/// implement it for your own experiment type to get the whole
+/// [`RunSpec`] grid (including the profiling cache and re-profiling)
+/// for free.
+pub trait Experiment {
+    /// Root seed; the selector stream (`0x5E1EC7`) derives from it.
+    fn seed(&self) -> u64;
+    /// Global rounds `N`.
+    fn rounds(&self) -> u64;
+    /// `|K|`: total clients in the pool.
+    fn num_clients(&self) -> usize;
+    /// Profiler parameters (§4.2).
+    fn profiler_config(&self) -> ProfilerConfig;
+    /// Tiering parameters (`m` tiers).
+    fn tiering_config(&self) -> TieringConfig;
+    /// Build a fresh training session with `overrides` applied to the
+    /// session configuration (deterministic per experiment).
+    fn build_session(&self, overrides: &SessionOverrides) -> Session;
+
+    /// Run the profiler over all clients and tier them (§4.2) — the one
+    /// canonical implementation shared by every selection strategy.
+    ///
+    /// Prefer [`Runner::profile`] in loops: it caches this result.
+    #[must_use]
+    fn profile_and_tier(&self) -> (TierAssignment, ProfileResult) {
+        let session = self.build_session(&SessionOverrides::default());
+        let profiler = Profiler::new(self.profiler_config());
+        let result = profiler.profile(session.cluster(), |c| session.task_for(c));
+        let assignment =
+            TierAssignment::from_latencies(&result.mean_latency, &self.tiering_config());
+        (assignment, result)
+    }
+
+    /// A [`Runner`] bound to this experiment, with a vanilla default
+    /// spec — the entry point of the fluent builder:
+    /// `cfg.runner().adaptive(None).fedprox(0.01).run()`.
+    fn runner(&self) -> Runner<'_, Self>
+    where
+        Self: Sized,
+    {
+        Runner::new(self)
+    }
+}
+
+/// Executes [`RunSpec`]s against one [`Experiment`], caching the
+/// profiling outcome across runs.
+///
+/// The builder methods mutate the runner's current spec and return
+/// `&mut Self`, so one-liners
+/// (`cfg.runner().policy(&p).reprofile_every(10).run()`) and reuse
+/// across curves
+/// (`let mut r = cfg.runner(); for p in &policies { r.policy(p).run(); }`)
+/// both work; the latter profiles once for the whole loop.
+pub struct Runner<'a, E: Experiment + ?Sized> {
+    exp: &'a E,
+    spec: RunSpec,
+    profile: Option<(TierAssignment, ProfileResult)>,
+    profile_runs: usize,
+}
+
+impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
+    /// Bind a runner to `exp` with [`RunSpec::default`] defaults
+    /// (vanilla selection, inherited aggregation, FedAvg).
+    #[must_use]
+    pub fn new(exp: &'a E) -> Self {
+        Self::with_spec(exp, RunSpec::default())
+    }
+
+    /// Bind a runner to `exp` with an explicit starting spec.
+    #[must_use]
+    pub fn with_spec(exp: &'a E, spec: RunSpec) -> Self {
+        Self {
+            exp,
+            spec,
+            profile: None,
+            profile_runs: 0,
+        }
+    }
+
+    /// The current run specification.
+    #[must_use]
+    pub fn spec(&self) -> &RunSpec {
+        &self.spec
+    }
+
+    /// Replace the whole spec (e.g. one deserialized from JSON).
+    pub fn set_spec(&mut self, spec: RunSpec) -> &mut Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Reset the spec to [`RunSpec::default`] (vanilla selection,
+    /// inherited aggregation, FedAvg, no re-profiling, derived label)
+    /// while keeping the profiling cache — for runners composing many
+    /// unrelated curves over one configuration.
+    pub fn reset(&mut self) -> &mut Self {
+        self.set_spec(RunSpec::default())
+    }
+
+    // -- fluent spec builders ---------------------------------------------
+
+    /// Select uniformly at random from the whole pool (Algorithm 1).
+    pub fn vanilla(&mut self) -> &mut Self {
+        self.spec.selection = SelectionStrategy::Vanilla;
+        self
+    }
+
+    /// Select via a static tier policy (§4.3); a vanilla policy behaves
+    /// like [`Runner::vanilla`].
+    pub fn policy(&mut self, policy: &Policy) -> &mut Self {
+        self.spec.selection = SelectionStrategy::TierPolicy {
+            policy: policy.clone(),
+        };
+        self
+    }
+
+    /// Select via the adaptive credit-based algorithm (Algorithm 2);
+    /// `None` uses [`AdaptiveConfig::for_run`] defaults.
+    pub fn adaptive(&mut self, config: Option<AdaptiveConfig>) -> &mut Self {
+        self.spec.selection = SelectionStrategy::Adaptive { config };
+        self
+    }
+
+    /// Select via the FedCS deadline baseline over profiled latencies.
+    pub fn deadline(&mut self, deadline_sec: f64) -> &mut Self {
+        self.spec.selection = SelectionStrategy::Deadline { deadline_sec };
+        self
+    }
+
+    /// Force an update-collection strategy (the default inherits the
+    /// experiment's configured mode).
+    pub fn aggregation(&mut self, mode: AggregationMode) -> &mut Self {
+        self.spec.aggregation = Some(mode);
+        self
+    }
+
+    /// Bonawitz et al. over-selection: ask `ceil(|C| · factor)` clients,
+    /// aggregate the first `|C|` responders.
+    pub fn overselect(&mut self, factor: f64) -> &mut Self {
+        self.aggregation(AggregationMode::FirstK { factor })
+    }
+
+    /// Train with the plain FedAvg objective (keeps the experiment's
+    /// configured proximal coefficient).
+    pub fn fedavg(&mut self) -> &mut Self {
+        self.spec.local = LocalTraining::FedAvg;
+        self
+    }
+
+    /// Train with the FedProx proximal objective, coefficient `mu`.
+    pub fn fedprox(&mut self, mu: f32) -> &mut Self {
+        self.spec.local = LocalTraining::FedProx { mu };
+        self
+    }
+
+    /// Re-profile and re-tier every `every` rounds.
+    pub fn reprofile_every(&mut self, every: u64) -> &mut Self {
+        self.spec.reprofile_every = Some(every);
+        self
+    }
+
+    /// Override the report label.
+    pub fn label(&mut self, label: impl Into<String>) -> &mut Self {
+        self.spec.label = Some(label.into());
+        self
+    }
+
+    // -- profiling cache --------------------------------------------------
+
+    /// The profiling outcome for this experiment, computed on first use
+    /// and cached for every later run/estimate from this runner.
+    pub fn profile(&mut self) -> &(TierAssignment, ProfileResult) {
+        if self.profile.is_none() {
+            self.profile = Some(self.exp.profile_and_tier());
+            self.profile_runs += 1;
+        }
+        self.profile.as_ref().expect("profile cached above")
+    }
+
+    /// The cached tier assignment (profiles on first use).
+    pub fn tiers(&mut self) -> &TierAssignment {
+        &self.profile().0
+    }
+
+    /// How many times this runner actually ran the profiler — the
+    /// cache-effectiveness observable the figure binaries assert on.
+    #[must_use]
+    pub fn profile_count(&self) -> usize {
+        self.profile_runs
+    }
+
+    /// Eq. 6 training-time estimate for a (non-vanilla) policy under
+    /// this experiment's cached tiers.
+    pub fn estimate(&mut self, policy: &Policy) -> f64 {
+        let rounds = self.exp.rounds();
+        crate::estimator::estimate_for_policy(self.tiers(), policy, rounds)
+    }
+
+    // -- execution --------------------------------------------------------
+
+    /// Execute the current spec and return the report.
+    ///
+    /// # Panics
+    /// Panics if the spec asks for re-profiling under vanilla selection
+    /// or with a zero interval, or if the selection strategy cannot
+    /// supply `clients_per_round` clients.
+    pub fn run(&mut self) -> TrainingReport {
+        self.run_with_session().0
+    }
+
+    /// As [`Runner::run`] but also returns the finished session, so
+    /// callers can inspect the final global model (per-class accuracy,
+    /// further evaluation, checkpointing).
+    pub fn run_with_session(&mut self) -> (TrainingReport, Session) {
+        let overrides = self.spec.session_overrides();
+        let mut session = self.exp.build_session(&overrides);
+        let mut report = match self.spec.reprofile_every {
+            None => {
+                let seed = split_seed(self.exp.seed(), 0x5E1EC7);
+                let mut selector = self.build_selector(seed);
+                session.run(selector.as_mut())
+            }
+            Some(every) => self.run_segmented(&mut session, every),
+        };
+        report.policy = self.spec.display_label();
+        (report, session)
+    }
+
+    /// Build the spec's selector from the (cached) profile.
+    fn build_selector(&mut self, seed: u64) -> Box<dyn ClientSelector> {
+        let selection = self.spec.selection.clone();
+        match selection {
+            s if s.is_vanilla() => Box::new(RandomSelector::new(self.exp.num_clients(), seed)),
+            SelectionStrategy::TierPolicy { policy } => {
+                let assignment = self.tiers().clone();
+                Box::new(StaticTierSelector::new(assignment, policy, seed))
+            }
+            SelectionStrategy::Adaptive { config } => {
+                let rounds = self.exp.rounds();
+                let assignment = self.tiers().clone();
+                let config = config
+                    .unwrap_or_else(|| AdaptiveConfig::for_run(rounds, assignment.num_tiers()));
+                Box::new(AdaptiveTierSelector::new(assignment, config, seed))
+            }
+            SelectionStrategy::Deadline { deadline_sec } => {
+                let latencies = self.profile().1.mean_latency.clone();
+                Box::new(DeadlineSelector::new(latencies, deadline_sec, seed))
+            }
+            SelectionStrategy::Vanilla => unreachable!("covered by the is_vanilla arm"),
+        }
+    }
+
+    /// The periodic re-profiling loop (§4.2): every `every` rounds,
+    /// re-measure latencies at the current round position, rebuild the
+    /// tiers and a fresh selector (seeded per segment), and continue the
+    /// same session. Adaptive segments restart Algorithm 2's credits
+    /// and probabilities, since the old tiers they refer to are gone.
+    fn run_segmented(&mut self, session: &mut Session, every: u64) -> TrainingReport {
+        assert!(
+            self.spec.selection.needs_profile(),
+            "re-profiling requires a tiered policy"
+        );
+        assert!(every > 0, "re-profiling interval must be positive");
+        let profiler = Profiler::new(self.exp.profiler_config());
+        let tiering = self.exp.tiering_config();
+        let rounds_total = self.exp.rounds();
+        let mut rounds = Vec::with_capacity(rounds_total as usize);
+        let mut done = 0u64;
+        while done < rounds_total {
+            let profile = profiler.profile_at(session.cluster(), |c| session.task_for(c), done);
+            let seed = split_seed(self.exp.seed(), split_seed(0x5E1EC7, done));
+            let mut selector: Box<dyn ClientSelector> =
+                match &self.spec.selection {
+                    SelectionStrategy::TierPolicy { policy } => {
+                        let assignment =
+                            TierAssignment::from_latencies(&profile.mean_latency, &tiering);
+                        Box::new(StaticTierSelector::new(assignment, policy.clone(), seed))
+                    }
+                    SelectionStrategy::Adaptive { config } => {
+                        let assignment =
+                            TierAssignment::from_latencies(&profile.mean_latency, &tiering);
+                        let config = config.unwrap_or_else(|| {
+                            AdaptiveConfig::for_run(rounds_total, assignment.num_tiers())
+                        });
+                        Box::new(AdaptiveTierSelector::new(assignment, config, seed))
+                    }
+                    SelectionStrategy::Deadline { deadline_sec } => Box::new(
+                        DeadlineSelector::new(profile.mean_latency, *deadline_sec, seed),
+                    ),
+                    SelectionStrategy::Vanilla => unreachable!("rejected above"),
+                };
+            let segment = every.min(rounds_total - done);
+            for _ in 0..segment {
+                rounds.push(session.run_round(selector.as_mut()));
+            }
+            done += segment;
+        }
+        TrainingReport {
+            policy: String::new(), // overwritten by the caller
+            rounds,
+        }
+    }
+}
+
+/// A fully self-contained run description for `tifl run --spec`: an
+/// experiment, a couple of common scalar overrides, and a [`RunSpec`].
+///
+/// ```json
+/// {
+///   "experiment": { ... an ExperimentConfig ... },
+///   "rounds": 100,
+///   "spec": { "selection": { "Adaptive": { "config": null } },
+///             "local": { "FedProx": { "mu": 0.01 } } }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRequest {
+    /// The experiment to run (any JSON an `ExperimentConfig` parses
+    /// from; `tifl init` writes a template).
+    pub experiment: ExperimentConfig,
+    /// Override the experiment's round count.
+    #[serde(default)]
+    pub rounds: Option<u64>,
+    /// Override the experiment's root seed.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Override the experiment's clients-per-round `|C|`.
+    #[serde(default)]
+    pub clients_per_round: Option<usize>,
+    /// The run to execute (defaults to vanilla/WaitAll/FedAvg).
+    #[serde(default)]
+    pub spec: RunSpec,
+}
+
+impl RunRequest {
+    /// The experiment with the scalar overrides applied.
+    #[must_use]
+    pub fn experiment(&self) -> ExperimentConfig {
+        let mut exp = self.experiment.clone();
+        if let Some(rounds) = self.rounds {
+            exp.rounds = rounds;
+        }
+        if let Some(seed) = self.seed {
+            exp.seed = seed;
+        }
+        if let Some(c) = self.clients_per_round {
+            exp.clients_per_round = c;
+        }
+        exp
+    }
+
+    /// Execute the request.
+    #[must_use]
+    pub fn run(&self) -> TrainingReport {
+        let exp = self.experiment();
+        let mut runner = Runner::with_spec(&exp, self.spec.clone());
+        runner.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig::tiny(60)
+    }
+
+    #[test]
+    fn default_spec_is_vanilla_waitall_fedavg() {
+        let spec = RunSpec::default();
+        assert_eq!(spec.selection, SelectionStrategy::Vanilla);
+        assert_eq!(
+            spec.aggregation, None,
+            "default inherits the experiment's mode"
+        );
+        assert_eq!(spec.local, LocalTraining::FedAvg);
+        assert_eq!(spec.reprofile_every, None);
+        assert_eq!(spec.display_label(), "vanilla");
+    }
+
+    #[test]
+    fn builder_composes_spec_fields() {
+        let cfg = tiny();
+        let mut runner = cfg.runner();
+        runner
+            .adaptive(None)
+            .fedprox(0.01)
+            .overselect(1.3)
+            .reprofile_every(10);
+        let spec = runner.spec();
+        assert_eq!(spec.selection, SelectionStrategy::Adaptive { config: None });
+        assert_eq!(spec.local, LocalTraining::FedProx { mu: 0.01 });
+        assert_eq!(
+            spec.aggregation,
+            Some(AggregationMode::FirstK { factor: 1.3 })
+        );
+        assert_eq!(spec.reprofile_every, Some(10));
+        assert_eq!(
+            spec.display_label(),
+            "adaptive+fedprox(0.01)+overselect(1.3)+reprofile"
+        );
+    }
+
+    #[test]
+    fn derived_labels_match_legacy_names() {
+        let mk = |selection, local, reprofile| RunSpec {
+            selection,
+            local,
+            reprofile_every: reprofile,
+            ..RunSpec::default()
+        };
+        let uniform = SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        };
+        assert_eq!(
+            mk(uniform.clone(), LocalTraining::FedAvg, None).display_label(),
+            "uniform"
+        );
+        assert_eq!(
+            mk(uniform, LocalTraining::FedAvg, Some(8)).display_label(),
+            "uniform+reprofile"
+        );
+        assert_eq!(
+            mk(
+                SelectionStrategy::Vanilla,
+                LocalTraining::FedProx { mu: 0.1 },
+                None
+            )
+            .display_label(),
+            "fedprox(0.1)"
+        );
+        assert_eq!(
+            mk(
+                SelectionStrategy::Deadline { deadline_sec: 5.0 },
+                LocalTraining::FedAvg,
+                None
+            )
+            .display_label(),
+            "fedcs"
+        );
+        // The aggregation axis decorates only when explicitly forced.
+        let overselect = RunSpec {
+            aggregation: Some(AggregationMode::FirstK { factor: 1.3 }),
+            ..RunSpec::default()
+        };
+        assert_eq!(overselect.display_label(), "overselect(1.3)");
+        let tiered_overselect = RunSpec {
+            selection: SelectionStrategy::TierPolicy {
+                policy: Policy::uniform(5),
+            },
+            aggregation: Some(AggregationMode::FirstK { factor: 2.0 }),
+            ..RunSpec::default()
+        };
+        assert_eq!(tiered_overselect.display_label(), "uniform+overselect(2)");
+        let labelled = RunSpec {
+            label: Some("overselect(1.3)".into()),
+            ..RunSpec::default()
+        };
+        assert_eq!(labelled.display_label(), "overselect(1.3)");
+    }
+
+    #[test]
+    fn runner_profiles_once_across_runs() {
+        let cfg = tiny();
+        let mut runner = cfg.runner();
+        assert_eq!(runner.profile_count(), 0);
+        let _ = runner.policy(&Policy::uniform(5)).run();
+        assert_eq!(runner.profile_count(), 1);
+        let _ = runner.policy(&Policy::fast(5)).run();
+        let _ = runner.adaptive(None).run();
+        let _ = runner.estimate(&Policy::uniform(5));
+        assert_eq!(runner.profile_count(), 1, "profile cache must be reused");
+    }
+
+    #[test]
+    fn vanilla_runs_never_profile() {
+        let cfg = tiny();
+        let mut runner = cfg.runner();
+        let _ = runner.vanilla().run();
+        let _ = runner.fedprox(0.1).run();
+        assert_eq!(runner.profile_count(), 0);
+    }
+
+    #[test]
+    fn vanilla_tier_policy_degrades_to_vanilla() {
+        let cfg = tiny();
+        let a = cfg.runner().policy(&Policy::vanilla()).run();
+        let b = cfg.runner().vanilla().run();
+        assert_eq!(a, b);
+        assert_eq!(a.policy, "vanilla");
+    }
+
+    #[test]
+    fn sparse_spec_inherits_experiment_aggregation() {
+        // An experiment configured for over-selection keeps it when the
+        // spec does not name an aggregation mode — and its label stays
+        // undecorated, exactly like the legacy `run_policy` behaviour.
+        let mut cfg = tiny();
+        cfg.aggregation = AggregationMode::FirstK { factor: 1.5 };
+        let report = cfg.runner().vanilla().run();
+        assert_eq!(report.policy, "vanilla");
+        // tiny has |C| = 2, so FirstK(1.5) asks ceil(3) = 3 per round.
+        assert!(report.rounds.iter().all(|r| r.selected.len() == 3));
+        assert!(report.rounds.iter().all(|r| r.aggregated.len() == 2));
+        // Forcing WaitAll from the spec overrides the experiment.
+        let waitall = cfg.runner().aggregation(AggregationMode::WaitAll).run();
+        assert!(waitall.rounds.iter().all(|r| r.selected.len() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-profiling requires a tiered policy")]
+    fn reprofiling_rejects_vanilla() {
+        let cfg = tiny();
+        let _ = cfg.runner().vanilla().reprofile_every(5).run();
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = RunSpec {
+            selection: SelectionStrategy::TierPolicy {
+                policy: Policy::random5(5),
+            },
+            aggregation: Some(AggregationMode::FirstK { factor: 1.3 }),
+            local: LocalTraining::FedProx { mu: 0.05 },
+            reprofile_every: Some(25),
+            label: Some("combo".into()),
+        };
+        let json = serde_json::to_string_pretty(&spec).expect("serializes");
+        let back: RunSpec = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn sparse_spec_json_uses_defaults() {
+        let spec: RunSpec = serde_json::from_str("{}").expect("empty spec parses");
+        assert_eq!(spec, RunSpec::default());
+        let spec: RunSpec =
+            serde_json::from_str(r#"{"selection": {"Adaptive": {"config": null}}}"#)
+                .expect("partial spec parses");
+        assert_eq!(spec.selection, SelectionStrategy::Adaptive { config: None });
+        assert_eq!(spec.aggregation, None);
+    }
+
+    #[test]
+    fn run_request_applies_overrides_and_runs() {
+        let request = RunRequest {
+            experiment: tiny(),
+            rounds: Some(4),
+            seed: Some(9),
+            clients_per_round: None,
+            spec: RunSpec::default(),
+        };
+        let json = serde_json::to_string(&request).expect("serializes");
+        let back: RunRequest = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, request);
+        let report = back.run();
+        assert_eq!(report.rounds.len(), 4);
+        assert_eq!(report.policy, "vanilla");
+        assert_eq!(back.experiment().seed, 9);
+    }
+}

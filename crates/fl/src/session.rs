@@ -59,6 +59,37 @@ pub struct SessionConfig {
     pub seed: u64,
 }
 
+/// Per-run overrides a run specification applies on top of a base
+/// [`SessionConfig`] (see `tifl_core::runner::RunSpec`).
+///
+/// `None` leaves the corresponding base setting untouched, so a spec
+/// that does not care about (say) the local objective composes with
+/// whatever the experiment already configured.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SessionOverrides {
+    /// Replace the update-collection strategy.
+    #[serde(default)]
+    pub aggregation: Option<AggregationMode>,
+    /// Replace the FedProx proximal coefficient (`Some(0.0)` forces
+    /// plain FedAvg even if the base config enabled the proximal term).
+    #[serde(default)]
+    pub proximal_mu: Option<f32>,
+}
+
+impl SessionConfig {
+    /// This config with `overrides` applied.
+    #[must_use]
+    pub fn with_overrides(mut self, overrides: &SessionOverrides) -> Self {
+        if let Some(aggregation) = overrides.aggregation {
+            self.aggregation = aggregation;
+        }
+        if let Some(mu) = overrides.proximal_mu {
+            self.client.proximal_mu = mu;
+        }
+        self
+    }
+}
+
 /// The federated training session: global model + testbed + data.
 pub struct Session {
     data: FederatedDataset,
@@ -495,6 +526,23 @@ mod tests {
             .collect();
         let max_agg = agg_latencies.iter().copied().fold(0.0f64, f64::max);
         assert!((r.latency - max_agg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overrides_apply_only_what_they_set() {
+        let base = small_session(1, 0).config;
+        let same = base.with_overrides(&SessionOverrides::default());
+        assert_eq!(same, base);
+
+        let changed = base.with_overrides(&SessionOverrides {
+            aggregation: Some(AggregationMode::FirstK { factor: 1.3 }),
+            proximal_mu: Some(0.5),
+        });
+        assert_eq!(changed.aggregation, AggregationMode::FirstK { factor: 1.3 });
+        assert_eq!(changed.client.proximal_mu, 0.5);
+        // Everything else is untouched.
+        assert_eq!(changed.model, base.model);
+        assert_eq!(changed.seed, base.seed);
     }
 
     #[test]

@@ -3,11 +3,11 @@
 use crate::dataset::{build_femnist, LeafDataConfig};
 use serde::{Deserialize, Serialize};
 use tifl_core::policy::Policy;
-use tifl_core::profiler::{ProfileResult, Profiler, ProfilerConfig};
-use tifl_core::scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
-use tifl_core::tiering::{TierAssignment, TieringConfig};
-use tifl_fl::selector::RandomSelector;
-use tifl_fl::session::{AggregationMode, Session, SessionConfig};
+use tifl_core::profiler::ProfilerConfig;
+use tifl_core::runner::Experiment;
+use tifl_core::scheduler::AdaptiveConfig;
+use tifl_core::tiering::TieringConfig;
+use tifl_fl::session::{AggregationMode, Session, SessionConfig, SessionOverrides};
 use tifl_fl::{ClientConfig, TrainingReport};
 use tifl_nn::models::ModelSpec;
 use tifl_sim::latency::LatencyModelConfig;
@@ -126,6 +126,46 @@ impl LeafExperiment {
     /// Build a fresh training session.
     #[must_use]
     pub fn make_session(&self) -> Session {
+        self.build_session(&SessionOverrides::default())
+    }
+
+    /// Run a static policy (vanilla bypasses tiering).
+    #[deprecated(since = "0.2.0", note = "use `exp.runner().policy(policy).run()`")]
+    #[must_use]
+    pub fn run_policy(&self, policy: &Policy) -> TrainingReport {
+        self.runner().policy(policy).run()
+    }
+
+    /// Run the adaptive policy.
+    #[deprecated(since = "0.2.0", note = "use `exp.runner().adaptive(config).run()`")]
+    #[must_use]
+    pub fn run_adaptive(&self, config: Option<AdaptiveConfig>) -> TrainingReport {
+        self.runner().adaptive(config).run()
+    }
+}
+
+impl Experiment for LeafExperiment {
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    fn num_clients(&self) -> usize {
+        self.data.num_clients
+    }
+
+    fn profiler_config(&self) -> ProfilerConfig {
+        self.profiler
+    }
+
+    fn tiering_config(&self) -> TieringConfig {
+        self.tiering
+    }
+
+    fn build_session(&self, overrides: &SessionOverrides) -> Session {
         let fed = build_femnist(&self.data, split_seed(self.seed, 0xFED));
         let session_cfg = SessionConfig {
             model: self.model,
@@ -136,48 +176,9 @@ impl LeafExperiment {
             tmax_sec: self.profiler.tmax_sec,
             aggregation: self.aggregation,
             seed: split_seed(self.seed, 0x5E55),
-        };
-        Session::new(fed, self.build_cluster(), session_cfg)
-    }
-
-    /// Profile all writers and tier them.
-    #[must_use]
-    pub fn profile_and_tier(&self) -> (TierAssignment, ProfileResult) {
-        let session = self.make_session();
-        let profiler = Profiler::new(self.profiler);
-        let result = profiler.profile(session.cluster(), |c| session.task_for(c));
-        let assignment = TierAssignment::from_latencies(&result.mean_latency, &self.tiering);
-        (assignment, result)
-    }
-
-    /// Run a static policy (vanilla bypasses tiering).
-    #[must_use]
-    pub fn run_policy(&self, policy: &Policy) -> TrainingReport {
-        let mut session = self.make_session();
-        if policy.is_vanilla() {
-            let mut sel =
-                RandomSelector::new(self.data.num_clients, split_seed(self.seed, 0x5E1EC7));
-            session.run(&mut sel)
-        } else {
-            let (assignment, _) = self.profile_and_tier();
-            let mut sel = StaticTierSelector::new(
-                assignment,
-                policy.clone(),
-                split_seed(self.seed, 0x5E1EC7),
-            );
-            session.run(&mut sel)
         }
-    }
-
-    /// Run the adaptive policy.
-    #[must_use]
-    pub fn run_adaptive(&self, config: Option<AdaptiveConfig>) -> TrainingReport {
-        let (assignment, _) = self.profile_and_tier();
-        let cfg =
-            config.unwrap_or_else(|| AdaptiveConfig::for_run(self.rounds, assignment.num_tiers()));
-        let mut session = self.make_session();
-        let mut sel = AdaptiveTierSelector::new(assignment, cfg, split_seed(self.seed, 0x5E1EC7));
-        session.run(&mut sel)
+        .with_overrides(overrides);
+        Session::new(fed, self.build_cluster(), session_cfg)
     }
 }
 
@@ -212,16 +213,17 @@ mod tests {
     #[test]
     fn vanilla_and_tiered_policies_run() {
         let e = LeafExperiment::tiny(2);
-        let v = e.run_policy(&Policy::vanilla());
+        let mut runner = e.runner();
+        let v = runner.vanilla().run();
         assert_eq!(v.rounds.len(), 10);
-        let u = e.run_policy(&Policy::uniform(5));
+        let u = runner.policy(&Policy::uniform(5)).run();
         assert_eq!(u.rounds.len(), 10);
     }
 
     #[test]
     fn adaptive_runs_on_leaf() {
         let e = LeafExperiment::tiny(3);
-        let r = e.run_adaptive(None);
+        let r = e.runner().adaptive(None).run();
         assert_eq!(r.policy, "adaptive");
         assert_eq!(r.rounds.len(), 10);
     }
@@ -229,8 +231,9 @@ mod tests {
     #[test]
     fn fast_policy_beats_slow_on_time() {
         let e = LeafExperiment::tiny(4);
-        let fast = e.run_policy(&Policy::fast(5)).total_time();
-        let slow = e.run_policy(&Policy::slow(5)).total_time();
+        let mut runner = e.runner();
+        let fast = runner.policy(&Policy::fast(5)).run().total_time();
+        let slow = runner.policy(&Policy::slow(5)).run().total_time();
         assert!(slow > fast, "slow {slow} vs fast {fast}");
     }
 }

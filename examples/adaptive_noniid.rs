@@ -23,14 +23,17 @@ fn main() {
         cfg.name, cfg.num_clients
     );
 
-    let vanilla = cfg.run_policy(&Policy::vanilla());
-    let uniform = cfg.run_policy(&Policy::uniform(5));
-    let fast = cfg.run_policy(&Policy::fast(5));
-    let adaptive = cfg.run_adaptive(Some(AdaptiveConfig {
-        interval: 10,
-        credits_per_tier: 2 * cfg.rounds / 5,
-        gamma: 2.0,
-    }));
+    let mut runner = cfg.runner();
+    let vanilla = runner.vanilla().run();
+    let uniform = runner.policy(&Policy::uniform(5)).run();
+    let fast = runner.policy(&Policy::fast(5)).run();
+    let adaptive = runner
+        .adaptive(Some(AdaptiveConfig {
+            interval: 10,
+            credits_per_tier: 2 * cfg.rounds / 5,
+            gamma: 2.0,
+        }))
+        .run();
 
     println!(
         "{:<10} {:>12} {:>11} {:>10}",

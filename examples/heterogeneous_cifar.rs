@@ -13,7 +13,8 @@ use tifl::prelude::*;
 fn main() {
     let mut cfg = ExperimentConfig::cifar10_resource_het(42);
     cfg.rounds = 120; // shortened from the paper's 500 for a quick demo
-    let (tiers, _) = cfg.profile_and_tier();
+    let mut runner = cfg.runner();
+    let tiers = runner.tiers().clone();
 
     println!(
         "tier latencies: {:?}",
@@ -29,7 +30,7 @@ fn main() {
         "policy", "estimate [s]", "measured [s]", "MAPE [%]", "final acc"
     );
     for policy in Policy::cifar_set(tiers.num_tiers()) {
-        let report = cfg.run_policy(&policy);
+        let report = runner.policy(&policy).run();
         if policy.is_vanilla() {
             println!(
                 "{:<10} {:>13} {:>13.0} {:>9} {:>10.3}",

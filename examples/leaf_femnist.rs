@@ -33,9 +33,10 @@ fn main() {
         sizes.iter().max().unwrap(),
     );
 
-    let vanilla = exp.run_policy(&Policy::vanilla());
-    let uniform = exp.run_policy(&Policy::uniform(5));
-    let adaptive = exp.run_adaptive(None);
+    let mut runner = exp.runner();
+    let vanilla = runner.vanilla().run();
+    let uniform = runner.policy(&Policy::uniform(5)).run();
+    let adaptive = runner.adaptive(None).run();
 
     println!("\n{:<10} {:>12} {:>11}", "policy", "time [s]", "final acc");
     for r in [&vanilla, &uniform, &adaptive] {

@@ -23,8 +23,10 @@ fn main() {
     cfg.eval_every = 5;
     cfg.name = "quickstart".into();
 
-    // Step 1-2: profile and tier (§4.2 of the paper).
-    let (tiers, profile) = cfg.profile_and_tier();
+    // Step 1-2: profile and tier (§4.2 of the paper). The runner
+    // caches this profile for every run composed from it below.
+    let mut runner = cfg.runner();
+    let (tiers, profile) = runner.profile().clone();
     println!(
         "profiled {} clients ({} dropouts)",
         cfg.num_clients,
@@ -39,8 +41,8 @@ fn main() {
     }
 
     // Step 3: vanilla FL vs TiFL's uniform tier selection.
-    let vanilla = cfg.run_policy(&Policy::vanilla());
-    let uniform = cfg.run_policy(&Policy::uniform(tiers.num_tiers()));
+    let vanilla = runner.vanilla().run();
+    let uniform = runner.policy(&Policy::uniform(tiers.num_tiers())).run();
 
     println!("\n{:<10} {:>12} {:>11}", "policy", "time [s]", "final acc");
     for r in [&vanilla, &uniform] {

@@ -2,32 +2,33 @@
 //!
 //! ```sh
 //! tifl init experiment.json            # write a template config
+//! tifl init --spec run.json            # write a template run request
 //! tifl profile experiment.json         # profile + print tiers
 //! tifl estimate experiment.json        # Eq. 6 time estimates per policy
 //! tifl run experiment.json uniform     # train under a policy
 //! tifl run experiment.json adaptive    # train under Algorithm 2
+//! tifl run --spec run.json             # train a declarative RunSpec
 //! ```
 //!
-//! Configs are JSON-serialised `ExperimentConfig`s, so everything the
-//! library can express is scriptable: `cargo run --release --bin tifl --
-//! init my.json`, edit, `run`.
+//! Configs are JSON-serialised `ExperimentConfig`s; run requests are
+//! JSON-serialised `RunRequest`s (an experiment + scalar overrides + a
+//! `RunSpec`), so the full §5 evaluation matrix — selection strategy ×
+//! aggregation mode × local objective × re-profiling cadence — is
+//! scriptable without recompiling: `cargo run --release --bin tifl --
+//! init --spec my.json`, edit, `run --spec my.json`.
 
 use std::process::ExitCode;
-use tifl::core::estimator;
 use tifl::prelude::*;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  tifl init <config.json>\n  tifl profile <config.json>\n  \
+        "usage:\n  tifl init <config.json>\n  tifl init --spec <run.json>\n  \
+         tifl profile <config.json>\n  \
          tifl estimate <config.json>\n  tifl run <config.json> \
-         <vanilla|slow|uniform|random|fast|fast1|fast2|fast3|adaptive>"
+         <vanilla|slow|uniform|random|fast|fast1|fast2|fast3|adaptive>\n  \
+         tifl run --spec <run.json>"
     );
     ExitCode::FAILURE
-}
-
-fn load(path: &str) -> ExperimentConfig {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
-    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
 }
 
 fn policy_by_name(name: &str, m: usize) -> Option<Policy> {
@@ -44,18 +45,49 @@ fn policy_by_name(name: &str, m: usize) -> Option<Policy> {
     })
 }
 
+fn print_report(report: &TrainingReport) {
+    println!(
+        "{}: {} rounds, {:.0} virtual s, final accuracy {:.3} (best {:.3})",
+        report.policy,
+        report.rounds.len(),
+        report.total_time(),
+        report.final_accuracy(),
+        report.best_accuracy()
+    );
+    for (r, a) in report.accuracy_over_rounds().iter().step_by(10) {
+        println!("round {r:>6}: {a:.3}");
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [cmd, path] if cmd == "init" => {
             let cfg = ExperimentConfig::cifar10_resource_het(42);
-            let json = serde_json::to_string_pretty(&cfg).expect("serialisable");
-            std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            write_json(path, &cfg);
             println!("wrote template config to {path}");
             ExitCode::SUCCESS
         }
+        [cmd, flag, path] if cmd == "init" && flag == "--spec" => {
+            // A template showing the composable axes: adaptive tiering,
+            // FedProx local training, paper-default aggregation.
+            let request = RunRequest {
+                experiment: ExperimentConfig::cifar10_resource_het(42),
+                rounds: Some(100),
+                seed: None,
+                clients_per_round: None,
+                spec: RunSpec {
+                    selection: SelectionStrategy::Adaptive { config: None },
+                    local: LocalTraining::FedProx { mu: 0.01 },
+                    ..RunSpec::default()
+                },
+            };
+            write_json(path, &request);
+            println!("wrote template run request to {path}");
+            ExitCode::SUCCESS
+        }
         [cmd, path] if cmd == "profile" => {
-            let cfg = load(path);
+            let cfg: ExperimentConfig = read_json(path);
             let (tiers, profile) = cfg.profile_and_tier();
             println!(
                 "profiled {} clients in {:.0} virtual s ({} dropouts)",
@@ -73,38 +105,51 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         [cmd, path] if cmd == "estimate" => {
-            let cfg = load(path);
-            let (tiers, _) = cfg.profile_and_tier();
+            let cfg: ExperimentConfig = read_json(path);
+            let mut runner = cfg.runner();
             println!("{:<10} {:>16}", "policy", "estimate [s]");
-            for p in Policy::cifar_set(tiers.num_tiers()).iter().skip(1) {
-                let est = estimator::estimate_for_policy(&tiers, p, cfg.rounds);
+            let num_tiers = runner.tiers().num_tiers();
+            for p in Policy::cifar_set(num_tiers).iter().skip(1) {
+                let est = runner.estimate(p);
                 println!("{:<10} {est:>16.0}", p.name);
             }
             ExitCode::SUCCESS
         }
+        [cmd, flag, path] if cmd == "run" && flag == "--spec" => {
+            let request: RunRequest = read_json(path);
+            eprintln!(
+                "[tifl] {} / {} ...",
+                request.experiment.name,
+                request.spec.display_label()
+            );
+            let report = request.run();
+            print_report(&report);
+            ExitCode::SUCCESS
+        }
         [cmd, path, policy] if cmd == "run" => {
-            let cfg = load(path);
+            let cfg: ExperimentConfig = read_json(path);
+            let mut runner = cfg.runner();
             let report = if policy == "adaptive" {
-                cfg.run_adaptive(None)
+                runner.adaptive(None).run()
             } else {
                 match policy_by_name(policy, cfg.tiering.num_tiers) {
-                    Some(p) => cfg.run_policy(&p),
+                    Some(p) => runner.policy(&p).run(),
                     None => return usage(),
                 }
             };
-            println!(
-                "{}: {} rounds, {:.0} virtual s, final accuracy {:.3} (best {:.3})",
-                report.policy,
-                report.rounds.len(),
-                report.total_time(),
-                report.final_accuracy(),
-                report.best_accuracy()
-            );
-            for (r, a) in report.accuracy_over_rounds().iter().step_by(10) {
-                println!("round {r:>6}: {a:.3}");
-            }
+            print_report(&report);
             ExitCode::SUCCESS
         }
         _ => usage(),
     }
+}
+
+fn read_json<T: serde::Deserialize>(path: &str) -> T {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) {
+    let json = serde_json::to_string_pretty(value).expect("serialisable");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
 }

@@ -13,7 +13,7 @@
 //! * [`fl`] — the FL substrate: clients, FedAvg aggregator, round engine;
 //! * [`core`] — the paper's contribution: profiler, tiering, static and
 //!   adaptive tier schedulers, training-time estimator, privacy
-//!   accounting;
+//!   accounting, and the composable `RunSpec`/`Runner` execution API;
 //! * [`leaf`] — the LEAF-like FEMNIST benchmark harness.
 //!
 //! ## Quickstart
@@ -24,8 +24,27 @@
 //! use tifl::prelude::*;
 //!
 //! let exp = ExperimentConfig::cifar10_resource_het(42);
-//! let report = exp.run_policy(&Policy::uniform(5));
+//! let report = exp.runner().policy(&Policy::uniform(5)).run();
 //! println!("final accuracy {:.3}", report.final_accuracy());
+//! ```
+//!
+//! Runs compose: every cell of the paper's §5 evaluation matrix
+//! (selection × aggregation × local objective × re-profiling cadence)
+//! is one fluent chain — or one serializable [`prelude::RunSpec`]:
+//!
+//! ```no_run
+//! use tifl::prelude::*;
+//!
+//! let exp = ExperimentConfig::cifar10_resource_het(42);
+//! // FedProx under adaptive tiering with periodic re-profiling — a
+//! // combination the legacy `run_*` methods could not express.
+//! let report = exp
+//!     .runner()
+//!     .adaptive(None)
+//!     .fedprox(0.01)
+//!     .reprofile_every(50)
+//!     .run();
+//! println!("{}: {:.3}", report.policy, report.final_accuracy());
 //! ```
 
 pub use tifl_core as core;
@@ -42,6 +61,9 @@ pub mod prelude {
     pub use tifl_core::experiment::{DataScenario, ExperimentConfig};
     pub use tifl_core::policy::Policy;
     pub use tifl_core::profiler::{Profiler, ProfilerConfig};
+    pub use tifl_core::runner::{
+        Experiment, LocalTraining, RunRequest, RunSpec, Runner, SelectionStrategy,
+    };
     pub use tifl_core::scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
     pub use tifl_core::tiering::{TierAssignment, TieringConfig};
     pub use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
@@ -51,7 +73,7 @@ pub mod prelude {
     pub use tifl_fl::hierarchy::AggregationTree;
     pub use tifl_fl::report::{RoundReport, TrainingReport};
     pub use tifl_fl::selector::{ClientSelector, RandomSelector};
-    pub use tifl_fl::session::{AggregationMode, Session, SessionConfig};
+    pub use tifl_fl::session::{AggregationMode, Session, SessionConfig, SessionOverrides};
     pub use tifl_fl::timeline::{RoundTimeline, TimelineEvent};
     pub use tifl_leaf::{LeafDataConfig, LeafExperiment};
     pub use tifl_nn::models::ModelSpec;

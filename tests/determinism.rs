@@ -7,8 +7,8 @@ use tifl::prelude::*;
 #[test]
 fn static_runs_identical_across_invocations() {
     let cfg = ExperimentConfig::tiny(11);
-    let a = cfg.run_policy(&Policy::uniform(5));
-    let b = cfg.run_policy(&Policy::uniform(5));
+    let a = cfg.runner().policy(&Policy::uniform(5)).run();
+    let b = cfg.runner().policy(&Policy::uniform(5)).run();
     assert_eq!(a, b);
 }
 
@@ -20,15 +20,15 @@ fn adaptive_runs_identical_across_invocations() {
         credits_per_tier: 50,
         gamma: 2.0,
     };
-    let a = cfg.run_adaptive(Some(acfg));
-    let b = cfg.run_adaptive(Some(acfg));
+    let a = cfg.runner().adaptive(Some(acfg)).run();
+    let b = cfg.runner().adaptive(Some(acfg)).run();
     assert_eq!(a, b);
 }
 
 #[test]
 fn different_seeds_give_different_runs() {
-    let a = ExperimentConfig::tiny(13).run_policy(&Policy::vanilla());
-    let b = ExperimentConfig::tiny(14).run_policy(&Policy::vanilla());
+    let a = ExperimentConfig::tiny(13).runner().vanilla().run();
+    let b = ExperimentConfig::tiny(14).runner().vanilla().run();
     assert_ne!(a, b);
 }
 
@@ -54,8 +54,8 @@ fn dataset_generation_is_deterministic() {
 #[test]
 fn leaf_runs_identical_across_invocations() {
     let exp = LeafExperiment::tiny(17);
-    let a = exp.run_policy(&Policy::uniform(5));
-    let b = exp.run_policy(&Policy::uniform(5));
+    let a = exp.runner().policy(&Policy::uniform(5)).run();
+    let b = exp.runner().policy(&Policy::uniform(5)).run();
     assert_eq!(a, b);
 }
 
@@ -69,8 +69,8 @@ fn cifar10_resource_het_smoke_is_deterministic() {
     // previous state and the seed).
     let mut cfg = ExperimentConfig::cifar10_resource_het(42);
     cfg.rounds = 25;
-    let a = cfg.run_policy(&Policy::uniform(5));
-    let b = cfg.run_policy(&Policy::uniform(5));
+    let a = cfg.runner().policy(&Policy::uniform(5)).run();
+    let b = cfg.runner().policy(&Policy::uniform(5)).run();
     assert_eq!(a.final_accuracy(), b.final_accuracy());
     assert_eq!(a, b);
 }
@@ -84,7 +84,12 @@ fn thread_pool_size_does_not_change_results() {
             .num_threads(threads)
             .build()
             .expect("pool");
-        pool.install(|| ExperimentConfig::tiny(18).run_policy(&Policy::uniform(5)))
+        pool.install(|| {
+            ExperimentConfig::tiny(18)
+                .runner()
+                .policy(&Policy::uniform(5))
+                .run()
+        })
     };
     assert_eq!(run_with_threads(1), run_with_threads(8));
 }

@@ -13,8 +13,9 @@ fn tiny(seed: u64) -> ExperimentConfig {
 #[test]
 fn full_pipeline_all_static_policies() {
     let cfg = tiny(1);
+    let mut runner = cfg.runner();
     for policy in Policy::cifar_set(5) {
-        let report = cfg.run_policy(&policy);
+        let report = runner.policy(&policy).run();
         assert_eq!(
             report.rounds.len() as u64,
             cfg.rounds,
@@ -38,11 +39,14 @@ fn full_pipeline_all_static_policies() {
 #[test]
 fn full_pipeline_adaptive() {
     let cfg = tiny(2);
-    let report = cfg.run_adaptive(Some(AdaptiveConfig {
-        interval: 3,
-        credits_per_tier: 100,
-        gamma: 2.0,
-    }));
+    let report = cfg
+        .runner()
+        .adaptive(Some(AdaptiveConfig {
+            interval: 3,
+            credits_per_tier: 100,
+            gamma: 2.0,
+        }))
+        .run();
     assert_eq!(report.policy, "adaptive");
     assert_eq!(report.rounds.len() as u64, cfg.rounds);
 }
@@ -50,8 +54,9 @@ fn full_pipeline_adaptive() {
 #[test]
 fn tiered_policies_only_select_within_one_tier_per_round() {
     let cfg = tiny(3);
-    let (assignment, _) = cfg.profile_and_tier();
-    let report = cfg.run_policy(&Policy::uniform(5));
+    let mut runner = cfg.runner();
+    let assignment = runner.tiers().clone();
+    let report = runner.policy(&Policy::uniform(5)).run();
     for round in &report.rounds {
         let tiers: Vec<usize> = round
             .selected
@@ -73,8 +78,9 @@ fn tiered_policies_only_select_within_one_tier_per_round() {
 #[test]
 fn vanilla_selects_across_tiers_over_time() {
     let cfg = tiny(4);
-    let (assignment, _) = cfg.profile_and_tier();
-    let report = cfg.run_policy(&Policy::vanilla());
+    let mut runner = cfg.runner();
+    let assignment = runner.tiers().clone();
+    let report = runner.vanilla().run();
     let mut seen = vec![false; assignment.num_tiers()];
     for round in &report.rounds {
         for &c in &round.selected {
@@ -98,9 +104,10 @@ fn fast_policy_reduces_training_time_with_resource_heterogeneity() {
     // a 2.4 s floor under every policy, which alone pushes fast/vanilla
     // above the asserted 1/2 (the compute-only ratio is ~0.12).
     cfg.latency.base_overhead_sec = 0.0;
-    let vanilla = cfg.run_policy(&Policy::vanilla());
-    let fast = cfg.run_policy(&Policy::fast(5));
-    let uniform = cfg.run_policy(&Policy::uniform(5));
+    let mut runner = cfg.runner();
+    let vanilla = runner.vanilla().run();
+    let fast = runner.policy(&Policy::fast(5)).run();
+    let uniform = runner.policy(&Policy::uniform(5)).run();
     assert!(
         fast.total_time() < vanilla.total_time() / 2.0,
         "fast {} should be far below vanilla {}",
@@ -152,8 +159,9 @@ fn dropouts_are_excluded_from_tiers_but_training_continues() {
 #[test]
 fn leaf_pipeline_end_to_end() {
     let exp = LeafExperiment::tiny(7);
-    let vanilla = exp.run_policy(&Policy::vanilla());
-    let adaptive = exp.run_adaptive(None);
+    let mut runner = exp.runner();
+    let vanilla = runner.vanilla().run();
+    let adaptive = runner.adaptive(None).run();
     assert_eq!(vanilla.rounds.len(), adaptive.rounds.len());
     assert!(adaptive.total_time() > 0.0);
 }
@@ -161,7 +169,7 @@ fn leaf_pipeline_end_to_end() {
 #[test]
 fn reports_serialize_to_json() {
     let cfg = tiny(8);
-    let report = cfg.run_policy(&Policy::uniform(5));
+    let report = cfg.runner().policy(&Policy::uniform(5)).run();
     let json = serde_json::to_string(&report).expect("report serialises");
     let back: tifl::fl::TrainingReport = serde_json::from_str(&json).expect("report deserialises");
     assert_eq!(back, report);
@@ -206,7 +214,7 @@ fn accuracy_improves_with_training_on_easy_data() {
     let mut cfg = tiny(9);
     cfg.rounds = 40;
     cfg.eval_every = 1;
-    let report = cfg.run_policy(&Policy::vanilla());
+    let report = cfg.runner().vanilla().run();
     let early = report.rounds[0].accuracy.unwrap();
     let late = report.final_accuracy();
     assert!(late > early, "no learning: round0 {early}, final {late}");

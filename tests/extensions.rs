@@ -12,8 +12,9 @@ fn overselection_beats_waitall_on_time_and_keeps_learning() {
     let mut cfg = ExperimentConfig::tiny(41);
     cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
     cfg.rounds = 30;
-    let vanilla = cfg.run_policy(&Policy::vanilla());
-    let over = cfg.run_overselection(1.3);
+    let mut runner = cfg.runner();
+    let vanilla = runner.vanilla().run();
+    let over = runner.overselect(1.3).run();
     assert!(over.total_time() < vanilla.total_time());
     assert!(over.final_accuracy() > 0.4, "over-selection still trains");
     assert!(over.discarded_work_fraction() > 0.0);
@@ -25,10 +26,11 @@ fn fedcs_deadline_controls_round_latency() {
     cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
     cfg.latency.base_overhead_sec = 0.0;
     cfg.rounds = 30;
-    let (tiers, _) = cfg.profile_and_tier();
-    let lats = tiers.tier_latencies();
+    let mut runner = cfg.runner();
+    let lats = runner.tiers().tier_latencies();
     let deadline = (lats[1] + lats[2]) / 2.0;
-    let report = cfg.run_fedcs(deadline);
+    let report = runner.deadline(deadline).run();
+    assert_eq!(runner.profile_count(), 1, "deadline run reuses the profile");
     // Rounds stay within ~deadline (plus jitter slack).
     assert!(
         report.mean_round_latency() < deadline * 1.3,
@@ -49,8 +51,10 @@ fn fedprox_stays_closer_to_global_under_noniid() {
     // under the vendored RNG stream); 30 rounds clears it with margin
     // without slowing the suite meaningfully.
     cfg.rounds = 30;
-    let plain = cfg.run_policy(&Policy::vanilla());
-    let prox = cfg.run_fedprox(0.5);
+    let mut runner = cfg.runner();
+    let plain = runner.vanilla().run();
+    let prox = runner.fedprox(0.5).run();
+    assert_eq!(prox.policy, "fedprox(0.5)");
     // Both learn; FedProx must at least run to completion with the same
     // round structure.
     assert_eq!(plain.rounds.len(), prox.rounds.len());
@@ -66,7 +70,7 @@ fn dp_noise_degrades_accuracy_monotonically_in_expectation() {
             clip: 1.0,
             noise_multiplier: z,
         });
-        cfg.run_policy(&Policy::vanilla()).final_accuracy()
+        cfg.runner().vanilla().run().final_accuracy()
     };
     let clean = accuracy_at(0.0);
     let noisy = accuracy_at(1.0);
@@ -84,7 +88,7 @@ fn dp_updates_compose_with_tiering() {
         clip: 1.0,
         noise_multiplier: 0.001,
     });
-    let report = cfg.run_policy(&Policy::uniform(5));
+    let report = cfg.runner().policy(&Policy::uniform(5)).run();
     assert_eq!(report.rounds.len(), 40);
     assert!(
         report.final_accuracy() > 0.3,
@@ -157,8 +161,9 @@ fn reprofiling_matches_static_when_nothing_drifts() {
     let mut cfg = ExperimentConfig::tiny(47);
     cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
     cfg.rounds = 24;
-    let stat = cfg.run_policy(&Policy::uniform(5));
-    let re = cfg.run_policy_with_reprofiling(&Policy::uniform(5), 8);
+    let mut runner = cfg.runner();
+    let stat = runner.policy(&Policy::uniform(5)).run();
+    let re = runner.reprofile_every(8).run();
     assert_eq!(stat.rounds.len(), re.rounds.len());
     let ratio = re.total_time() / stat.total_time();
     assert!(

@@ -14,8 +14,9 @@ fn vanilla_straggler_rate_matches_closed_form() {
     let mut cfg = ExperimentConfig::tiny(21);
     cfg.rounds = 400;
     cfg.eval_every = 1000; // skip accuracy work, we only need selections
-    let (assignment, _) = cfg.profile_and_tier();
-    let report = cfg.run_policy(&Policy::vanilla());
+    let mut runner = cfg.runner();
+    let assignment = runner.tiers().clone();
+    let report = runner.vanilla().run();
 
     let slowest: &[usize] = &assignment.tiers.last().unwrap().clients;
     let hits = report
@@ -42,9 +43,9 @@ fn vanilla_round_latency_dominated_by_slow_tier() {
     let mut cfg = ExperimentConfig::tiny(22);
     cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
     cfg.rounds = 60;
-    let (assignment, _) = cfg.profile_and_tier();
-    let lats = assignment.tier_latencies();
-    let report = cfg.run_policy(&Policy::vanilla());
+    let mut runner = cfg.runner();
+    let lats = runner.tiers().tier_latencies();
+    let report = runner.vanilla().run();
     let mean = report.mean_round_latency();
     // Mean vanilla latency should be far closer to the slowest tier than
     // to the fastest.
@@ -62,10 +63,10 @@ fn estimator_tracks_measurements() {
     let mut cfg = ExperimentConfig::tiny(23);
     cfg.rounds = 100;
     cfg.eval_every = 1000;
-    let (assignment, _) = cfg.profile_and_tier();
+    let mut runner = cfg.runner();
     for policy in [Policy::slow(5), Policy::uniform(5), Policy::fast(5)] {
-        let est = estimator::estimate_for_policy(&assignment, &policy, cfg.rounds);
-        let actual = cfg.run_policy(&policy).total_time();
+        let est = runner.estimate(&policy);
+        let actual = runner.policy(&policy).run().total_time();
         let err = estimator::mape(est, actual);
         assert!(
             err < 25.0,
@@ -112,7 +113,7 @@ fn noniid_skew_degrades_accuracy() {
         cfg.rounds = 60;
         cfg.eval_every = 10;
         cfg.data = tifl::core::experiment::DataScenario::ClassLimit { per_client: 100, k };
-        cfg.run_policy(&Policy::vanilla()).best_accuracy()
+        cfg.runner().vanilla().run().best_accuracy()
     };
     let a10 = acc(10);
     let a2 = acc(2);

@@ -1,0 +1,302 @@
+//! The `RunSpec`/`Runner` API contract:
+//!
+//! 1. every legacy `run_*` method is pinned to its `RunSpec`
+//!    counterpart with an *identical* `TrainingReport` (same RNG
+//!    streams, same labels, bit for bit);
+//! 2. newly composable cells of the §5 evaluation matrix (FedProx ×
+//!    adaptive tiering, over-selection × static tier policy, FedCS ×
+//!    re-profiling) run and stay deterministic;
+//! 3. a `Runner` profiles at most once per configuration no matter how
+//!    many curves it serves;
+//! 4. specs round-trip through JSON and drive full runs, including
+//!    through the `tifl run --spec` CLI.
+
+use tifl::prelude::*;
+
+fn tiny(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::tiny(seed)
+}
+
+/// `tiny` with 4 clients per tier instead of 2, so tier-wise
+/// over-selection (ask `ceil(|C|·factor)` *within one tier*) has a
+/// large enough pool.
+fn wide(seed: u64) -> ExperimentConfig {
+    let mut cfg = tiny(seed);
+    cfg.num_clients = 20;
+    cfg
+}
+
+// -- 1. legacy equivalence -------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn run_policy_matches_spec_for_every_policy() {
+    let cfg = tiny(70);
+    for policy in Policy::cifar_set(5) {
+        let legacy = cfg.run_policy(&policy);
+        let spec = cfg.runner().policy(&policy).run();
+        assert_eq!(legacy, spec, "policy {}", policy.name);
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn run_policy_session_matches_spec() {
+    let cfg = tiny(71);
+    let (legacy, legacy_session) = cfg.run_policy_session(&Policy::uniform(5));
+    let (spec, spec_session) = cfg.runner().policy(&Policy::uniform(5)).run_with_session();
+    assert_eq!(legacy, spec);
+    assert_eq!(legacy_session.global_params(), spec_session.global_params());
+}
+
+#[test]
+#[allow(deprecated)]
+fn run_adaptive_matches_spec_with_and_without_config() {
+    let cfg = tiny(72);
+    assert_eq!(cfg.run_adaptive(None), cfg.runner().adaptive(None).run());
+    let acfg = AdaptiveConfig {
+        interval: 3,
+        credits_per_tier: 40,
+        gamma: 1.5,
+    };
+    assert_eq!(
+        cfg.run_adaptive(Some(acfg)),
+        cfg.runner().adaptive(Some(acfg)).run()
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn run_fedcs_matches_spec() {
+    let mut cfg = tiny(73);
+    cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
+    let deadline = {
+        let mut runner = cfg.runner();
+        let lats = runner.tiers().tier_latencies();
+        (lats[2] + lats[3]) / 2.0
+    };
+    let legacy = cfg.run_fedcs(deadline);
+    let spec = cfg.runner().deadline(deadline).run();
+    assert_eq!(legacy, spec);
+    assert_eq!(spec.policy, "fedcs");
+}
+
+#[test]
+#[allow(deprecated)]
+fn run_overselection_matches_spec() {
+    let cfg = tiny(74);
+    let legacy = cfg.run_overselection(1.5);
+    let spec = cfg.runner().vanilla().overselect(1.5).run();
+    assert_eq!(legacy, spec);
+    assert_eq!(spec.policy, "overselect(1.5)");
+}
+
+#[test]
+#[allow(deprecated)]
+fn run_fedprox_matches_spec() {
+    let cfg = tiny(75);
+    let legacy = cfg.run_fedprox(0.25);
+    let spec = cfg.runner().vanilla().fedprox(0.25).run();
+    assert_eq!(legacy, spec);
+    assert_eq!(spec.policy, "fedprox(0.25)");
+}
+
+#[test]
+#[allow(deprecated)]
+fn run_policy_with_reprofiling_matches_spec() {
+    let mut cfg = tiny(76);
+    cfg.rounds = 16;
+    let legacy = cfg.run_policy_with_reprofiling(&Policy::uniform(5), 4);
+    let spec = cfg
+        .runner()
+        .policy(&Policy::uniform(5))
+        .reprofile_every(4)
+        .run();
+    assert_eq!(legacy, spec);
+    assert_eq!(spec.policy, "uniform+reprofile");
+}
+
+#[test]
+#[allow(deprecated)]
+fn leaf_run_methods_match_specs() {
+    let exp = LeafExperiment::tiny(77);
+    assert_eq!(
+        exp.run_policy(&Policy::vanilla()),
+        exp.runner().vanilla().run()
+    );
+    assert_eq!(
+        exp.run_policy(&Policy::uniform(5)),
+        exp.runner().policy(&Policy::uniform(5)).run()
+    );
+    assert_eq!(exp.run_adaptive(None), exp.runner().adaptive(None).run());
+}
+
+// -- 2. newly composable scenarios ----------------------------------------
+
+#[test]
+fn fedprox_composes_with_adaptive_tiering() {
+    let cfg = tiny(78);
+    let run = || cfg.runner().adaptive(None).fedprox(0.1).run();
+    let a = run();
+    assert_eq!(a.rounds.len() as u64, cfg.rounds);
+    assert_eq!(a.policy, "adaptive+fedprox(0.1)");
+    assert!(a.final_accuracy() > 0.0);
+    assert_eq!(a, run(), "composed run must stay deterministic");
+    // The proximal term actually changes training.
+    let plain = cfg.runner().adaptive(None).run();
+    assert_ne!(a.rounds, plain.rounds, "mu = 0.1 must alter the updates");
+}
+
+#[test]
+fn overselection_composes_with_static_tier_policy() {
+    let mut cfg = wide(79);
+    cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
+    let run = || {
+        cfg.runner()
+            .policy(&Policy::uniform(5))
+            .overselect(2.0)
+            .run()
+    };
+    let report = run();
+    assert_eq!(report.rounds.len() as u64, cfg.rounds);
+    // Over-selection really over-selects within the drawn tier …
+    assert!(report.rounds.iter().all(|r| r.selected.len() == 4));
+    assert!(report.rounds.iter().all(|r| r.aggregated.len() == 2));
+    assert!(report.discarded_work_fraction() > 0.4);
+    // … and stays deterministic.
+    assert_eq!(report, run());
+}
+
+#[test]
+fn fedcs_composes_with_reprofiling_across_a_regime_switch() {
+    // The composition the motivation calls out as previously
+    // inexpressible: a deadline selector whose profile refreshes after
+    // the fast devices slow down.
+    let mut cfg = tiny(80);
+    cfg.cpu_profile = tifl::sim::resource::profiles::CIFAR.to_vec();
+    cfg.latency.base_overhead_sec = 0.0;
+    cfg.rounds = 20;
+    let mut factors = vec![1.0; 10];
+    factors[0] = 0.01;
+    factors[1] = 0.01;
+    cfg.drift = DriftModel::RegimeSwitch {
+        at_round: 10,
+        factors,
+    };
+    let deadline = {
+        let mut runner = cfg.runner();
+        let lats = runner.tiers().tier_latencies();
+        (lats[0] + lats[1]) / 2.0
+    };
+    let report = cfg.runner().deadline(deadline).reprofile_every(10).run();
+    assert_eq!(report.policy, "fedcs+reprofile");
+    // Before the switch only the fast devices (0, 1) meet the deadline;
+    // after re-profiling they are over it and must vanish.
+    let first = &report.rounds[..10];
+    let second = &report.rounds[10..];
+    assert!(first.iter().all(|r| r.selected.iter().all(|&c| c < 2)));
+    assert!(second
+        .iter()
+        .all(|r| !r.selected.contains(&0) && !r.selected.contains(&1)));
+}
+
+// -- 3. profiling happens once per config ----------------------------------
+
+#[test]
+fn multi_curve_runner_profiles_once() {
+    // The fig3-style loop: one config, many policy curves. The legacy
+    // methods re-profiled per curve; the shared runner must not.
+    let cfg = tiny(81);
+    let mut runner = cfg.runner();
+    for policy in Policy::cifar_set(5) {
+        let _ = runner.policy(&policy).run();
+    }
+    let _ = runner.adaptive(None).run();
+    let _ = runner.estimate(&Policy::uniform(5));
+    assert_eq!(
+        runner.profile_count(),
+        1,
+        "one config, one profiling pass, regardless of curve count"
+    );
+}
+
+#[test]
+fn shared_profile_does_not_change_results() {
+    // Re-using the cached profile must give the same reports as fresh
+    // runners that each profile on their own.
+    let cfg = tiny(82);
+    let mut shared = cfg.runner();
+    let a_shared = shared.policy(&Policy::uniform(5)).run();
+    let b_shared = shared.policy(&Policy::fast(5)).run();
+    assert_eq!(a_shared, cfg.runner().policy(&Policy::uniform(5)).run());
+    assert_eq!(b_shared, cfg.runner().policy(&Policy::fast(5)).run());
+}
+
+// -- 4. serialization drives runs ------------------------------------------
+
+#[test]
+fn json_spec_round_trips_and_drives_a_run() {
+    let spec = RunSpec {
+        selection: SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        aggregation: Some(AggregationMode::FirstK { factor: 1.3 }),
+        local: LocalTraining::FedProx { mu: 0.01 },
+        reprofile_every: None,
+        label: None,
+    };
+    let json = serde_json::to_string_pretty(&spec).expect("spec serialises");
+    let back: RunSpec = serde_json::from_str(&json).expect("spec parses");
+    assert_eq!(back, spec);
+
+    let cfg = wide(83);
+    let report = Runner::with_spec(&cfg, back).run();
+    assert_eq!(report.rounds.len() as u64, cfg.rounds);
+    assert_eq!(report.policy, "uniform+fedprox(0.01)+overselect(1.3)");
+    // The deserialized spec reproduces the fluent-builder run exactly.
+    let fluent = cfg
+        .runner()
+        .policy(&Policy::uniform(5))
+        .overselect(1.3)
+        .fedprox(0.01)
+        .run();
+    assert_eq!(report, fluent);
+}
+
+#[test]
+fn spec_cli_runs_a_json_run_request() {
+    // End-to-end through the binary: write a RunRequest, invoke
+    // `tifl run --spec`, check the report summary it prints.
+    let request = RunRequest {
+        experiment: tiny(84),
+        rounds: Some(6),
+        seed: None,
+        clients_per_round: None,
+        spec: RunSpec {
+            selection: SelectionStrategy::Adaptive { config: None },
+            local: LocalTraining::FedProx { mu: 0.05 },
+            ..RunSpec::default()
+        },
+    };
+    let dir = std::env::temp_dir().join(format!("tifl-spec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("run.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&request).unwrap()).expect("write spec");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args(["run", "--spec", path.to_str().unwrap()])
+        .output()
+        .expect("tifl binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "tifl run --spec failed: {stdout}");
+    assert!(
+        stdout.contains("adaptive+fedprox(0.05): 6 rounds"),
+        "unexpected summary: {stdout}"
+    );
+
+    // The CLI result matches running the same request in-process.
+    let report = request.run();
+    assert_eq!(report.rounds.len(), 6);
+    assert_eq!(report.policy, "adaptive+fedprox(0.05)");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -49,7 +49,7 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     }
 }
 
-/// Just<T>: always the same value.
+/// `Just<T>`: always the same value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone + std::fmt::Debug>(pub T);
 
@@ -77,7 +77,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,

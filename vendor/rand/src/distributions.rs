@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn weighted_index_prefers_heavy_items() {
-        let dist = WeightedIndex::new(&vec![1.0f64, 0.0, 9.0]).unwrap();
+        let dist = WeightedIndex::new([1.0f64, 0.0, 9.0]).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let mut counts = [0usize; 3];
         for _ in 0..10_000 {
@@ -145,11 +145,11 @@ mod tests {
             Err(WeightedError::NoItem)
         );
         assert_eq!(
-            WeightedIndex::new(&vec![0.0f64, 0.0]),
+            WeightedIndex::new([0.0f64, 0.0]),
             Err(WeightedError::AllWeightsZero)
         );
         assert_eq!(
-            WeightedIndex::new(&vec![1.0f64, -2.0]),
+            WeightedIndex::new([1.0f64, -2.0]),
             Err(WeightedError::InvalidWeight)
         );
     }

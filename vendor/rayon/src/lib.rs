@@ -239,7 +239,8 @@ pub mod iter {
             // Hand each job its own &mut chunk. The UnsafeCell-free way:
             // wrap in Mutex<Vec<Option<..>>> and take() per job — each
             // index is touched exactly once.
-            let slots: Vec<std::sync::Mutex<Option<(usize, &mut [T])>>> = chunks
+            type Slot<'c, T> = std::sync::Mutex<Option<(usize, &'c mut [T])>>;
+            let slots: Vec<Slot<'_, T>> = chunks
                 .into_iter()
                 .map(|c| std::sync::Mutex::new(Some(c)))
                 .collect();

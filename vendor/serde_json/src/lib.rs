@@ -99,7 +99,7 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize)
 fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
     if let Some(width) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(width * level));
+        out.extend(std::iter::repeat_n(' ', width * level));
     }
 }
 
@@ -333,7 +333,7 @@ mod tests {
         assert_eq!(from_str::<u64>("42").unwrap(), 42);
         assert_eq!(from_str::<i32>("-7").unwrap(), -7);
         assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<String>(r#""a\nbA""#).unwrap(), "a\nbA");
         assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
     }
