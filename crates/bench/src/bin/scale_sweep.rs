@@ -1,0 +1,247 @@
+//! Scale sweep: round-execution throughput of both backends at
+//! 100 / 1 000 / 10 000 clients — the repo's performance trajectory.
+//!
+//! ```sh
+//! cargo run --release -p tifl-bench --bin scale_sweep
+//! cargo run --release -p tifl-bench --bin scale_sweep -- \
+//!     --max-clients 1000 --rounds 10 --threads 4 --out BENCH_scale_sweep.json
+//! ```
+//!
+//! For each pool size the sweep measures four cells — `lockstep` and
+//! `event` at 1 and `--threads` workers — and writes wall-clock
+//! seconds, rounds/second and a peak-RSS proxy (`VmHWM`) per cell to
+//! `--out`. Each cell runs in a **subprocess** (re-invoking this binary
+//! with the hidden `--cell` mode) so its high-water mark is its own and
+//! not the largest earlier cell's.
+//!
+//! The two backends execute identical work (their reports are asserted
+//! equal in the tests), so the ratio between cells isolates the
+//! execution mechanism: on a single-CPU host `event` ties `lockstep`
+//! (the engine's streaming overhead is noise), and the speedup scales
+//! with available cores since client training dominates a round.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tifl_core::exec::EventEngine;
+use tifl_core::experiment::{DataScenario, ExperimentConfig};
+use tifl_core::runner::Experiment;
+use tifl_fl::selector::RandomSelector;
+use tifl_fl::session::SessionOverrides;
+use tifl_nn::models::ModelSpec;
+
+/// One measured (pool size × backend × threads) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Cell {
+    clients: usize,
+    clients_per_round: usize,
+    backend: String,
+    threads: usize,
+    rounds: u64,
+    wall_clock_sec: f64,
+    rounds_per_sec: f64,
+    peak_rss_bytes: u64,
+    final_accuracy: f64,
+}
+
+/// The checked-in artifact: environment + cells + headline ratios.
+#[derive(Debug, Serialize, Deserialize)]
+struct Sweep {
+    host_parallelism: usize,
+    rounds: u64,
+    threads: usize,
+    cells: Vec<Cell>,
+    /// `wall(lockstep, 1 thread) / wall(event, --threads)` per pool
+    /// size — the headline "how much does the engine buy" number.
+    /// Bounded above by the host's core count: client training
+    /// dominates a round, and a 1-core host pins this near 1.0.
+    speedup_event_vs_sequential: Vec<(usize, f64)>,
+}
+
+fn sweep_config(clients: usize, rounds: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::cifar10_resource_het(7);
+    cfg.name = format!("sweep/{clients}-clients");
+    cfg.num_clients = clients;
+    // Production-style participation: |C| grows with the pool, capped
+    // so the largest cell stays minutes-not-hours on small hosts.
+    cfg.clients_per_round = (clients / 100).clamp(10, 64);
+    cfg.rounds = rounds;
+    cfg.data = DataScenario::Iid { per_client: 50 };
+    cfg.model = ModelSpec::Mlp {
+        input: 64,
+        hidden: 64,
+        classes: 10,
+    };
+    cfg.eval_every = 1;
+    cfg
+}
+
+/// `VmHWM` (peak resident set) of this process, in bytes (0 where
+/// `/proc` is unavailable).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Run one cell in-process and report it (the `--cell` subprocess mode).
+fn run_cell(clients: usize, backend: &str, threads: usize, rounds: u64) -> Cell {
+    let cfg = sweep_config(clients, rounds);
+    let mut session = cfg.build_session(&SessionOverrides::default());
+    let mut selector = RandomSelector::new(clients, cfg.seed);
+    let start = Instant::now();
+    let report = match backend {
+        "lockstep" => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool builds");
+            pool.install(|| session.run(&mut selector))
+        }
+        "event" => EventEngine::new(threads).run(&mut session, &mut selector),
+        other => panic!("unknown backend `{other}` (expected lockstep|event)"),
+    };
+    let wall = start.elapsed().as_secs_f64();
+    Cell {
+        clients,
+        clients_per_round: cfg.clients_per_round,
+        backend: backend.to_string(),
+        threads,
+        rounds,
+        wall_clock_sec: wall,
+        rounds_per_sec: rounds as f64 / wall,
+        peak_rss_bytes: peak_rss_bytes(),
+        final_accuracy: report.final_accuracy(),
+    }
+}
+
+/// Run one cell in a fresh subprocess so `VmHWM` is per-cell.
+fn spawn_cell(clients: usize, backend: &str, threads: usize, rounds: u64) -> Cell {
+    let exe = std::env::current_exe().expect("own path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--cell",
+            &clients.to_string(),
+            backend,
+            &threads.to_string(),
+            &rounds.to_string(),
+        ])
+        .output()
+        .expect("cell subprocess runs");
+    assert!(
+        out.status.success(),
+        "cell {clients}/{backend}/{threads} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .last()
+        .unwrap_or_else(|| panic!("cell produced no output"));
+    serde_json::from_str(line).unwrap_or_else(|e| panic!("cell output `{line}`: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Hidden subprocess mode: measure one cell, print it as JSON.
+    if args.first().map(String::as_str) == Some("--cell") {
+        assert_eq!(
+            args.len(),
+            5,
+            "--cell <clients> <backend> <threads> <rounds>"
+        );
+        let cell = run_cell(
+            args[1].parse().expect("clients"),
+            &args[2],
+            args[3].parse().expect("threads"),
+            args[4].parse().expect("rounds"),
+        );
+        println!("{}", serde_json::to_string(&cell).expect("serialises"));
+        return;
+    }
+
+    let mut max_clients = 10_000usize;
+    let mut rounds = 20u64;
+    let mut threads = 4usize;
+    let mut out = "BENCH_scale_sweep.json".to_string();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--max-clients" => max_clients = val("--max-clients").parse().expect("integer"),
+            "--rounds" => rounds = val("--rounds").parse().expect("integer"),
+            "--threads" => threads = val("--threads").parse().expect("integer"),
+            "--out" => out = val("--out"),
+            other => panic!(
+                "unknown argument `{other}` (expected --max-clients/--rounds/--threads/--out)"
+            ),
+        }
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let pools: Vec<usize> = [100usize, 1_000, 10_000]
+        .into_iter()
+        .filter(|&c| c <= max_clients)
+        .collect();
+    eprintln!(
+        "[scale_sweep] pools {pools:?}, {rounds} rounds, threads 1/{threads}, host parallelism {host}"
+    );
+
+    let mut cells = Vec::new();
+    let mut speedups = Vec::new();
+    println!(
+        "{:>8} {:>5} {:>10} {:>8} {:>12} {:>12} {:>12}",
+        "clients", "|C|", "backend", "threads", "wall [s]", "rounds/s", "peak RSS"
+    );
+    for &clients in &pools {
+        for (backend, t) in [
+            ("lockstep", 1),
+            ("lockstep", threads),
+            ("event", 1),
+            ("event", threads),
+        ] {
+            let cell = spawn_cell(clients, backend, t, rounds);
+            println!(
+                "{:>8} {:>5} {:>10} {:>8} {:>12.3} {:>12.2} {:>10.1}MB",
+                cell.clients,
+                cell.clients_per_round,
+                cell.backend,
+                cell.threads,
+                cell.wall_clock_sec,
+                cell.rounds_per_sec,
+                cell.peak_rss_bytes as f64 / 1e6
+            );
+            cells.push(cell);
+        }
+        let sequential = cells
+            .iter()
+            .find(|c| c.clients == clients && c.backend == "lockstep" && c.threads == 1)
+            .expect("sequential cell measured")
+            .wall_clock_sec;
+        let event = cells
+            .iter()
+            .find(|c| c.clients == clients && c.backend == "event" && c.threads == threads)
+            .expect("event cell measured")
+            .wall_clock_sec;
+        speedups.push((clients, sequential / event));
+    }
+    for &(clients, s) in &speedups {
+        println!("{clients:>8} clients: event({threads}) is {s:.2}x sequential lockstep");
+    }
+
+    let sweep = Sweep {
+        host_parallelism: host,
+        rounds,
+        threads,
+        cells,
+        speedup_event_vs_sequential: speedups,
+    };
+    let json = serde_json::to_string_pretty(&sweep).expect("serialises");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("[scale_sweep] wrote {out}");
+}

@@ -1,0 +1,568 @@
+//! The virtual-time discrete-event round engine.
+//!
+//! One priority-queue scheduler ([`EventQueue`]) unifies everything the
+//! simulator knows about time — response latencies, dropouts
+//! (timeouts), drift — with the execution machinery: client training
+//! runs on the [`ClientExecutor`] worker pool, updates fold into the
+//! global model as they complete ([`StreamingFold`] through an
+//! [`OrderedMerge`]), and global-model evaluation is deferred onto the
+//! same pool so it overlaps the next round's training.
+//!
+//! # Equivalence contract
+//!
+//! For the synchronous aggregation modes (`WaitAll`, `FirstK`) the
+//! engine consumes the *same* [`RoundPlan`]s, trains the *same*
+//! contributors with the *same* per-client RNG streams, and folds the
+//! weighted mean in the *same* canonical order as the lockstep loop —
+//! so its [`TrainingReport`]s and final weights are bit-for-bit equal
+//! to `Session::run` for **any** worker-thread count. The worker count
+//! changes wall-clock time and nothing else.
+//!
+//! # What only this engine can do
+//!
+//! * **Straggler cancellation** — under `FirstK` over-selection the
+//!   round ends at the `|C|`-th completion; the engine cancels the
+//!   pending completion events of every in-flight straggler at that
+//!   virtual deadline ([`EventQueue::cancel`]) and never trains them.
+//!   The recorded [`RoundTimeline`]s show them as
+//!   [`TimelineEvent::Cancelled`].
+//! * **Asynchronous aggregation** — [`AggregationMode::Async`] keeps
+//!   `|C|` clients in flight with no round barrier at all: each arrival
+//!   folds into the global model damped by its staleness, and a
+//!   replacement dispatches immediately (FedAsync-style; see
+//!   [`ASYNC_BASE_MIX`]).
+
+use crate::exec::executor::{ClientExecutor, TaskResult, TrainContext, WorkQueue};
+use crate::exec::streaming::OrderedMerge;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use tifl_fl::selector::ClientSelector;
+use tifl_fl::session::{AggregationMode, RoundPlan};
+use tifl_fl::timeline::{RoundTimeline, TimelineEvent};
+use tifl_fl::{RoundReport, Session, StreamingFold, TrainingReport};
+use tifl_sim::event::EventQueue;
+
+/// Base mixing rate of the asynchronous fold: a fresh update moves the
+/// global model by `ASYNC_BASE_MIX / (1 + staleness)` of the distance
+/// to the client's weights — the polynomial staleness damping of
+/// FedAsync (Xie et al.), with α = 0.5.
+pub const ASYNC_BASE_MIX: f32 = 0.5;
+
+/// Deferred-evaluation results waiting to be patched into reports.
+type EvalPatch = (usize, f64, f32);
+
+/// The event-driven execution engine. Create one per run (or per
+/// re-profiling segment); it carries no model state of its own — the
+/// session stays the single source of truth.
+pub struct EventEngine {
+    threads: usize,
+    record_timelines: bool,
+    timelines: Vec<RoundTimeline>,
+}
+
+impl EventEngine {
+    /// An engine with `threads` training workers (0 = machine default).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            record_timelines: false,
+            timelines: Vec::new(),
+        }
+    }
+
+    /// Record a [`RoundTimeline`] per executed round (synchronous modes
+    /// only; the asynchronous mode has no per-round trace). Off by
+    /// default — traces cost memory proportional to `|selected|·rounds`.
+    pub fn record_timelines(&mut self, on: bool) -> &mut Self {
+        self.record_timelines = on;
+        self
+    }
+
+    /// The per-round event traces recorded so far (empty unless
+    /// [`EventEngine::record_timelines`] was enabled).
+    #[must_use]
+    pub fn timelines(&self) -> &[RoundTimeline] {
+        &self.timelines
+    }
+
+    /// Run the session's remaining configured rounds and return the
+    /// full report (the engine counterpart of `Session::run`).
+    pub fn run(
+        &mut self,
+        session: &mut Session,
+        selector: &mut dyn ClientSelector,
+    ) -> TrainingReport {
+        let remaining = session.config().rounds - session.rounds_done();
+        let rounds = self.run_rounds(session, selector, remaining);
+        TrainingReport {
+            policy: selector.name(),
+            rounds,
+        }
+    }
+
+    /// Execute `rounds` rounds (or, under [`AggregationMode::Async`],
+    /// `rounds` aggregation steps) and return their reports.
+    pub fn run_rounds(
+        &mut self,
+        session: &mut Session,
+        selector: &mut dyn ClientSelector,
+        rounds: u64,
+    ) -> Vec<RoundReport> {
+        match session.config().aggregation {
+            AggregationMode::Async { max_staleness } => {
+                self.run_async(session, selector, rounds, max_staleness)
+            }
+            AggregationMode::WaitAll | AggregationMode::FirstK { .. } => {
+                self.run_sync(session, selector, rounds)
+            }
+        }
+    }
+
+    // -- synchronous rounds, streamed -------------------------------------
+
+    fn run_sync(
+        &mut self,
+        session: &mut Session,
+        selector: &mut dyn ClientSelector,
+        rounds: u64,
+    ) -> Vec<RoundReport> {
+        let ctx = TrainContext::of(session);
+        let executor = ClientExecutor::new(self.threads);
+        let param_len = session.global_params().len();
+        let (reports, timelines) = executor.run(&ctx, |queue, results| {
+            let mut reports: Vec<RoundReport> = Vec::with_capacity(rounds as usize);
+            let mut timelines = Vec::new();
+            let mut evals_pending = 0usize;
+            let mut eval_patches: Vec<EvalPatch> = Vec::new();
+            for _ in 0..rounds {
+                let plan = session.plan_round(selector);
+                if self.record_timelines {
+                    timelines.push(sync_trace(
+                        &plan,
+                        session.config().aggregation,
+                        session.config().tmax_sec,
+                    ));
+                }
+
+                // The fold's total weight is known before any client
+                // finishes — contributors and their sample counts come
+                // from the plan alone.
+                let weights: Vec<f32> = plan
+                    .contributors
+                    .iter()
+                    .map(|&c| ctx.samples(c) as f32)
+                    .collect();
+                let mut fold = StreamingFold::new(param_len, &weights);
+                let global = Arc::new(session.global_params().clone());
+                for (slot, &c) in plan.contributors.iter().enumerate() {
+                    queue.submit_train(slot as u64, c, plan.round, Arc::clone(&global));
+                }
+
+                // Stream: fold each update the moment its canonical
+                // predecessor has been folded; collect any finished
+                // deferred evaluations that arrive in between.
+                let mut merge = OrderedMerge::new();
+                while fold.folded() < fold.expected() {
+                    match results.recv().expect("workers outlive the round") {
+                        TaskResult::Update { tag, update } => {
+                            merge.push(tag as usize, update, |u| fold.fold(&u));
+                        }
+                        TaskResult::Eval {
+                            report_index,
+                            accuracy,
+                            loss,
+                        } => {
+                            evals_pending -= 1;
+                            eval_patches.push((report_index, accuracy, loss));
+                        }
+                    }
+                }
+
+                let round = plan.round;
+                let report = session.finish_round(plan, fold.finish(), selector, false);
+                if session.is_eval_round(round) {
+                    evals_pending += 1;
+                    queue.submit_eval(reports.len(), Arc::new(session.global_params().clone()));
+                }
+                reports.push(report);
+            }
+
+            while evals_pending > 0 {
+                match results.recv().expect("workers outlive the run") {
+                    TaskResult::Eval {
+                        report_index,
+                        accuracy,
+                        loss,
+                    } => {
+                        evals_pending -= 1;
+                        eval_patches.push((report_index, accuracy, loss));
+                    }
+                    TaskResult::Update { .. } => {
+                        unreachable!("every round drains its own updates")
+                    }
+                }
+            }
+            for (i, accuracy, loss) in eval_patches {
+                reports[i].accuracy = Some(accuracy);
+                reports[i].loss = Some(loss);
+            }
+            (reports, timelines)
+        });
+        self.timelines.extend(timelines);
+        reports
+    }
+
+    // -- asynchronous aggregation ------------------------------------------
+
+    /// FedAsync-style staleness-aware aggregation: `|C|` clients in
+    /// flight, one aggregation (= one report) per arriving update, a
+    /// replacement dispatched immediately after each event. Updates
+    /// staler than `max_staleness` model versions are discarded (their
+    /// report has an empty `aggregated`); non-responders time out after
+    /// `tmax_sec` and are replaced without consuming a step.
+    ///
+    /// Selector feedback (`monitored_groups`/`observe`) is not driven in
+    /// this mode — there is no synchronous point to evaluate at — so
+    /// credit-based adaptive selection degrades to its initial
+    /// probabilities.
+    ///
+    /// # Panics
+    /// Panics (rather than spinning on virtual time forever) when
+    /// `10 · |C|` consecutive dispatches time out — a cluster where no
+    /// client ever responds within `tmax_sec` cannot make progress.
+    fn run_async(
+        &mut self,
+        session: &mut Session,
+        selector: &mut dyn ClientSelector,
+        steps: u64,
+        max_staleness: u64,
+    ) -> Vec<RoundReport> {
+        let ctx = TrainContext::of(session);
+        let executor = ClientExecutor::new(self.threads);
+        let in_flight_target = session.config().clients_per_round;
+        let tmax = session.config().tmax_sec;
+
+        executor.run(&ctx, |queue, results| {
+            let mut events: EventQueue<AsyncEvent> = EventQueue::new();
+            let mut reports: Vec<RoundReport> = Vec::with_capacity(steps as usize);
+            let mut stash: HashMap<u64, tifl_fl::ClientUpdate> = HashMap::new();
+            // Dispatch seqs whose arrival was judged stale: their
+            // (already-trained) updates are dropped on receipt instead
+            // of accumulating in the stash.
+            let mut discarded: HashSet<u64> = HashSet::new();
+            let mut evals_pending = 0usize;
+            let mut eval_patches: Vec<EvalPatch> = Vec::new();
+            let mut next_seq: u64 = 0;
+            let mut version: u64 = 0;
+            let mut consecutive_timeouts = 0usize;
+
+            let dispatch = |client: usize,
+                            session: &Session,
+                            version: u64,
+                            next_seq: &mut u64,
+                            events: &mut EventQueue<AsyncEvent>,
+                            queue: &WorkQueue<'_, '_>| {
+                let seq = *next_seq;
+                *next_seq += 1;
+                let now = session.now();
+                let latency = session
+                    .cluster()
+                    .response(client, seq, &session.task_for(client))
+                    .filter(|&l| l <= tmax);
+                match latency {
+                    Some(l) => {
+                        events.schedule(
+                            now + l,
+                            AsyncEvent::Arrival {
+                                client,
+                                version,
+                                seq,
+                                dispatched_at: now,
+                            },
+                        );
+                        let global = Arc::new(session.global_params().clone());
+                        queue.submit_train(seq, client, version, global);
+                    }
+                    None => {
+                        events.schedule(now + tmax, AsyncEvent::Timeout);
+                    }
+                }
+            };
+
+            // Prime the pipeline: `|C|` clients in flight at t = 0.
+            for client in selector.select(0, in_flight_target) {
+                dispatch(client, session, version, &mut next_seq, &mut events, queue);
+            }
+
+            while (reports.len() as u64) < steps {
+                let event = events.pop().expect("clients always in flight");
+                session.advance_time_to(event.time);
+                match event.payload {
+                    AsyncEvent::Timeout => {
+                        // Replace the dead client; no aggregation step.
+                        consecutive_timeouts += 1;
+                        assert!(
+                            consecutive_timeouts <= 10 * in_flight_target,
+                            "{consecutive_timeouts} consecutive timeouts: no client \
+                             responds within tmax_sec, asynchronous run cannot progress"
+                        );
+                        let next = pick_one(selector, next_seq);
+                        dispatch(next, session, version, &mut next_seq, &mut events, queue);
+                    }
+                    AsyncEvent::Arrival {
+                        client,
+                        version: dispatched_version,
+                        seq,
+                        dispatched_at,
+                    } => {
+                        consecutive_timeouts = 0;
+                        let staleness = version - dispatched_version;
+                        let fresh = staleness <= max_staleness;
+                        if fresh {
+                            let update = take_update(
+                                seq,
+                                &mut stash,
+                                &mut discarded,
+                                results,
+                                &mut evals_pending,
+                                &mut eval_patches,
+                            );
+                            let beta = ASYNC_BASE_MIX / (1.0 + staleness as f32);
+                            let mut global = session.global_params().clone();
+                            global.scale(1.0 - beta);
+                            global.axpy(beta, &update.params);
+                            session.set_global_params(global);
+                            version += 1;
+                        } else if stash.remove(&seq).is_none() {
+                            // The stale update may not have been
+                            // received yet — drop it on arrival.
+                            discarded.insert(seq);
+                        }
+
+                        let round = session.rounds_done();
+                        if session.is_eval_round(round) {
+                            evals_pending += 1;
+                            queue.submit_eval(
+                                reports.len(),
+                                Arc::new(session.global_params().clone()),
+                            );
+                        }
+                        session.mark_round_done();
+                        reports.push(RoundReport {
+                            round,
+                            time: session.now(),
+                            latency: event.time - dispatched_at,
+                            selected: vec![client],
+                            aggregated: if fresh { vec![client] } else { Vec::new() },
+                            accuracy: None,
+                            loss: None,
+                        });
+
+                        let next = pick_one(selector, next_seq);
+                        dispatch(next, session, version, &mut next_seq, &mut events, queue);
+                    }
+                }
+            }
+
+            while evals_pending > 0 {
+                match results.recv().expect("workers outlive the run") {
+                    TaskResult::Eval {
+                        report_index,
+                        accuracy,
+                        loss,
+                    } => {
+                        evals_pending -= 1;
+                        eval_patches.push((report_index, accuracy, loss));
+                    }
+                    // Updates still in flight past the horizon are
+                    // abandoned, like the stragglers they are.
+                    TaskResult::Update { .. } => {}
+                }
+            }
+            for (i, accuracy, loss) in eval_patches {
+                reports[i].accuracy = Some(accuracy);
+                reports[i].loss = Some(loss);
+            }
+            reports
+        })
+    }
+}
+
+/// Events of the asynchronous aggregation loop.
+#[derive(Debug, Clone, Copy)]
+enum AsyncEvent {
+    /// A client's update reaches the aggregator.
+    Arrival {
+        /// Client id.
+        client: usize,
+        /// Global model version the client trained against.
+        version: u64,
+        /// Dispatch sequence number (keys latency jitter, training RNG
+        /// and the result channel).
+        seq: u64,
+        /// Virtual dispatch time.
+        dispatched_at: f64,
+    },
+    /// A client never responded within `tmax_sec` (the dead client is
+    /// simply replaced, so the event carries no payload).
+    Timeout,
+}
+
+/// Select one replacement client, keyed by the dispatch sequence number
+/// so every dispatch draws from a fresh, reproducible stream.
+fn pick_one(selector: &mut dyn ClientSelector, seq: u64) -> usize {
+    let picked = selector.select(seq, 1);
+    assert_eq!(
+        picked.len(),
+        1,
+        "selector returned {} clients",
+        picked.len()
+    );
+    picked[0]
+}
+
+/// Receive from the results channel until the update tagged `seq` is
+/// available, stashing others (they belong to later virtual arrivals)
+/// and dropping any whose arrival was already judged stale.
+fn take_update(
+    seq: u64,
+    stash: &mut HashMap<u64, tifl_fl::ClientUpdate>,
+    discarded: &mut HashSet<u64>,
+    results: &Receiver<TaskResult>,
+    evals_pending: &mut usize,
+    eval_patches: &mut Vec<EvalPatch>,
+) -> tifl_fl::ClientUpdate {
+    loop {
+        if let Some(update) = stash.remove(&seq) {
+            return update;
+        }
+        match results.recv().expect("workers outlive the run") {
+            TaskResult::Update { tag, update } => {
+                if !discarded.remove(&tag) {
+                    stash.insert(tag, update);
+                }
+            }
+            TaskResult::Eval {
+                report_index,
+                accuracy,
+                loss,
+            } => {
+                *evals_pending -= 1;
+                eval_patches.push((report_index, accuracy, loss));
+            }
+        }
+    }
+}
+
+/// Replay a planned synchronous round as a virtual-time event trace:
+/// dispatches at the round start, completions at each response latency,
+/// timeouts at `tmax`, and — under over-selection — cancellation of
+/// every in-flight straggler at the round's deadline (the `|C|`-th
+/// completion).
+fn sync_trace(plan: &RoundPlan, mode: AggregationMode, tmax: f64) -> RoundTimeline {
+    let mut queue = EventQueue::new();
+    let first_k = matches!(mode, AggregationMode::FirstK { .. });
+    for &(client, _) in &plan.responses {
+        queue.schedule(0.0, TimelineEvent::Dispatch { client });
+    }
+    let mut completions = Vec::new();
+    for &(client, latency) in &plan.responses {
+        match latency {
+            Some(l) => {
+                let handle = queue.schedule(l, TimelineEvent::Complete { client });
+                completions.push((client, handle));
+            }
+            None if first_k => {
+                // Never completed; the round ends without it — cut it
+                // loose at the deadline.
+                queue.schedule(plan.latency, TimelineEvent::Cancelled { client });
+            }
+            None => {
+                queue.schedule(tmax, TimelineEvent::TimedOut { client });
+            }
+        }
+    }
+    if first_k {
+        // Stragglers beyond the first |C| responders: cancel their
+        // completion at the virtual deadline.
+        for (client, handle) in completions {
+            if !plan.contributors.contains(&client) {
+                queue.cancel(handle);
+                queue.schedule(plan.latency, TimelineEvent::Cancelled { client });
+            }
+        }
+    }
+    queue.schedule(plan.latency, TimelineEvent::RoundEnd);
+    let mut events = Vec::with_capacity(queue.len());
+    while let Some(e) = queue.pop() {
+        events.push((e.time, e.payload));
+    }
+    RoundTimeline { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(
+        responses: Vec<(usize, Option<f64>)>,
+        contributors: Vec<usize>,
+        latency: f64,
+    ) -> RoundPlan {
+        RoundPlan {
+            round: 0,
+            selected: responses.iter().map(|&(c, _)| c).collect(),
+            responses,
+            contributors,
+            latency,
+        }
+    }
+
+    #[test]
+    fn wait_all_trace_matches_timeline_shape() {
+        let p = plan(vec![(0, Some(2.0)), (1, None)], vec![0], 50.0);
+        let t = sync_trace(&p, AggregationMode::WaitAll, 50.0);
+        assert!(t
+            .events
+            .iter()
+            .any(|(time, e)| *time == 50.0 && matches!(e, TimelineEvent::TimedOut { client: 1 })));
+        assert_eq!(t.round_end(), 50.0);
+    }
+
+    #[test]
+    fn first_k_trace_cancels_stragglers_at_the_deadline() {
+        // Three responders, two contribute: the slowest is cancelled at
+        // the 2nd-fastest completion time and its Complete never fires.
+        let p = plan(
+            vec![(0, Some(1.0)), (1, Some(9.0)), (2, Some(2.0))],
+            vec![0, 2],
+            2.0,
+        );
+        let t = sync_trace(&p, AggregationMode::FirstK { factor: 1.5 }, 100.0);
+        assert!(t
+            .events
+            .iter()
+            .any(|(time, e)| *time == 2.0 && matches!(e, TimelineEvent::Cancelled { client: 1 })));
+        assert!(
+            !t.events
+                .iter()
+                .any(|(_, e)| matches!(e, TimelineEvent::Complete { client: 1 })),
+            "cancelled straggler must not complete: {:?}",
+            t.events
+        );
+        assert_eq!(t.round_end(), 2.0);
+    }
+
+    #[test]
+    fn first_k_trace_cancels_non_responders_too() {
+        let p = plan(vec![(0, Some(1.0)), (1, None)], vec![0], 1.0);
+        let t = sync_trace(&p, AggregationMode::FirstK { factor: 2.0 }, 100.0);
+        assert!(t
+            .events
+            .iter()
+            .any(|(time, e)| *time == 1.0 && matches!(e, TimelineEvent::Cancelled { client: 1 })));
+        assert_eq!(t.round_end(), 1.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The parallel client executor.
+//!
+//! Training a selected client is a pure function of
+//! `(seed, client, round, global)` — see `tifl_fl::client::local_train` —
+//! so *where* and *when* it runs cannot change its result. This module
+//! exploits that: clients train on a pool of worker threads pulling
+//! from a shared queue (the vendored `rayon`'s [`rayon::scope`]), and
+//! every finished update streams back to the coordinating thread over a
+//! channel the moment it completes. Determinism for any thread count is
+//! restored downstream by the ordered merge
+//! ([`crate::exec::OrderedMerge`]).
+//!
+//! Global-model evaluation rides the same pool: an evaluation task
+//! captures an immutable snapshot of the round's aggregated model, so
+//! it can run concurrently with the *next* round's training — the
+//! lockstep backend stalls every round on it.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use tifl_data::FederatedDataset;
+use tifl_fl::client::{self, ClientConfig};
+use tifl_fl::{ClientUpdate, Session};
+use tifl_nn::models::ModelSpec;
+use tifl_tensor::ParamVec;
+
+/// Everything a worker needs to train any client of a session — shared,
+/// immutable, and independent of the session's mutable state (global
+/// model, clock), which stays with the coordinating thread.
+#[derive(Clone)]
+pub struct TrainContext {
+    /// The federated dataset (shared handle).
+    pub data: Arc<FederatedDataset>,
+    /// Global model architecture.
+    pub model: ModelSpec,
+    /// Local-training hyper-parameters.
+    pub client: ClientConfig,
+    /// The session's root seed (per-client streams derive from it).
+    pub seed: u64,
+}
+
+impl TrainContext {
+    /// Capture the training context of a session.
+    #[must_use]
+    pub fn of(session: &Session) -> Self {
+        Self {
+            data: session.data_handle(),
+            model: session.config().model,
+            client: session.config().client,
+            seed: session.config().seed,
+        }
+    }
+
+    /// Train `client` for `round` against `global` — the same
+    /// `tifl_fl::client::train_update` call `Session::train_contributor`
+    /// makes, so the two backends cannot drift apart.
+    #[must_use]
+    pub fn train(&self, client: usize, round: u64, global: &ParamVec) -> ClientUpdate {
+        client::train_update(
+            &self.model,
+            global,
+            &self.data,
+            &self.client,
+            round,
+            client,
+            self.seed,
+        )
+    }
+
+    /// Local training-set size of `client` (the FedAvg weight `s_c`),
+    /// known without training — the streaming fold needs the round's
+    /// total weight up front.
+    #[must_use]
+    pub fn samples(&self, client: usize) -> usize {
+        self.data.clients[client].train.len()
+    }
+
+    /// Evaluate `params` on the balanced global test set (bit-for-bit
+    /// the session's own evaluation).
+    #[must_use]
+    pub fn evaluate(&self, params: &ParamVec) -> (f64, f32) {
+        let mut model = client::eval_model(&self.model, params);
+        let e = model.evaluate(&self.data.global_test.x, &self.data.global_test.y);
+        (e.accuracy, e.loss)
+    }
+}
+
+/// A finished worker task, streamed back to the coordinating thread.
+#[derive(Debug)]
+pub enum TaskResult {
+    /// One client finished local training.
+    Update {
+        /// Caller-defined identity (the canonical slot in a synchronous
+        /// round, the dispatch sequence number in asynchronous mode).
+        tag: u64,
+        /// The trained update.
+        update: ClientUpdate,
+    },
+    /// One deferred global-model evaluation finished.
+    Eval {
+        /// Index into the caller's report list.
+        report_index: usize,
+        /// Global test accuracy.
+        accuracy: f64,
+        /// Global test loss.
+        loss: f32,
+    },
+}
+
+/// Handle for submitting work from inside [`ClientExecutor::run`].
+pub struct WorkQueue<'a, 'scope> {
+    scope: &'a rayon::Scope<'scope>,
+    ctx: &'scope TrainContext,
+    tx: mpsc::Sender<TaskResult>,
+}
+
+impl WorkQueue<'_, '_> {
+    /// Queue local training of `client` for `round` against the given
+    /// global snapshot; the result arrives as [`TaskResult::Update`]
+    /// carrying `tag`.
+    pub fn submit_train(&self, tag: u64, client: usize, round: u64, global: Arc<ParamVec>) {
+        let ctx = self.ctx;
+        let tx = self.tx.clone();
+        self.scope.spawn(move || {
+            let update = ctx.train(client, round, &global);
+            // The receiver may already be gone when a run abandons
+            // still-in-flight work (asynchronous mode at its horizon).
+            let _ = tx.send(TaskResult::Update { tag, update });
+        });
+    }
+
+    /// Queue evaluation of a global-model snapshot; the result arrives
+    /// as [`TaskResult::Eval`] carrying `report_index`.
+    pub fn submit_eval(&self, report_index: usize, global: Arc<ParamVec>) {
+        let ctx = self.ctx;
+        let tx = self.tx.clone();
+        self.scope.spawn(move || {
+            let (accuracy, loss) = ctx.evaluate(&global);
+            let _ = tx.send(TaskResult::Eval {
+                report_index,
+                accuracy,
+                loss,
+            });
+        });
+    }
+}
+
+/// A fixed-size worker pool executing client training and evaluation
+/// tasks, streaming results as they complete.
+pub struct ClientExecutor {
+    pool: rayon::ThreadPool,
+}
+
+impl ClientExecutor {
+    /// A pool of `threads` workers (0 = machine default).
+    ///
+    /// # Panics
+    /// Never in practice; kept for pool-builder signature parity.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool builds");
+        Self { pool }
+    }
+
+    /// The worker count in effect.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// Run `body` on the calling thread with a live worker pool: `body`
+    /// submits tasks through the [`WorkQueue`] and consumes results
+    /// from the receiver *while workers execute*. Returns after `body`
+    /// and every submitted task finished.
+    pub fn run<R>(
+        &self,
+        ctx: &TrainContext,
+        body: impl FnOnce(&WorkQueue<'_, '_>, &mpsc::Receiver<TaskResult>) -> R,
+    ) -> R {
+        self.pool.install(|| {
+            rayon::scope(|scope| {
+                let (tx, rx) = mpsc::channel();
+                let queue = WorkQueue { scope, ctx, tx };
+                body(&queue, &rx)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tifl_data::partition;
+    use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
+    use tifl_tensor::seed_rng;
+
+    fn ctx() -> TrainContext {
+        let gen = Generator::new(SynthSpec::family(SynthFamily::Mnist), 5);
+        let part = partition::iid(4, 30, 10, &mut seed_rng(5));
+        let data = FederatedDataset::materialize(&gen, &part, 0.2, 10, 5);
+        TrainContext {
+            data: Arc::new(data),
+            model: ModelSpec::Mlp {
+                input: 64,
+                hidden: 16,
+                classes: 10,
+            },
+            client: ClientConfig::paper_synthetic(),
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn training_results_are_thread_count_independent() {
+        let ctx = ctx();
+        let global = Arc::new(ctx.model.build(5).params());
+        let run = |threads: usize| {
+            let exec = ClientExecutor::new(threads);
+            exec.run(&ctx, |queue, rx| {
+                for c in 0..4u64 {
+                    queue.submit_train(c, c as usize, 0, Arc::clone(&global));
+                }
+                let mut got: Vec<Option<ClientUpdate>> = vec![None, None, None, None];
+                for _ in 0..4 {
+                    match rx.recv().expect("4 updates") {
+                        TaskResult::Update { tag, update } => got[tag as usize] = Some(update),
+                        TaskResult::Eval { .. } => unreachable!("no evals submitted"),
+                    }
+                }
+                got.into_iter()
+                    .map(|u| u.expect("all tags seen").params)
+                    .collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn evaluation_matches_the_inline_path() {
+        let ctx = ctx();
+        let params = ctx.model.build(7).params();
+        let inline = ctx.evaluate(&params);
+        let exec = ClientExecutor::new(2);
+        let deferred = exec.run(&ctx, |queue, rx| {
+            queue.submit_eval(3, Arc::new(params.clone()));
+            match rx.recv().expect("one eval") {
+                TaskResult::Eval {
+                    report_index,
+                    accuracy,
+                    loss,
+                } => {
+                    assert_eq!(report_index, 3);
+                    (accuracy, loss)
+                }
+                TaskResult::Update { .. } => unreachable!("no training submitted"),
+            }
+        });
+        assert_eq!(inline, deferred, "deferred evaluation must be bit-equal");
+    }
+
+    #[test]
+    fn executor_reports_thread_count() {
+        assert_eq!(ClientExecutor::new(3).threads(), 3);
+        assert!(ClientExecutor::new(0).threads() >= 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! The round execution engine: *how* runs execute, independently of
+//! *what* they run.
+//!
+//! The lockstep loop in `tifl_fl::Session` executes every selected
+//! client inline inside a synchronous round barrier — fine for paper
+//! topologies (50 clients, 5 per round), hopeless at production scale.
+//! This module family replaces the *mechanism* while preserving the
+//! *semantics* bit for bit:
+//!
+//! * [`engine`] — a virtual-time discrete-event engine that unifies the
+//!   simulator's clock/event/latency/dropout/drift models behind one
+//!   priority-queue scheduler ([`tifl_sim::event::EventQueue`]), with
+//!   real cancellation of in-flight stragglers and a staleness-aware
+//!   asynchronous aggregation mode;
+//! * [`executor`] — a shared-queue parallel client executor (built on
+//!   the vendored `rayon` scope) that trains clients concurrently and
+//!   streams each update back the moment it finishes;
+//! * [`streaming`] — the ordered-merge buffer that re-serialises
+//!   out-of-order completions into the canonical aggregation order, so
+//!   the streaming fold ([`tifl_fl::StreamingFold`]) reproduces batch
+//!   FedAvg exactly for *any* thread count.
+//!
+//! Pick the mechanism per run through [`ExecBackend`]:
+//!
+//! ```no_run
+//! use tifl_core::experiment::ExperimentConfig;
+//! use tifl_core::runner::Experiment;
+//!
+//! let cfg = ExperimentConfig::cifar10_resource_het(42);
+//! // Identical report to the default lockstep backend — just faster.
+//! let report = cfg.runner().adaptive(None).event_driven(4).run();
+//! println!("{}: {:.3}", report.policy, report.final_accuracy());
+//! ```
+
+pub mod engine;
+pub mod executor;
+pub mod streaming;
+
+pub use engine::EventEngine;
+pub use executor::{ClientExecutor, TrainContext};
+pub use streaming::OrderedMerge;
+
+use serde::{Deserialize, Serialize};
+
+/// Which execution mechanism a run uses. The backend never changes a
+/// run's results — only its wall-clock speed, memory footprint, and
+/// which aggregation modes are expressible
+/// ([`Async`](tifl_fl::session::AggregationMode::Async) needs
+/// [`EventDriven`](ExecBackend::EventDriven)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecBackend {
+    /// The legacy synchronous round loop: plan, train every contributor
+    /// through a parallel iterator, aggregate in one batch. Exact
+    /// historical behaviour; round memory is O(|selected| × model).
+    #[default]
+    Lockstep,
+    /// The discrete-event engine: contributors train on a pool of
+    /// worker threads, updates fold into the global model as they
+    /// complete (round memory O(model + reorder window)), evaluation
+    /// overlaps the next round's training, and over-selection cancels
+    /// in-flight stragglers at their virtual deadline. Bit-for-bit
+    /// equal to [`Lockstep`](ExecBackend::Lockstep) for any `threads`.
+    EventDriven {
+        /// Worker threads training clients (0 = machine default, capped
+        /// like the rayon pool).
+        threads: usize,
+    },
+}
+
+impl ExecBackend {
+    /// The worker-thread count this backend implies (lockstep reports
+    /// the ambient rayon parallelism of its `par_iter`).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        match *self {
+            ExecBackend::Lockstep | ExecBackend::EventDriven { threads: 0 } => {
+                rayon::current_num_threads()
+            }
+            ExecBackend::EventDriven { threads } => threads,
+        }
+    }
+
+    /// Short display label (`lockstep` / `event(4)`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            ExecBackend::Lockstep => "lockstep".to_string(),
+            ExecBackend::EventDriven { threads: 0 } => "event".to_string(),
+            ExecBackend::EventDriven { threads } => format!("event({threads})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backend_is_lockstep() {
+        assert_eq!(ExecBackend::default(), ExecBackend::Lockstep);
+    }
+
+    #[test]
+    fn backend_round_trips_through_json() {
+        for backend in [
+            ExecBackend::Lockstep,
+            ExecBackend::EventDriven { threads: 0 },
+            ExecBackend::EventDriven { threads: 4 },
+        ] {
+            let json = serde_json::to_string(&backend).expect("serializes");
+            let back: ExecBackend = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, backend);
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ExecBackend::Lockstep.label(), "lockstep");
+        assert_eq!(ExecBackend::EventDriven { threads: 4 }.label(), "event(4)");
+        assert_eq!(ExecBackend::EventDriven { threads: 0 }.label(), "event");
+    }
+
+    #[test]
+    fn explicit_thread_counts_pass_through() {
+        assert_eq!(ExecBackend::EventDriven { threads: 3 }.threads(), 3);
+        assert!(ExecBackend::Lockstep.threads() >= 1);
+        assert!(ExecBackend::EventDriven { threads: 0 }.threads() >= 1);
+    }
+}

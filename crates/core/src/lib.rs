@@ -18,11 +18,17 @@
 //! * [`runner`] — the composable run API: a serializable [`RunSpec`]
 //!   describing one cell of the §5 evaluation matrix, and the
 //!   [`Runner`] that executes it through the one canonical
-//!   profile → tier → select → train pipeline (with a profiling cache).
+//!   profile → tier → select → train pipeline (with a profiling cache);
+//! * [`exec`] — the round execution engine: a virtual-time
+//!   discrete-event scheduler with a parallel streaming client
+//!   executor, selectable per run via [`exec::ExecBackend`]
+//!   (bit-for-bit equal to the lockstep loop, plus straggler
+//!   cancellation and asynchronous staleness-aware aggregation).
 
 pub mod analysis;
 pub mod baselines;
 pub mod estimator;
+pub mod exec;
 pub mod experiment;
 pub mod policy;
 pub mod privacy;
@@ -31,6 +37,7 @@ pub mod runner;
 pub mod scheduler;
 pub mod tiering;
 
+pub use exec::{EventEngine, ExecBackend};
 pub use policy::Policy;
 pub use profiler::{Profiler, ProfilerConfig};
 pub use runner::{Experiment, LocalTraining, RunRequest, RunSpec, Runner, SelectionStrategy};

@@ -32,6 +32,7 @@
 //! legacy call reproduces its [`TrainingReport`] exactly.
 
 use crate::baselines::DeadlineSelector;
+use crate::exec::{EventEngine, ExecBackend};
 use crate::experiment::ExperimentConfig;
 use crate::policy::Policy;
 use crate::profiler::{ProfileResult, Profiler, ProfilerConfig};
@@ -130,6 +131,12 @@ pub struct RunSpec {
     /// (see [`RunSpec::display_label`]).
     #[serde(default)]
     pub label: Option<String>,
+    /// Execution mechanism (see [`ExecBackend`]). Never changes the
+    /// results — [`ExecBackend::EventDriven`] is bit-for-bit equal to
+    /// the default lockstep loop — so it does not decorate the label;
+    /// but [`AggregationMode::Async`] scenarios require it.
+    #[serde(default)]
+    pub backend: ExecBackend,
 }
 
 impl RunSpec {
@@ -175,6 +182,13 @@ impl RunSpec {
                 format!("overselect({factor})")
             } else {
                 format!("{base}+overselect({factor})")
+            };
+        }
+        if let Some(AggregationMode::Async { max_staleness }) = self.aggregation {
+            base = if base == "vanilla" {
+                format!("async({max_staleness})")
+            } else {
+                format!("{base}+async({max_staleness})")
             };
         }
         if self.reprofile_every.is_some() {
@@ -329,6 +343,37 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
         self.aggregation(AggregationMode::FirstK { factor })
     }
 
+    /// Staleness-aware asynchronous aggregation (FedAsync-style): no
+    /// round barrier, updates staler than `max_staleness` model
+    /// versions are discarded. Implies the event-driven backend — this
+    /// also switches the backend to [`ExecBackend::EventDriven`]
+    /// (machine-default threads) if the spec still has the lockstep
+    /// one, since the lockstep loop cannot express it.
+    pub fn async_aggregation(&mut self, max_staleness: u64) -> &mut Self {
+        if self.spec.backend == ExecBackend::Lockstep {
+            self.spec.backend = ExecBackend::EventDriven { threads: 0 };
+        }
+        self.aggregation(AggregationMode::Async { max_staleness })
+    }
+
+    /// Choose the execution mechanism (results are backend-invariant;
+    /// see [`ExecBackend`]).
+    pub fn backend(&mut self, backend: ExecBackend) -> &mut Self {
+        self.spec.backend = backend;
+        self
+    }
+
+    /// Execute on the event-driven engine with `threads` training
+    /// workers (0 = machine default).
+    pub fn event_driven(&mut self, threads: usize) -> &mut Self {
+        self.backend(ExecBackend::EventDriven { threads })
+    }
+
+    /// Execute on the legacy lockstep round loop (the default).
+    pub fn lockstep(&mut self) -> &mut Self {
+        self.backend(ExecBackend::Lockstep)
+    }
+
     /// Train with the plain FedAvg objective (keeps the experiment's
     /// configured proximal coefficient).
     pub fn fedavg(&mut self) -> &mut Self {
@@ -407,7 +452,12 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
             None => {
                 let seed = split_seed(self.exp.seed(), 0x5E1EC7);
                 let mut selector = self.build_selector(seed);
-                session.run(selector.as_mut())
+                match self.spec.backend {
+                    ExecBackend::Lockstep => session.run(selector.as_mut()),
+                    ExecBackend::EventDriven { threads } => {
+                        EventEngine::new(threads).run(&mut session, selector.as_mut())
+                    }
+                }
             }
             Some(every) => self.run_segmented(&mut session, every),
         };
@@ -479,8 +529,19 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
                     SelectionStrategy::Vanilla => unreachable!("rejected above"),
                 };
             let segment = every.min(rounds_total - done);
-            for _ in 0..segment {
-                rounds.push(session.run_round(selector.as_mut()));
+            match self.spec.backend {
+                ExecBackend::Lockstep => {
+                    for _ in 0..segment {
+                        rounds.push(session.run_round(selector.as_mut()));
+                    }
+                }
+                ExecBackend::EventDriven { threads } => {
+                    rounds.extend(EventEngine::new(threads).run_rounds(
+                        session,
+                        selector.as_mut(),
+                        segment,
+                    ));
+                }
             }
             done += segment;
         }
@@ -714,10 +775,69 @@ mod tests {
             local: LocalTraining::FedProx { mu: 0.05 },
             reprofile_every: Some(25),
             label: Some("combo".into()),
+            backend: ExecBackend::EventDriven { threads: 2 },
         };
         let json = serde_json::to_string_pretty(&spec).expect("serializes");
         let back: RunSpec = serde_json::from_str(&json).expect("parses");
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn backend_knob_defaults_to_lockstep_and_composes() {
+        let spec = RunSpec::default();
+        assert_eq!(spec.backend, ExecBackend::Lockstep);
+        let cfg = tiny();
+        let mut runner = cfg.runner();
+        runner.event_driven(3).fedprox(0.1);
+        assert_eq!(
+            runner.spec().backend,
+            ExecBackend::EventDriven { threads: 3 }
+        );
+        assert_eq!(
+            runner.spec().display_label(),
+            "fedprox(0.1)",
+            "the backend never decorates the label (results are backend-invariant)"
+        );
+        runner.lockstep();
+        assert_eq!(runner.spec().backend, ExecBackend::Lockstep);
+    }
+
+    #[test]
+    fn async_aggregation_implies_event_driven() {
+        let cfg = tiny();
+        let mut runner = cfg.runner();
+        runner.async_aggregation(2);
+        assert_eq!(
+            runner.spec().aggregation,
+            Some(AggregationMode::Async { max_staleness: 2 })
+        );
+        assert_eq!(
+            runner.spec().backend,
+            ExecBackend::EventDriven { threads: 0 }
+        );
+        assert_eq!(runner.spec().display_label(), "async(2)");
+        // An explicitly chosen event-driven thread count is kept.
+        let mut runner = cfg.runner();
+        runner.event_driven(2).async_aggregation(1);
+        assert_eq!(
+            runner.spec().backend,
+            ExecBackend::EventDriven { threads: 2 }
+        );
+        assert_eq!(
+            runner.adaptive(None).spec().display_label(),
+            "adaptive+async(1)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the event-driven backend")]
+    fn async_on_lockstep_is_rejected() {
+        let cfg = tiny();
+        let mut runner = cfg.runner();
+        runner
+            .aggregation(AggregationMode::Async { max_staleness: 1 })
+            .lockstep();
+        let _ = runner.run();
     }
 
     #[test]

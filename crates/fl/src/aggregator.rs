@@ -29,6 +29,98 @@ pub fn aggregate_fedavg(updates: &[ClientUpdate]) -> ParamVec {
     ParamVec::weighted_mean_ref(&refs)
 }
 
+/// Streaming FedAvg: folds client updates into a running weighted sum
+/// one at a time, holding only O(model) state instead of buffering
+/// every update of the round (O(|selected| × model)).
+///
+/// Bit-for-bit equivalence with the batch path is guaranteed *when the
+/// updates are folded in the same order* `aggregate_fedavg` would see
+/// them: [`ParamVec::weighted_mean_ref`] first sums the total weight in
+/// item order (as `f64` over the `f32` weights), then accumulates
+/// `out += (w_i / total) as f32 · v_i` per item. This type performs the
+/// identical sequence of float operations — the total weight is
+/// supplied up front (it is known from the round plan before any
+/// training finishes), each [`StreamingFold::fold`] is one `axpy` with
+/// the same coefficient, and floating-point addition at every
+/// coordinate happens in the same order. Executors that receive updates
+/// out of order must re-order them (see `tifl_core::exec`) before
+/// folding.
+#[derive(Debug)]
+pub struct StreamingFold {
+    acc: ParamVec,
+    total: f64,
+    expected: usize,
+    folded: usize,
+}
+
+impl StreamingFold {
+    /// Prepare a fold of `weights.len()` updates over models of
+    /// `param_len` parameters. `weights` must be the aggregation weights
+    /// (`s_c` as `f32`) in the canonical fold order; the total is summed
+    /// exactly as the batch path sums it.
+    ///
+    /// # Panics
+    /// Panics if updates are expected but all weights are zero
+    /// (mirroring `weighted_mean`'s "zero total weight").
+    #[must_use]
+    pub fn new(param_len: usize, weights: &[f32]) -> Self {
+        let total: f64 = weights.iter().map(|&w| f64::from(w)).sum();
+        assert!(
+            weights.is_empty() || total > 0.0,
+            "weighted_mean with zero total weight"
+        );
+        Self {
+            acc: ParamVec::zeros(param_len),
+            total,
+            expected: weights.len(),
+            folded: 0,
+        }
+    }
+
+    /// Fold the next update (callers supply them in the order the
+    /// weights were given to [`StreamingFold::new`]).
+    ///
+    /// # Panics
+    /// Panics past the expected count or on a length mismatch.
+    pub fn fold(&mut self, update: &ClientUpdate) {
+        assert!(self.folded < self.expected, "fold past the expected count");
+        assert_eq!(
+            update.params.len(),
+            self.acc.len(),
+            "weighted_mean length mismatch"
+        );
+        let coeff = (f64::from(update.samples as f32) / self.total) as f32;
+        self.acc.axpy(coeff, &update.params);
+        self.folded += 1;
+    }
+
+    /// Updates folded so far.
+    #[must_use]
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    /// Updates this fold was sized for.
+    #[must_use]
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// The aggregated model, or `None` when the fold expected no updates
+    /// (an all-dropout round leaves the global model untouched).
+    ///
+    /// # Panics
+    /// Panics if updates are still outstanding.
+    #[must_use]
+    pub fn finish(self) -> Option<ParamVec> {
+        assert_eq!(
+            self.folded, self.expected,
+            "finish with updates outstanding"
+        );
+        (self.expected > 0).then_some(self.acc)
+    }
+}
+
 /// Channel-based collector for updates produced by concurrently running
 /// clients.
 ///
@@ -130,6 +222,48 @@ mod tests {
     #[should_panic(expected = "no updates")]
     fn fedavg_rejects_empty() {
         let _ = aggregate_fedavg(&[]);
+    }
+
+    #[test]
+    fn streaming_fold_is_bitwise_equal_to_batch() {
+        // The event-driven engine's contract: folding updates one at a
+        // time in canonical order reproduces aggregate_fedavg exactly —
+        // not approximately.
+        let updates: Vec<ClientUpdate> = (0..7)
+            .map(|i| {
+                let vals: Vec<f32> = (0..13)
+                    .map(|j| ((i * 31 + j * 7) as f32).sin() * 3.7)
+                    .collect();
+                upd(i, vals, 10 + i * 17)
+            })
+            .collect();
+        let batch = aggregate_fedavg(&updates);
+        let weights: Vec<f32> = updates.iter().map(|u| u.samples as f32).collect();
+        let mut fold = StreamingFold::new(13, &weights);
+        for u in &updates {
+            fold.fold(u);
+        }
+        let streamed = fold.finish().expect("non-empty fold");
+        assert_eq!(streamed, batch, "must match bit for bit");
+    }
+
+    #[test]
+    fn streaming_fold_empty_leaves_global_untouched() {
+        let fold = StreamingFold::new(4, &[]);
+        assert_eq!(fold.finish(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total weight")]
+    fn streaming_fold_rejects_zero_weights() {
+        let _ = StreamingFold::new(4, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "updates outstanding")]
+    fn streaming_fold_rejects_early_finish() {
+        let fold = StreamingFold::new(1, &[1.0]);
+        let _ = fold.finish();
     }
 
     #[test]

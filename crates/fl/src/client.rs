@@ -215,6 +215,38 @@ fn apply_dp_noise(params: &mut ParamVec, global: &ParamVec, dp: DpNoiseConfig, s
     params.axpy(1.0, &delta);
 }
 
+/// Train one client of a federated dataset and package the result as a
+/// [`ClientUpdate`] (weights + the training-set size FedAvg weights
+/// by). The one canonical construction shared by the lockstep round
+/// loop and the event-driven executor — both backends' bit-for-bit
+/// equality rests on there being exactly one of these.
+///
+/// [`ClientUpdate`]: crate::aggregator::ClientUpdate
+#[must_use]
+pub fn train_update(
+    spec: &ModelSpec,
+    global: &ParamVec,
+    data: &tifl_data::FederatedDataset,
+    config: &ClientConfig,
+    round: u64,
+    client: usize,
+    seed: u64,
+) -> crate::aggregator::ClientUpdate {
+    crate::aggregator::ClientUpdate {
+        client,
+        params: local_train(
+            spec,
+            global,
+            &data.clients[client].train,
+            config,
+            round,
+            client,
+            seed,
+        ),
+        samples: data.clients[client].train.len(),
+    }
+}
+
 /// Build a model for evaluation with the given global weights.
 #[must_use]
 pub fn eval_model(spec: &ModelSpec, global: &ParamVec) -> Sequential {

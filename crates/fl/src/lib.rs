@@ -25,8 +25,8 @@ pub mod selector;
 pub mod session;
 pub mod timeline;
 
-pub use aggregator::aggregate_fedavg;
+pub use aggregator::{aggregate_fedavg, ClientUpdate, StreamingFold};
 pub use client::{ClientConfig, OptimizerSpec};
 pub use report::{RoundReport, TrainingReport};
 pub use selector::{ClientSelector, RandomSelector};
-pub use session::{Session, SessionConfig};
+pub use session::{RoundPlan, Session, SessionConfig};

@@ -6,6 +6,7 @@ use crate::report::{RoundReport, TrainingReport};
 use crate::selector::ClientSelector;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use tifl_data::FederatedDataset;
 use tifl_nn::model::EvalResult;
 use tifl_nn::models::ModelSpec;
@@ -30,6 +31,19 @@ pub enum AggregationMode {
     FirstK {
         /// Over-selection factor (Bonawitz et al. use 1.3).
         factor: f64,
+    },
+    /// Staleness-aware asynchronous aggregation (FedAsync-style): the
+    /// server keeps `|C|` clients in flight, folds each update into the
+    /// global model the moment it arrives (damped by its staleness), and
+    /// immediately dispatches a replacement. An update trained against a
+    /// global model more than `max_staleness` versions old is discarded.
+    ///
+    /// This mode only exists on the event-driven execution backend
+    /// (`tifl_core::exec`): the lockstep round loop has no notion of
+    /// overlapping rounds and panics on it.
+    Async {
+        /// Maximum tolerated model-version staleness.
+        max_staleness: u64,
     },
 }
 
@@ -90,9 +104,35 @@ impl SessionConfig {
     }
 }
 
+/// One fully simulated round, before any local training has happened.
+///
+/// Everything here derives from the latency/dropout models and the
+/// selector alone — client training results cannot influence it — so
+/// both execution backends (the lockstep loop and the event-driven
+/// engine in `tifl_core::exec`) share one source of truth for *what* a
+/// round is and only differ in *how* they execute the training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundPlan {
+    /// Round index this plan was made for.
+    pub round: u64,
+    /// Every client asked to train, in selection order.
+    pub selected: Vec<usize>,
+    /// Observed response latency per selected client, in selection order
+    /// (`None` = no response within `tmax_sec`).
+    pub responses: Vec<(usize, Option<f64>)>,
+    /// Clients whose updates will be aggregated, in the canonical
+    /// aggregation order (selection order under [`AggregationMode::WaitAll`],
+    /// response-time order under [`AggregationMode::FirstK`]). FedAvg's
+    /// weighted mean is folded in exactly this order, so any executor
+    /// reproducing it is bit-for-bit equivalent.
+    pub contributors: Vec<usize>,
+    /// Round latency `max_i L_i` (Eq. 1) in virtual seconds.
+    pub latency: f64,
+}
+
 /// The federated training session: global model + testbed + data.
 pub struct Session {
-    data: FederatedDataset,
+    data: Arc<FederatedDataset>,
     cluster: Cluster,
     config: SessionConfig,
     global: ParamVec,
@@ -130,7 +170,7 @@ impl Session {
         Self {
             flops_per_sample: template.flops_per_sample(),
             update_bytes: template.update_bytes(),
-            data,
+            data: Arc::new(data),
             cluster,
             config,
             global,
@@ -143,6 +183,14 @@ impl Session {
     #[must_use]
     pub fn data(&self) -> &FederatedDataset {
         &self.data
+    }
+
+    /// Shared handle to the (immutable) federated dataset, for executors
+    /// that train clients on worker threads while the session itself
+    /// advances on the coordinating thread.
+    #[must_use]
+    pub fn data_handle(&self) -> Arc<FederatedDataset> {
+        Arc::clone(&self.data)
     }
 
     /// The simulated testbed.
@@ -245,8 +293,16 @@ impl Session {
         self.round = checkpoint.round;
     }
 
-    /// Execute one global round with `selector` and return its record.
-    pub fn run_round(&mut self, selector: &mut dyn ClientSelector) -> RoundReport {
+    /// Simulate the next round up to (but excluding) local training:
+    /// select clients, sample their response latencies, and decide which
+    /// updates will count and how long the round takes. Pure with
+    /// respect to training — see [`RoundPlan`].
+    ///
+    /// # Panics
+    /// Panics under [`AggregationMode::Async`] (which has no round
+    /// plans; use the event-driven engine), on an over-selection factor
+    /// below 1, or if the selector returns no clients.
+    pub fn plan_round(&self, selector: &mut dyn ClientSelector) -> RoundPlan {
         let round = self.round;
         let target = self.config.clients_per_round;
         let ask = match self.config.aggregation {
@@ -254,6 +310,9 @@ impl Session {
             AggregationMode::FirstK { factor } => {
                 assert!(factor >= 1.0, "over-selection factor must be >= 1");
                 ((target as f64 * factor).ceil() as usize).min(self.data.num_clients())
+            }
+            AggregationMode::Async { .. } => {
+                panic!("Async aggregation requires the event-driven backend (ExecBackend::EventDriven)")
             }
         };
         let selected = selector.select(round, ask);
@@ -299,43 +358,72 @@ impl Session {
                 let latency = ok.last().map_or(self.config.tmax_sec, |&(_, l)| l);
                 (ok.into_iter().map(|(c, _)| c).collect(), latency)
             }
+            AggregationMode::Async { .. } => unreachable!("rejected above"),
         };
 
-        // Local training in parallel across contributing clients. Each
-        // client's result depends only on (seed, client, round), so rayon
-        // scheduling cannot perturb the outcome.
-        let global = &self.global;
-        let spec = self.config.model;
-        let ccfg = self.config.client;
-        let seed = self.config.seed;
-        let updates: Vec<ClientUpdate> = contributors
-            .par_iter()
-            .map(|&c| ClientUpdate {
-                client: c,
-                params: client::local_train(
-                    &spec,
-                    global,
-                    &self.data.clients[c].train,
-                    &ccfg,
-                    round,
-                    c,
-                    seed,
-                ),
-                samples: self.data.clients[c].train.len(),
-            })
-            .collect();
+        RoundPlan {
+            round,
+            selected,
+            responses,
+            contributors,
+            latency,
+        }
+    }
 
+    /// Train one contributing client of `round` against the current
+    /// global model. Deterministic in `(seed, client, round)`.
+    #[must_use]
+    pub fn train_contributor(&self, c: usize, round: u64) -> ClientUpdate {
+        client::train_update(
+            &self.config.model,
+            &self.global,
+            &self.data,
+            &self.config.client,
+            round,
+            c,
+            self.config.seed,
+        )
+    }
+
+    /// True when the global model is evaluated after `round` (every
+    /// `eval_every` rounds, plus always on the final configured round).
+    #[must_use]
+    pub fn is_eval_round(&self, round: u64) -> bool {
+        round.is_multiple_of(self.config.eval_every) || round + 1 == self.config.rounds
+    }
+
+    /// Commit a planned round: advance the clock by the plan's latency,
+    /// install the aggregated model (if any update arrived), evaluate
+    /// when due, feed monitored-group accuracies back to the selector,
+    /// and record the round.
+    ///
+    /// `eval_inline: false` skips the global-test evaluation and leaves
+    /// `accuracy`/`loss` unset — for executors that evaluate the
+    /// round's (immutable) global snapshot concurrently with later
+    /// rounds and patch the report afterwards. Monitored-group
+    /// evaluation is never deferred: the selector may need it before
+    /// the next selection.
+    pub fn finish_round(
+        &mut self,
+        plan: RoundPlan,
+        new_global: Option<ParamVec>,
+        selector: &mut dyn ClientSelector,
+        eval_inline: bool,
+    ) -> RoundReport {
+        let RoundPlan {
+            round,
+            selected,
+            contributors,
+            latency,
+            ..
+        } = plan;
         self.clock.advance(latency);
-
-        // Synchronous aggregation over the received updates.
-        if !updates.is_empty() {
-            self.global = aggregate_fedavg(&updates);
+        if let Some(global) = new_global {
+            assert_eq!(global.len(), self.global.len(), "aggregated model size");
+            self.global = global;
         }
 
-        // Evaluation.
-        let is_eval_round =
-            round.is_multiple_of(self.config.eval_every) || round + 1 == self.config.rounds;
-        let (accuracy, loss) = if is_eval_round {
+        let (accuracy, loss) = if eval_inline && self.is_eval_round(round) {
             let e = self.evaluate_global();
             (Some(e.accuracy), Some(e.loss))
         } else {
@@ -358,6 +446,51 @@ impl Session {
             accuracy,
             loss,
         }
+    }
+
+    // -- low-level hooks for the asynchronous engine ----------------------
+
+    /// Replace the global model (the asynchronous engine's per-update
+    /// fold commits through this).
+    ///
+    /// # Panics
+    /// Panics if the parameter count does not match the model.
+    pub fn set_global_params(&mut self, params: ParamVec) {
+        assert_eq!(params.len(), self.global.len(), "global model size");
+        self.global = params;
+    }
+
+    /// Advance the virtual clock to an absolute time (asynchronous
+    /// aggregation events carry absolute arrival times rather than
+    /// per-round latencies).
+    ///
+    /// # Panics
+    /// Panics if `t` would move the clock backwards.
+    pub fn advance_time_to(&mut self, t: f64) {
+        self.clock.advance_to(t);
+    }
+
+    /// Count one completed aggregation step (the asynchronous analogue
+    /// of a round, so `rounds_done` and checkpoints stay meaningful).
+    pub fn mark_round_done(&mut self) {
+        self.round += 1;
+    }
+
+    /// Execute one global round with `selector` and return its record.
+    pub fn run_round(&mut self, selector: &mut dyn ClientSelector) -> RoundReport {
+        let plan = self.plan_round(selector);
+        // Local training in parallel across contributing clients. Each
+        // client's result depends only on (seed, client, round), so rayon
+        // scheduling cannot perturb the outcome.
+        let updates: Vec<ClientUpdate> = plan
+            .contributors
+            .par_iter()
+            .map(|&c| self.train_contributor(c, plan.round))
+            .collect();
+        // Synchronous aggregation over the received updates, in the
+        // plan's canonical contributor order.
+        let new_global = (!updates.is_empty()).then(|| aggregate_fedavg(&updates));
+        self.finish_round(plan, new_global, selector, true)
     }
 
     /// Run the configured number of rounds and collect the full report.

@@ -29,6 +29,13 @@ pub enum TimelineEvent {
         /// Client id.
         client: usize,
     },
+    /// An in-flight client was cancelled before completing — the
+    /// over-selection engine cuts stragglers loose the moment the
+    /// target count of updates has arrived (their virtual deadline).
+    Cancelled {
+        /// Client id.
+        client: usize,
+    },
     /// Aggregation finished; the round is over.
     RoundEnd,
 }
@@ -64,7 +71,9 @@ impl RoundTimeline {
                     queue.schedule(l.min(tmax), TimelineEvent::Complete { client });
                     completions += 1;
                 }
-                None => queue.schedule(tmax, TimelineEvent::TimedOut { client }),
+                None => {
+                    queue.schedule(tmax, TimelineEvent::TimedOut { client });
+                }
             }
         }
 
@@ -98,7 +107,9 @@ impl RoundTimeline {
             .filter(|(_, e)| {
                 matches!(
                     e,
-                    TimelineEvent::Complete { .. } | TimelineEvent::TimedOut { .. }
+                    TimelineEvent::Complete { .. }
+                        | TimelineEvent::TimedOut { .. }
+                        | TimelineEvent::Cancelled { .. }
                 )
             })
             .map(|&(t, _)| t)

@@ -4,9 +4,17 @@
 //! tie-breaking (a stable sequence number), which keeps simulations
 //! deterministic when many events share a timestamp — e.g. all clients
 //! of a round being dispatched at the same instant.
+//!
+//! Scheduling returns an [`EventHandle`] that can later be
+//! [cancelled](EventQueue::cancel) — the hook execution engines use to
+//! cut in-flight work loose (e.g. over-selection discarding stragglers
+//! once the target count of updates has arrived). Cancellation is lazy:
+//! the event stays in the heap but is skipped on pop, the standard
+//! O(log n) discrete-event technique.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::collections::HashSet;
 
 /// An event scheduled at a virtual time.
 #[derive(Debug, Clone)]
@@ -42,11 +50,21 @@ impl<T> Ord for Event<T> {
     }
 }
 
-/// Earliest-first event queue with stable FIFO tie-breaking.
+/// A scheduled event's identity, used to [cancel](EventQueue::cancel) it
+/// before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// Earliest-first event queue with stable FIFO tie-breaking and lazy
+/// cancellation.
 #[derive(Debug)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<Event<T>>,
     next_seq: u64,
+    /// Seqs scheduled and neither popped nor cancelled — O(1) validity
+    /// checks for [`EventQueue::cancel`].
+    live: HashSet<u64>,
+    cancelled: HashSet<u64>,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -54,6 +72,8 @@ impl<T> Default for EventQueue<T> {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
         }
     }
 }
@@ -65,38 +85,64 @@ impl<T> EventQueue<T> {
         Self::default()
     }
 
-    /// Schedule `payload` at `time`.
+    /// Schedule `payload` at `time`; the returned handle can cancel it.
     ///
     /// # Panics
     /// Panics if `time` is NaN.
-    pub fn schedule(&mut self, time: f64, payload: T) {
+    pub fn schedule(&mut self, time: f64, payload: T) -> EventHandle {
         assert!(!time.is_nan(), "event time must not be NaN");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Event { time, payload, seq });
+        self.live.insert(seq);
+        EventHandle(seq)
     }
 
-    /// Pop the earliest event, if any.
+    /// Cancel a scheduled event. Returns `true` if the event was still
+    /// pending (cancelling twice, or after the event fired, is a no-op
+    /// returning `false`).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if !self.live.remove(&handle.0) {
+            return false;
+        }
+        self.cancelled.insert(handle.0)
+    }
+
+    /// Pop the earliest non-cancelled event, if any.
     pub fn pop(&mut self) -> Option<Event<T>> {
-        self.heap.pop()
+        while let Some(e) = self.heap.pop() {
+            if !self.cancelled.remove(&e.seq) {
+                self.live.remove(&e.seq);
+                return Some(e);
+            }
+        }
+        None
     }
 
-    /// Time of the earliest event without popping it.
+    /// Time of the earliest non-cancelled event without popping it
+    /// (`&mut` because cancelled entries at the top are discarded here).
     #[must_use]
-    pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.time)
+    pub fn peek_time(&mut self) -> Option<f64> {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                return Some(top.time);
+            }
+        }
+        None
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
-    /// True when no events are pending.
+    /// True when no non-cancelled events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -136,6 +182,40 @@ mod tests {
     #[should_panic(expected = "must not be NaN")]
     fn rejects_nan_time() {
         let mut q = EventQueue::new();
-        q.schedule(f64::NAN, ());
+        let _ = q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut q = EventQueue::new();
+        let _a = q.schedule(1.0, "a");
+        let b = q.schedule(2.0, "b");
+        let _c = q.schedule(3.0, "c");
+        assert!(q.cancel(b));
+        assert_eq!(q.len(), 2);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn cancelling_the_top_updates_peek() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, "a");
+        let _b = q.schedule(2.0, "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.pop().map(|e| e.payload), Some("b"));
+    }
+
+    #[test]
+    fn cancel_is_single_shot_and_fired_safe() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, ());
+        let b = q.schedule(2.0, ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        let _ = q.pop();
+        assert!(!q.cancel(b), "cancelling a fired event is a no-op");
+        assert!(q.is_empty());
     }
 }

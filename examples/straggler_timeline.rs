@@ -26,6 +26,9 @@ fn print_trace(label: &str, timeline: &RoundTimeline) {
             TimelineEvent::TimedOut { client } => {
                 println!("  t={t:>8.2}s  TIMEOUT     client {client}");
             }
+            TimelineEvent::Cancelled { client } => {
+                println!("  t={t:>8.2}s  CANCELLED   client {client}");
+            }
             TimelineEvent::RoundEnd => println!("  t={t:>8.2}s  round end"),
         }
     }

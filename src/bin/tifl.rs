@@ -8,6 +8,7 @@
 //! tifl run experiment.json uniform     # train under a policy
 //! tifl run experiment.json adaptive    # train under Algorithm 2
 //! tifl run --spec run.json             # train a declarative RunSpec
+//! tifl run --spec run.json --threads 4 # … on 4 worker threads
 //! ```
 //!
 //! Configs are JSON-serialised `ExperimentConfig`s; run requests are
@@ -26,7 +27,7 @@ fn usage() -> ExitCode {
          tifl profile <config.json>\n  \
          tifl estimate <config.json>\n  tifl run <config.json> \
          <vanilla|slow|uniform|random|fast|fast1|fast2|fast3|adaptive>\n  \
-         tifl run --spec <run.json>"
+         tifl run --spec <run.json> [--threads N]"
     );
     ExitCode::FAILURE
 }
@@ -115,14 +116,41 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        [cmd, flag, path] if cmd == "run" && flag == "--spec" => {
-            let request: RunRequest = read_json(path);
+        [cmd, flag, path, rest @ ..] if cmd == "run" && flag == "--spec" => {
+            let threads = match rest {
+                [] => None,
+                [tflag, n] if tflag == "--threads" => {
+                    Some(n.parse::<usize>().unwrap_or_else(|e| {
+                        panic!("--threads must be a thread count: {e}");
+                    }))
+                }
+                _ => return usage(),
+            };
+            let mut request: RunRequest = read_json(path);
+            if let Some(threads) = threads {
+                // Force the worker count: event-driven specs get their
+                // thread knob overridden; lockstep specs run with the
+                // parallel iterators capped at the same width.
+                if request.spec.backend != ExecBackend::Lockstep {
+                    request.spec.backend = ExecBackend::EventDriven { threads };
+                }
+            }
             eprintln!(
-                "[tifl] {} / {} ...",
+                "[tifl] {} / {} on {} ...",
                 request.experiment.name,
-                request.spec.display_label()
+                request.spec.display_label(),
+                request.spec.backend.label()
             );
-            let report = request.run();
+            let report = match threads {
+                Some(n) if request.spec.backend == ExecBackend::Lockstep => {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(n)
+                        .build()
+                        .expect("thread pool builds");
+                    pool.install(|| request.run())
+                }
+                _ => request.run(),
+            };
             print_report(&report);
             ExitCode::SUCCESS
         }

@@ -58,6 +58,7 @@ pub use tifl_tensor as tensor;
 /// Convenience re-exports for examples and quick experiments.
 pub mod prelude {
     pub use tifl_core::baselines::DeadlineSelector;
+    pub use tifl_core::exec::{ClientExecutor, EventEngine, ExecBackend, OrderedMerge};
     pub use tifl_core::experiment::{DataScenario, ExperimentConfig};
     pub use tifl_core::policy::Policy;
     pub use tifl_core::profiler::{Profiler, ProfilerConfig};
@@ -68,12 +69,15 @@ pub mod prelude {
     pub use tifl_core::tiering::{TierAssignment, TieringConfig};
     pub use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
     pub use tifl_data::{Dataset, FederatedDataset};
+    pub use tifl_fl::aggregator::{ClientUpdate, StreamingFold};
     pub use tifl_fl::checkpoint::Checkpoint;
     pub use tifl_fl::client::{ClientConfig, DpNoiseConfig};
     pub use tifl_fl::hierarchy::AggregationTree;
     pub use tifl_fl::report::{RoundReport, TrainingReport};
     pub use tifl_fl::selector::{ClientSelector, RandomSelector};
-    pub use tifl_fl::session::{AggregationMode, Session, SessionConfig, SessionOverrides};
+    pub use tifl_fl::session::{
+        AggregationMode, RoundPlan, Session, SessionConfig, SessionOverrides,
+    };
     pub use tifl_fl::timeline::{RoundTimeline, TimelineEvent};
     pub use tifl_leaf::{LeafDataConfig, LeafExperiment};
     pub use tifl_nn::models::ModelSpec;

@@ -72,6 +72,93 @@ pub mod prelude {
     pub use crate::iter::{IntoParallelRefIterator, ParallelIterator, ParallelSliceMut};
 }
 
+/// A scope for spawning heterogeneous tasks onto a shared work queue,
+/// mirroring `rayon::scope`.
+///
+/// Tasks pushed via [`Scope::spawn`] land in one queue drained by
+/// `current_num_threads()` worker threads; an idle worker takes the
+/// next task the moment it finishes its current one, so unequal task
+/// costs balance across workers (the property the real crate gets from
+/// work stealing). One deliberate deviation from upstream: task
+/// closures take no `&Scope` argument — nested spawning is not
+/// supported, which is all this workspace needs.
+pub struct Scope<'scope> {
+    queue: std::sync::Mutex<std::collections::VecDeque<Box<dyn FnOnce() + Send + 'scope>>>,
+    work_ready: std::sync::Condvar,
+    closed: std::sync::atomic::AtomicBool,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue `task` for execution on one of the scope's workers.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'scope) {
+        self.queue
+            .lock()
+            .expect("scope queue poisoned")
+            .push_back(Box::new(task));
+        self.work_ready.notify_one();
+    }
+
+    /// Worker loop: drain tasks until the scope closes and the queue is
+    /// empty (`rayon::scope` semantics: every spawned task completes
+    /// before `scope` returns).
+    fn work(&self) {
+        loop {
+            let mut queue = self.queue.lock().expect("scope queue poisoned");
+            let task = loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                if self.closed.load(std::sync::atomic::Ordering::Acquire) {
+                    return;
+                }
+                queue = self.work_ready.wait(queue).expect("scope queue poisoned");
+            };
+            drop(queue);
+            task();
+        }
+    }
+}
+
+/// Run `f` with a task [`Scope`] backed by `current_num_threads()`
+/// worker threads; returns once `f` and every spawned task finished.
+///
+/// `f` itself runs on the calling thread, so it can feed the scope and
+/// concurrently consume results (e.g. over a channel) while workers
+/// execute — the shape streaming executors need.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let threads = current_num_threads().max(1);
+    let sc = Scope {
+        queue: std::sync::Mutex::new(std::collections::VecDeque::new()),
+        work_ready: std::sync::Condvar::new(),
+        closed: std::sync::atomic::AtomicBool::new(false),
+    };
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let sc = &sc;
+            s.spawn(move || {
+                // Same convention as `run_jobs`: nested parallel calls
+                // inside a task run sequentially.
+                CURRENT_THREADS.with(|c| c.set(Some(1)));
+                sc.work();
+            });
+        }
+        let result = f(&sc);
+        // Set the flag *under the queue mutex*: a worker that just saw
+        // `closed == false` still holds the lock until its `wait`
+        // registers, so the store (and the notify that follows) cannot
+        // slip into that window and strand it.
+        {
+            let _guard = sc.queue.lock().expect("scope queue poisoned");
+            sc.closed.store(true, std::sync::atomic::Ordering::Release);
+        }
+        sc.work_ready.notify_all();
+        result
+    })
+}
+
 pub mod iter {
     //! Parallel iterator shims.
 
@@ -355,6 +442,51 @@ mod tests {
             assert_eq!(nested.install(crate::current_num_threads), 1);
             assert_eq!(crate::current_num_threads(), 3);
         });
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_streams_results_while_feeding() {
+        // The producer thread feeds tasks and drains results at the same
+        // time — the executor shape used by tifl_core::exec.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let sum: u64 = crate::scope(|s| {
+            for i in 0..50u64 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i * 2).expect("receiver alive"));
+            }
+            drop(tx);
+            (0..50).map(|_| rx.recv().expect("50 results")).sum()
+        });
+        assert_eq!(sum, 50 * 49);
+    }
+
+    #[test]
+    fn scope_respects_installed_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let done = pool.install(|| {
+            let flag = std::sync::atomic::AtomicBool::new(false);
+            crate::scope(|s| {
+                s.spawn(|| flag.store(true, std::sync::atomic::Ordering::Relaxed));
+            });
+            flag.load(std::sync::atomic::Ordering::Relaxed)
+        });
+        assert!(done);
     }
 
     #[test]
