@@ -36,6 +36,7 @@ fn bench_profiler(c: &mut Criterion) {
             epochs: 1,
             flops_per_sample: 57_000,
             update_bytes: 39_000,
+            upload_bytes: None,
         };
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| profiler.profile(black_box(&cluster), |_| task));

@@ -1,0 +1,213 @@
+//! Communication sweep: codec × pool-size grid over a
+//! bandwidth-heterogeneous testbed — what compression buys on the wire
+//! and what it costs on the clock.
+//!
+//! ```sh
+//! cargo run --release -p tifl-bench --bin comm_sweep
+//! cargo run --release -p tifl-bench --bin comm_sweep -- \
+//!     --max-clients 1000 --rounds 10 --out BENCH_comm_sweep.json
+//! ```
+//!
+//! For each pool size (100 / 1 000 clients) and each codec (`identity`,
+//! `i8`, `topk(0.1)`) the sweep runs a bandwidth-heterogeneous
+//! compressed round loop and records wall-clock seconds, rounds/second,
+//! exact bytes on the wire (up + down) and the virtual round time. The
+//! artifact records `host_parallelism` like `BENCH_scale_sweep.json`,
+//! so the two sweeps are comparable cell-for-cell on any host.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use tifl_comm::{CodecSpec, CommSpec, LinkModel};
+use tifl_core::experiment::{DataScenario, ExperimentConfig};
+use tifl_core::runner::{RunSpec, Runner};
+use tifl_nn::models::ModelSpec;
+
+/// One measured (pool size × codec) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Cell {
+    clients: usize,
+    clients_per_round: usize,
+    codec: String,
+    rounds: u64,
+    wall_clock_sec: f64,
+    rounds_per_sec: f64,
+    bytes_up: u64,
+    bytes_down: u64,
+    virtual_time_sec: f64,
+    final_accuracy: f64,
+}
+
+/// The checked-in artifact: environment + cells + headline ratios.
+#[derive(Debug, Serialize, Deserialize)]
+struct Sweep {
+    host_parallelism: usize,
+    rounds: u64,
+    cells: Vec<Cell>,
+    /// `bytes_up(identity) / bytes_up(codec)` per (pool, codec) — the
+    /// headline wire saving.
+    uplink_compression: Vec<(usize, String, f64)>,
+    /// `virtual_time(identity) / virtual_time(codec)` per (pool,
+    /// codec) — what the saving buys in simulated round latency on the
+    /// bandwidth-constrained uplinks.
+    virtual_speedup: Vec<(usize, String, f64)>,
+}
+
+fn sweep_config(clients: usize, rounds: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::cifar10_resource_het(7);
+    cfg.name = format!("comm-sweep/{clients}-clients");
+    cfg.num_clients = clients;
+    cfg.clients_per_round = (clients / 100).clamp(10, 64);
+    cfg.rounds = rounds;
+    cfg.data = DataScenario::Iid { per_client: 50 };
+    cfg.model = ModelSpec::Mlp {
+        input: 64,
+        hidden: 64,
+        classes: 10,
+    };
+    cfg.eval_every = 1;
+    // A communication sweep wants the wire to be the constraint:
+    // fast-enough devices (10x the synthetic default) so the uplink
+    // term dominates the round, as it does for the paper's real CNNs.
+    cfg.latency.flops_per_cpu_sec = 5.0e7;
+    cfg
+}
+
+/// The sweep's bandwidth-heterogeneous link tiers: 5 groups from a
+/// 100 kB/s-up / 1 MB/s-down DSL-class tier down to a 16x slower
+/// constrained tier, 20 ms RTT — uplink-bound for the dense codec at
+/// these model sizes.
+fn sweep_link() -> LinkModel {
+    LinkModel::GroupScaled {
+        groups: 5,
+        up_bps: 1.0e5,
+        down_bps: 1.0e6,
+        decay: 0.5,
+        rtt_sec: 0.02,
+    }
+}
+
+fn codec_of(name: &str) -> CodecSpec {
+    match name {
+        "identity" => CodecSpec::Identity,
+        "i8" => CodecSpec::QuantizeI8,
+        "topk(0.1)" => CodecSpec::TopK { frac: 0.1 },
+        other => panic!("unknown codec `{other}`"),
+    }
+}
+
+fn run_cell(clients: usize, codec_name: &str, rounds: u64) -> Cell {
+    let cfg = sweep_config(clients, rounds);
+    let spec = RunSpec {
+        comm: Some(CommSpec {
+            codec: codec_of(codec_name),
+            link: sweep_link(),
+            hierarchy: None,
+        }),
+        ..RunSpec::default()
+    };
+    let start = Instant::now();
+    let report = Runner::with_spec(&cfg, spec).run();
+    let wall = start.elapsed().as_secs_f64();
+    Cell {
+        clients,
+        clients_per_round: cfg.clients_per_round,
+        codec: codec_name.to_string(),
+        rounds,
+        wall_clock_sec: wall,
+        rounds_per_sec: rounds as f64 / wall,
+        bytes_up: report.total_bytes_up(),
+        bytes_down: report.total_bytes_down(),
+        virtual_time_sec: report.total_time(),
+        final_accuracy: report.final_accuracy(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_clients = 1_000usize;
+    let mut rounds = 20u64;
+    let mut out = "BENCH_comm_sweep.json".to_string();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--max-clients" => max_clients = val("--max-clients").parse().expect("integer"),
+            "--rounds" => rounds = val("--rounds").parse().expect("integer"),
+            "--out" => out = val("--out"),
+            other => panic!("unknown argument `{other}` (expected --max-clients/--rounds/--out)"),
+        }
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let pools: Vec<usize> = [100usize, 1_000]
+        .into_iter()
+        .filter(|&c| c <= max_clients)
+        .collect();
+    let codecs = ["identity", "i8", "topk(0.1)"];
+    eprintln!("[comm_sweep] pools {pools:?}, {rounds} rounds, host parallelism {host}");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    println!(
+        "{:>8} {:>5} {:>10} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "clients", "|C|", "codec", "wall [s]", "rounds/s", "MB up", "virtual [s]", "final acc"
+    );
+    for &clients in &pools {
+        for codec in codecs {
+            let cell = run_cell(clients, codec, rounds);
+            println!(
+                "{:>8} {:>5} {:>10} {:>12.3} {:>12.2} {:>12.3} {:>14.1} {:>12.3}",
+                cell.clients,
+                cell.clients_per_round,
+                cell.codec,
+                cell.wall_clock_sec,
+                cell.rounds_per_sec,
+                cell.bytes_up as f64 / 1e6,
+                cell.virtual_time_sec,
+                cell.final_accuracy
+            );
+            cells.push(cell);
+        }
+    }
+
+    let cell_of = |clients: usize, codec: &str| -> &Cell {
+        cells
+            .iter()
+            .find(|c| c.clients == clients && c.codec == codec)
+            .expect("cell measured")
+    };
+    let mut uplink_compression = Vec::new();
+    let mut virtual_speedup = Vec::new();
+    for &clients in &pools {
+        let identity = cell_of(clients, "identity");
+        for codec in &codecs[1..] {
+            let c = cell_of(clients, codec);
+            uplink_compression.push((
+                clients,
+                (*codec).to_string(),
+                identity.bytes_up as f64 / c.bytes_up as f64,
+            ));
+            virtual_speedup.push((
+                clients,
+                (*codec).to_string(),
+                identity.virtual_time_sec / c.virtual_time_sec,
+            ));
+        }
+    }
+    for (clients, codec, x) in &uplink_compression {
+        println!("{clients:>8} clients: {codec} ships {x:.2}x fewer uplink bytes");
+    }
+    for (clients, codec, x) in &virtual_speedup {
+        println!("{clients:>8} clients: {codec} rounds are {x:.2}x faster in virtual time");
+    }
+
+    let sweep = Sweep {
+        host_parallelism: host,
+        rounds,
+        cells,
+        uplink_compression,
+        virtual_speedup,
+    };
+    let json = serde_json::to_string_pretty(&sweep).expect("serialises");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("[comm_sweep] wrote {out}");
+}

@@ -37,6 +37,7 @@ fn main() {
             epochs: 1,
             flops_per_sample: model.flops_per_sample(),
             update_bytes: model.update_bytes(),
+            upload_bytes: None,
         };
         print!("{n:>12}");
         let mut row = Vec::new();

@@ -221,6 +221,8 @@ mod tests {
                     aggregated: Vec::new(),
                     accuracy: Some(0.5),
                     loss: Some(1.0),
+                    bytes_down: 0,
+                    bytes_up: 0,
                 },
                 RoundReport {
                     round: 1,
@@ -230,6 +232,8 @@ mod tests {
                     aggregated: Vec::new(),
                     accuracy: Some(0.8),
                     loss: Some(0.5),
+                    bytes_down: 0,
+                    bytes_up: 0,
                 },
             ],
         };

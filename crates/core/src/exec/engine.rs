@@ -131,6 +131,7 @@ impl EventEngine {
         let ctx = TrainContext::of(session);
         let executor = ClientExecutor::new(self.threads);
         let param_len = session.global_params().len();
+        let comm = session.config().comm;
         let (reports, timelines) = executor.run(&ctx, |queue, results| {
             let mut reports: Vec<RoundReport> = Vec::with_capacity(rounds as usize);
             let mut timelines = Vec::new();
@@ -162,12 +163,26 @@ impl EventEngine {
 
                 // Stream: fold each update the moment its canonical
                 // predecessor has been folded; collect any finished
-                // deferred evaluations that arrive in between.
+                // deferred evaluations that arrive in between. With a
+                // comm spec active, each update folds from its encoded
+                // wire form (decode-and-fold, no dense intermediate).
                 let mut merge = OrderedMerge::new();
                 while fold.folded() < fold.expected() {
                     match results.recv().expect("workers outlive the round") {
                         TaskResult::Update { tag, update } => {
-                            merge.push(tag as usize, update, |u| fold.fold(&u));
+                            merge.push(tag as usize, update, |u| match comm {
+                                // Identity's encoded fold is bitwise the
+                                // plain fold (pinned in tifl_fl tests) —
+                                // skip the per-update model clone.
+                                None => fold.fold(&u),
+                                Some(spec) if spec.codec == tifl_comm::CodecSpec::Identity => {
+                                    fold.fold(&u);
+                                }
+                                Some(spec) => fold.fold_encoded(
+                                    &spec.codec.encode(&u.params, &global),
+                                    u.samples,
+                                ),
+                            });
                         }
                         TaskResult::Eval {
                             report_index,
@@ -181,7 +196,12 @@ impl EventEngine {
                 }
 
                 let round = plan.round;
-                let report = session.finish_round(plan, fold.finish(), selector, false);
+                let new_global = if comm.is_some() {
+                    fold.finish_against(&global)
+                } else {
+                    fold.finish()
+                };
+                let report = session.finish_round(plan, new_global, selector, false);
                 if session.is_eval_round(round) {
                     evals_pending += 1;
                     queue.submit_eval(reports.len(), Arc::new(session.global_params().clone()));
@@ -243,6 +263,7 @@ impl EventEngine {
         let executor = ClientExecutor::new(self.threads);
         let in_flight_target = session.config().clients_per_round;
         let tmax = session.config().tmax_sec;
+        let comm = session.config().comm;
 
         executor.run(&ctx, |queue, results| {
             let mut events: EventQueue<AsyncEvent> = EventQueue::new();
@@ -329,10 +350,26 @@ impl EventEngine {
                                 &mut evals_pending,
                                 &mut eval_patches,
                             );
+                            // With a codec active the server only ever
+                            // sees the encoded upload: round-trip the
+                            // update through the wire format. Sparse
+                            // deltas rebase against the current global
+                            // (the staleness damping already mixes
+                            // toward it).
+                            let params = match comm {
+                                None => update.params,
+                                Some(spec) if spec.codec == tifl_comm::CodecSpec::Identity => {
+                                    update.params
+                                }
+                                Some(spec) => {
+                                    let base = session.global_params();
+                                    spec.codec.encode(&update.params, base).decode(base)
+                                }
+                            };
                             let beta = ASYNC_BASE_MIX / (1.0 + staleness as f32);
                             let mut global = session.global_params().clone();
                             global.scale(1.0 - beta);
-                            global.axpy(beta, &update.params);
+                            global.axpy(beta, &params);
                             session.set_global_params(global);
                             version += 1;
                         } else if stash.remove(&seq).is_none() {
@@ -350,6 +387,7 @@ impl EventEngine {
                             );
                         }
                         session.mark_round_done();
+                        let task = session.task_for(client);
                         reports.push(RoundReport {
                             round,
                             time: session.now(),
@@ -358,6 +396,11 @@ impl EventEngine {
                             aggregated: if fresh { vec![client] } else { Vec::new() },
                             accuracy: None,
                             loss: None,
+                            // One model down, one (encoded) update up per
+                            // dispatch — stale arrivals still crossed the
+                            // wire, they just get discarded server-side.
+                            bytes_down: task.update_bytes,
+                            bytes_up: task.upload(),
                         });
 
                         let next = pick_one(selector, next_seq);

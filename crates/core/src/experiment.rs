@@ -147,6 +147,11 @@ pub struct ExperimentConfig {
     /// Update-collection strategy (WaitAll reproduces Algorithm 1;
     /// FirstK reproduces the Bonawitz et al. over-selection baseline).
     pub aggregation: AggregationMode,
+    /// Communication model (update codec × link model); `None` keeps
+    /// the legacy scalar-bandwidth, uncompressed wire. Usually set per
+    /// run through `RunSpec.comm` rather than here.
+    #[serde(default)]
+    pub comm: Option<tifl_comm::CommSpec>,
     /// Time-varying device performance (None for the paper's static
     /// testbed; used by the re-profiling experiments).
     pub drift: DriftModel,
@@ -199,6 +204,7 @@ impl ExperimentConfig {
                 tmax_sec: 1000.0,
             },
             aggregation: AggregationMode::WaitAll,
+            comm: None,
             drift: DriftModel::None,
             seed,
         }
@@ -464,6 +470,7 @@ impl Experiment for ExperimentConfig {
             eval_every: self.eval_every,
             tmax_sec: self.profiler.tmax_sec,
             aggregation: self.aggregation,
+            comm: self.comm,
             seed: split_seed(self.seed, 0x5E55),
         }
         .with_overrides(overrides);

@@ -171,6 +171,7 @@ mod tests {
             epochs: 1,
             flops_per_sample: 1_000_000,
             update_bytes: 1_000,
+            upload_bytes: None,
         }
     }
 
@@ -270,6 +271,7 @@ mod tests {
             epochs: 1,
             flops_per_sample: 1_000_000,
             update_bytes: 1_000,
+            upload_bytes: None,
         });
         let small = r.mean_latency[0].unwrap();
         let big = r.mean_latency[1].unwrap();

@@ -39,6 +39,7 @@ use crate::profiler::{ProfileResult, Profiler, ProfilerConfig};
 use crate::scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
 use crate::tiering::{TierAssignment, TieringConfig};
 use serde::{Deserialize, Serialize};
+use tifl_comm::{CodecSpec, CommSpec, HierarchySpec, LinkModel};
 use tifl_fl::selector::{ClientSelector, RandomSelector};
 use tifl_fl::session::{AggregationMode, Session, SessionOverrides};
 use tifl_fl::TrainingReport;
@@ -137,6 +138,13 @@ pub struct RunSpec {
     /// but [`AggregationMode::Async`] scenarios require it.
     #[serde(default)]
     pub backend: ExecBackend,
+    /// Communication model: update codec × link model (× optional
+    /// aggregation hierarchy). `None` inherits the experiment's
+    /// communication setup (the legacy scalar model unless the
+    /// experiment configures one); `Some(CommSpec::default())` is the
+    /// bit-for-bit Identity/cluster-default equivalent of `None`.
+    #[serde(default)]
+    pub comm: Option<CommSpec>,
 }
 
 impl RunSpec {
@@ -149,6 +157,7 @@ impl RunSpec {
                 LocalTraining::FedAvg => None,
                 LocalTraining::FedProx { mu } => Some(mu),
             },
+            comm: self.comm,
         }
     }
 
@@ -191,6 +200,14 @@ impl RunSpec {
                 format!("{base}+async({max_staleness})")
             };
         }
+        // The codec decorates only when it is lossy: an Identity comm
+        // spec is bit-for-bit the undecorated run, so its label (and
+        // reports) must match too. Unlike the other axes the bare
+        // suffix (`i8`, `topk(0.1)`) would be cryptic alone, so the
+        // selection base always stays.
+        if let Some(suffix) = self.comm.and_then(|c| c.codec.label_suffix()) {
+            base = format!("{base}+{suffix}");
+        }
         if self.reprofile_every.is_some() {
             base = format!("{base}+reprofile");
         }
@@ -226,7 +243,20 @@ pub trait Experiment {
     /// Prefer [`Runner::profile`] in loops: it caches this result.
     #[must_use]
     fn profile_and_tier(&self) -> (TierAssignment, ProfileResult) {
-        let session = self.build_session(&SessionOverrides::default());
+        self.profile_and_tier_with(&SessionOverrides::default())
+    }
+
+    /// As [`Experiment::profile_and_tier`] under session overrides —
+    /// profiled latencies see the overrides' communication model
+    /// (links and encoded upload sizes), so a bandwidth-heterogeneous
+    /// or compressed run is tiered by the latencies it will actually
+    /// experience.
+    #[must_use]
+    fn profile_and_tier_with(
+        &self,
+        overrides: &SessionOverrides,
+    ) -> (TierAssignment, ProfileResult) {
+        let session = self.build_session(overrides);
         let profiler = Profiler::new(self.profiler_config());
         let result = profiler.profile(session.cluster(), |c| session.task_for(c));
         let assignment =
@@ -257,7 +287,10 @@ pub trait Experiment {
 pub struct Runner<'a, E: Experiment + ?Sized> {
     exp: &'a E,
     spec: RunSpec,
-    profile: Option<(TierAssignment, ProfileResult)>,
+    /// Cached profiling outcome, keyed by the comm axis it was measured
+    /// under (profiled latencies depend on links and encoded upload
+    /// sizes, and on nothing else in the spec).
+    profile: Option<(Option<CommSpec>, (TierAssignment, ProfileResult))>,
     profile_runs: usize,
 }
 
@@ -393,6 +426,53 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
         self
     }
 
+    // -- communication ----------------------------------------------------
+
+    /// Install a full communication spec (codec × link model ×
+    /// optional hierarchy).
+    pub fn comm(&mut self, spec: CommSpec) -> &mut Self {
+        self.spec.comm = Some(spec);
+        self
+    }
+
+    /// Mutable access to the spec's comm axis, defaulting it in first.
+    fn comm_mut(&mut self) -> &mut CommSpec {
+        self.spec.comm.get_or_insert_with(CommSpec::default)
+    }
+
+    /// Compress every client upload with the given codec (keeps the
+    /// spec's link model).
+    pub fn codec(&mut self, codec: CodecSpec) -> &mut Self {
+        self.comm_mut().codec = codec;
+        self
+    }
+
+    /// Whole-update affine int8 upload compression (~4x fewer uplink
+    /// bytes, error bounded by one quantization step per weight).
+    pub fn quantized_i8(&mut self) -> &mut Self {
+        self.codec(CodecSpec::QuantizeI8)
+    }
+
+    /// Magnitude top-k sparsification of the upload delta: keep the
+    /// `frac` largest-magnitude coordinates.
+    pub fn topk(&mut self, frac: f64) -> &mut Self {
+        self.codec(CodecSpec::TopK { frac })
+    }
+
+    /// Time transfers through the given link model (keeps the spec's
+    /// codec).
+    pub fn link(&mut self, link: LinkModel) -> &mut Self {
+        self.comm_mut().link = link;
+        self
+    }
+
+    /// Aggregate through a master/child hierarchy over a `plane_bps`
+    /// aggregation plane; the combine cost joins each round's latency.
+    pub fn hierarchical(&mut self, fan_out: usize, plane_bps: f64) -> &mut Self {
+        self.comm_mut().hierarchy = Some(HierarchySpec { fan_out, plane_bps });
+        self
+    }
+
     /// Override the report label.
     pub fn label(&mut self, label: impl Into<String>) -> &mut Self {
         self.spec.label = Some(label.into());
@@ -402,13 +482,22 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
     // -- profiling cache --------------------------------------------------
 
     /// The profiling outcome for this experiment, computed on first use
-    /// and cached for every later run/estimate from this runner.
+    /// and cached for every later run/estimate from this runner. The
+    /// cache is keyed by the spec's comm axis: switching codec or link
+    /// model re-profiles (the latencies genuinely change); everything
+    /// else reuses the measurement.
     pub fn profile(&mut self) -> &(TierAssignment, ProfileResult) {
-        if self.profile.is_none() {
-            self.profile = Some(self.exp.profile_and_tier());
+        let comm = self.spec.comm;
+        let stale = self.profile.as_ref().is_some_and(|(c, _)| *c != comm);
+        if self.profile.is_none() || stale {
+            let overrides = SessionOverrides {
+                comm,
+                ..SessionOverrides::default()
+            };
+            self.profile = Some((comm, self.exp.profile_and_tier_with(&overrides)));
             self.profile_runs += 1;
         }
-        self.profile.as_ref().expect("profile cached above")
+        &self.profile.as_ref().expect("profile cached above").1
     }
 
     /// The cached tier assignment (profiles on first use).
@@ -711,6 +800,38 @@ mod tests {
     }
 
     #[test]
+    fn comm_builders_compose_the_spec() {
+        let cfg = tiny();
+        let mut runner = cfg.runner();
+        runner
+            .quantized_i8()
+            .link(LinkModel::LogNormal {
+                median_up_bps: 1.0e5,
+                median_down_bps: 1.0e6,
+                sigma: 0.5,
+                rtt_sec: 0.02,
+            })
+            .hierarchical(100, 2.0e8);
+        let comm = runner.spec().comm.expect("comm spec installed");
+        assert_eq!(comm.codec, CodecSpec::QuantizeI8);
+        assert!(matches!(comm.link, LinkModel::LogNormal { .. }));
+        assert_eq!(comm.hierarchy.map(|h| h.fan_out), Some(100));
+        assert_eq!(runner.spec().display_label(), "vanilla+i8");
+        // Switching the codec keeps the link model.
+        runner.topk(0.1);
+        let comm = runner.spec().comm.expect("comm spec kept");
+        assert_eq!(comm.codec, CodecSpec::TopK { frac: 0.1 });
+        assert!(matches!(comm.link, LinkModel::LogNormal { .. }));
+        assert_eq!(runner.spec().display_label(), "vanilla+topk(0.1)");
+        // Lossless codecs never decorate the label.
+        runner.codec(CodecSpec::Identity);
+        assert_eq!(runner.spec().display_label(), "vanilla");
+        // Composed decorations keep the legacy ordering.
+        runner.adaptive(None).fedprox(0.01).quantized_i8();
+        assert_eq!(runner.spec().display_label(), "adaptive+fedprox(0.01)+i8");
+    }
+
+    #[test]
     fn runner_profiles_once_across_runs() {
         let cfg = tiny();
         let mut runner = cfg.runner();
@@ -776,6 +897,15 @@ mod tests {
             reprofile_every: Some(25),
             label: Some("combo".into()),
             backend: ExecBackend::EventDriven { threads: 2 },
+            comm: Some(CommSpec {
+                codec: CodecSpec::TopK { frac: 0.25 },
+                link: LinkModel::Uniform {
+                    up_bps: 1.0e5,
+                    down_bps: 1.0e6,
+                    rtt_sec: 0.01,
+                },
+                hierarchy: None,
+            }),
         };
         let json = serde_json::to_string_pretty(&spec).expect("serializes");
         let back: RunSpec = serde_json::from_str(&json).expect("parses");

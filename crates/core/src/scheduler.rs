@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use tifl_fl::checkpoint::SelectorState;
 use tifl_fl::selector::ClientSelector;
 use tifl_tensor::{seed_rng, split_seed};
 
@@ -283,6 +284,36 @@ impl ClientSelector for AdaptiveTierSelector {
         );
         self.acc_history.insert(round, group_accuracies.to_vec());
     }
+
+    fn export_state(&self) -> Option<SelectorState> {
+        Some(SelectorState {
+            probs: self.probs.clone(),
+            credits: self.credits.clone(),
+            current_tier: self.current_tier,
+            acc_history: self
+                .acc_history
+                .iter()
+                .map(|(&r, a)| (r, a.clone()))
+                .collect(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &SelectorState) {
+        assert_eq!(
+            state.probs.len(),
+            self.assignment.num_tiers(),
+            "selector state does not match the tier count"
+        );
+        assert_eq!(state.credits.len(), self.assignment.num_tiers());
+        self.probs = state.probs.clone();
+        self.credits = state.credits.clone();
+        self.current_tier = state.current_tier;
+        self.acc_history = state
+            .acc_history
+            .iter()
+            .map(|(r, a)| (*r, a.clone()))
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -461,6 +492,45 @@ mod tests {
             assert_eq!(sel.len(), 2);
             s.observe(r, &[0.5; 5]);
         }
+    }
+
+    #[test]
+    fn exported_state_restores_mid_run_bit_for_bit() {
+        // Run 30 rounds straight vs 15 + export/restore + 15: identical
+        // selections, probabilities and credits throughout.
+        let accs = |r: u64| -> Vec<f64> {
+            (0..5)
+                .map(|t| 0.3 + 0.12 * t as f64 + 0.002 * r as f64)
+                .collect()
+        };
+        let mut continuous = adaptive(40, 5);
+        let mut first = adaptive(40, 5);
+        let mut cont_hist = Vec::new();
+        for r in 0..30u64 {
+            cont_hist.push(continuous.select(r, 2));
+            continuous.observe(r, &accs(r));
+            if r < 15 {
+                let _ = first.select(r, 2);
+                first.observe(r, &accs(r));
+            }
+        }
+        let state = first.export_state().expect("adaptive exports state");
+        let mut resumed = adaptive(40, 5);
+        resumed.restore_state(&state);
+        let mut resumed_hist = Vec::new();
+        for r in 15..30u64 {
+            resumed_hist.push(resumed.select(r, 2));
+            resumed.observe(r, &accs(r));
+        }
+        assert_eq!(&cont_hist[15..], &resumed_hist[..]);
+        assert_eq!(continuous.probs(), resumed.probs());
+        assert_eq!(continuous.credits(), resumed.credits());
+    }
+
+    #[test]
+    fn static_selectors_export_no_state() {
+        let s = StaticTierSelector::new(assignment(), Policy::uniform(5), 0);
+        assert!(s.export_state().is_none());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! FedAvg aggregation (Algorithm 1, line 8).
 
 use std::sync::mpsc;
+use tifl_comm::EncodedUpdate;
 use tifl_tensor::ParamVec;
 
 /// One client's contribution to a round: updated weights plus the local
@@ -51,6 +52,12 @@ pub struct StreamingFold {
     total: f64,
     expected: usize,
     folded: usize,
+    /// Accumulated coefficients of delta-encoded folds (TopK payloads):
+    /// each such update contributes `coeff * (base + delta)`, and the
+    /// `coeff * base` parts are deferred into one axpy at
+    /// [`StreamingFold::finish_against`] instead of one dense pass per
+    /// client.
+    base_coeff: f32,
 }
 
 impl StreamingFold {
@@ -74,6 +81,7 @@ impl StreamingFold {
             total,
             expected: weights.len(),
             folded: 0,
+            base_coeff: 0.0,
         }
     }
 
@@ -106,17 +114,69 @@ impl StreamingFold {
         self.expected
     }
 
+    /// Fold the next update from its encoded wire form, without
+    /// materialising a dense decoded vector: dense payloads axpy
+    /// directly (bit-for-bit the [`StreamingFold::fold`] sequence for
+    /// the Identity codec), quantized payloads dequantize inside the
+    /// axpy loop, and sparse-delta payloads touch only their kept
+    /// coordinates while their base contribution is deferred to
+    /// [`StreamingFold::finish_against`].
+    ///
+    /// `samples` is the update's aggregation weight (`s_c`), exactly as
+    /// [`ClientUpdate::samples`] feeds [`StreamingFold::fold`].
+    ///
+    /// # Panics
+    /// Panics past the expected count or on a length mismatch.
+    pub fn fold_encoded(&mut self, update: &EncodedUpdate, samples: usize) {
+        assert!(self.folded < self.expected, "fold past the expected count");
+        assert_eq!(
+            update.param_len(),
+            self.acc.len(),
+            "weighted_mean length mismatch"
+        );
+        let coeff = (f64::from(samples as f32) / self.total) as f32;
+        update.axpy_into(coeff, &mut self.acc);
+        if update.is_delta() {
+            self.base_coeff += coeff;
+        }
+        self.folded += 1;
+    }
+
     /// The aggregated model, or `None` when the fold expected no updates
     /// (an all-dropout round leaves the global model untouched).
     ///
     /// # Panics
-    /// Panics if updates are still outstanding.
+    /// Panics if updates are still outstanding, or if any folded update
+    /// was delta-encoded (those need [`StreamingFold::finish_against`]).
     #[must_use]
     pub fn finish(self) -> Option<ParamVec> {
+        assert_eq!(
+            self.base_coeff, 0.0,
+            "delta-encoded folds need finish_against(base)"
+        );
         assert_eq!(
             self.folded, self.expected,
             "finish with updates outstanding"
         );
+        (self.expected > 0).then_some(self.acc)
+    }
+
+    /// As [`StreamingFold::finish`], resolving any deferred delta bases
+    /// against `base` (the global model the deltas were encoded
+    /// against) in a single axpy. With no delta-encoded folds this is
+    /// bit-for-bit [`StreamingFold::finish`].
+    ///
+    /// # Panics
+    /// Panics if updates are still outstanding or on a length mismatch.
+    #[must_use]
+    pub fn finish_against(mut self, base: &ParamVec) -> Option<ParamVec> {
+        assert_eq!(
+            self.folded, self.expected,
+            "finish with updates outstanding"
+        );
+        if self.base_coeff != 0.0 {
+            self.acc.axpy(self.base_coeff, base);
+        }
         (self.expected > 0).then_some(self.acc)
     }
 }
@@ -245,6 +305,82 @@ mod tests {
         }
         let streamed = fold.finish().expect("non-empty fold");
         assert_eq!(streamed, batch, "must match bit for bit");
+    }
+
+    #[test]
+    fn encoded_identity_fold_is_bitwise_equal_to_plain_fold() {
+        use tifl_comm::CodecSpec;
+        let updates: Vec<ClientUpdate> = (0..5)
+            .map(|i| {
+                let vals: Vec<f32> = (0..9).map(|j| ((i * 13 + j * 3) as f32).cos()).collect();
+                upd(i, vals, 20 + i * 7)
+            })
+            .collect();
+        let weights: Vec<f32> = updates.iter().map(|u| u.samples as f32).collect();
+        let base = ParamVec(vec![0.5; 9]);
+
+        let mut plain = StreamingFold::new(9, &weights);
+        let mut encoded = StreamingFold::new(9, &weights);
+        for u in &updates {
+            plain.fold(u);
+            encoded.fold_encoded(&CodecSpec::Identity.encode(&u.params, &base), u.samples);
+        }
+        let a = plain.finish().expect("non-empty");
+        let b = encoded.finish_against(&base).expect("non-empty");
+        assert_eq!(a, b, "identity encoded fold must match bit for bit");
+    }
+
+    #[test]
+    fn sparse_delta_fold_defers_one_base_axpy() {
+        use tifl_comm::CodecSpec;
+        // Folding top-k(1.0) deltas (lossless sparsification) must equal
+        // decoding each update densely and folding: both are
+        // Σ coeff_i (base + delta_i) with the base applied once.
+        let base = ParamVec((0..16).map(|j| (j as f32 * 0.21).sin()).collect());
+        let updates: Vec<ClientUpdate> = (0..4)
+            .map(|i| {
+                let vals: Vec<f32> = base
+                    .as_slice()
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &b)| b + ((i * 7 + j) as f32 * 0.1).cos() * 0.3)
+                    .collect();
+                upd(i, vals, 10 + i)
+            })
+            .collect();
+        let weights: Vec<f32> = updates.iter().map(|u| u.samples as f32).collect();
+        let spec = CodecSpec::TopK { frac: 1.0 };
+
+        let mut fold = StreamingFold::new(16, &weights);
+        for u in &updates {
+            fold.fold_encoded(&spec.encode(&u.params, &base), u.samples);
+        }
+        let streamed = fold.finish_against(&base).expect("non-empty");
+
+        // Reference: dense decode then batch mean.
+        let decoded: Vec<ClientUpdate> = updates
+            .iter()
+            .map(|u| ClientUpdate {
+                client: u.client,
+                params: spec.encode(&u.params, &base).decode(&base),
+                samples: u.samples,
+            })
+            .collect();
+        let batch = aggregate_fedavg(&decoded);
+        for (a, b) in streamed.as_slice().iter().zip(batch.as_slice()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finish_against")]
+    fn plain_finish_rejects_delta_folds() {
+        use tifl_comm::CodecSpec;
+        let base = ParamVec(vec![1.0; 4]);
+        let u = upd(0, vec![2.0, 1.0, 1.0, 1.0], 5);
+        let mut fold = StreamingFold::new(4, &[5.0]);
+        fold.fold_encoded(&CodecSpec::TopK { frac: 0.5 }.encode(&u.params, &base), 5);
+        let _ = fold.finish();
     }
 
     #[test]

@@ -37,10 +37,27 @@ impl AggregationTree {
     /// Panics if `fan_out == 0`.
     #[must_use]
     pub fn with_fan_out(fan_out: usize) -> Self {
+        Self::with_plane(fan_out, 2.0e8)
+    }
+
+    /// A tree over an aggregation plane of `plane_bps` bytes/s: the
+    /// absorb cost per node is exactly
+    /// [`tifl_comm::link::transfer_secs`] over that bandwidth, so the
+    /// hierarchy's combine latency is expressed in the same
+    /// `CommCost` units as every client transfer (a
+    /// `tifl_comm::HierarchySpec` maps onto this constructor).
+    ///
+    /// # Panics
+    /// Panics if `fan_out == 0` or `plane_bps` is not positive.
+    #[must_use]
+    pub fn with_plane(fan_out: usize, plane_bps: f64) -> Self {
         assert!(fan_out > 0, "fan-out must be positive");
+        assert!(plane_bps > 0.0, "bandwidth must be positive");
         Self {
             fan_out,
-            sec_per_update_mb: 0.005,
+            // cost(bytes) = bytes / 1e6 * sec_per_update_mb
+            //             = transfer_secs(bytes, plane_bps).
+            sec_per_update_mb: 1.0e6 / plane_bps,
         }
     }
 
@@ -83,15 +100,31 @@ impl AggregationTree {
     /// one partial per child.
     #[must_use]
     pub fn aggregation_latency(&self, updates: usize, update_bytes: u64) -> f64 {
+        self.aggregation_latency_encoded(updates, update_bytes, update_bytes)
+    }
+
+    /// As [`AggregationTree::aggregation_latency`] with compressed
+    /// client uploads: children absorb `client_bytes` (the encoded wire
+    /// size) per update, the master absorbs one *dense* partial of
+    /// `partial_bytes` per child (children decode-and-fold, so their
+    /// partial aggregates are full precision). This is how an update
+    /// codec shrinks the child layer of the hierarchy but not the
+    /// master hop.
+    #[must_use]
+    pub fn aggregation_latency_encoded(
+        &self,
+        updates: usize,
+        client_bytes: u64,
+        partial_bytes: u64,
+    ) -> f64 {
         if updates == 0 {
             return 0.0;
         }
-        let mb = update_bytes as f64 / 1.0e6;
         let children = self.num_children(updates);
         // The busiest child absorbs up to `fan_out` updates.
         let busiest = updates.min(self.fan_out);
-        let child_cost = busiest as f64 * mb * self.sec_per_update_mb;
-        let master_cost = children as f64 * mb * self.sec_per_update_mb;
+        let child_cost = busiest as f64 * client_bytes as f64 / 1.0e6 * self.sec_per_update_mb;
+        let master_cost = children as f64 * partial_bytes as f64 / 1.0e6 * self.sec_per_update_mb;
         child_cost + master_cost
     }
 
@@ -183,5 +216,30 @@ mod tests {
     #[should_panic(expected = "fan-out must be positive")]
     fn rejects_zero_fan_out() {
         let _ = AggregationTree::with_fan_out(0);
+    }
+
+    #[test]
+    fn plane_costs_are_comm_transfer_seconds() {
+        // One update through a 1-child tree: child absorbs it, master
+        // absorbs the partial — two transfers over the plane, priced
+        // exactly like any other link in the comm model.
+        let bps = 5.0e7;
+        let tree = AggregationTree::with_plane(10, bps);
+        let bytes = 123_456u64;
+        let expect = 2.0 * tifl_comm::link::transfer_secs(bytes, bps);
+        assert!((tree.aggregation_latency(1, bytes) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encoded_uploads_shrink_the_child_layer_only() {
+        let tree = AggregationTree::with_plane(100, 1.0e6);
+        let dense = 400_000u64;
+        let encoded = 100_000u64;
+        let full = tree.aggregation_latency(100, dense);
+        let compressed = tree.aggregation_latency_encoded(100, encoded, dense);
+        // Child layer shrinks 4x, master hop (1 partial) unchanged.
+        let expect = 100.0 * 0.1 + 1.0 * 0.4;
+        assert!((compressed - expect).abs() < 1e-9, "got {compressed}");
+        assert!(compressed < full);
     }
 }

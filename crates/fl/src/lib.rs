@@ -26,6 +26,7 @@ pub mod session;
 pub mod timeline;
 
 pub use aggregator::{aggregate_fedavg, ClientUpdate, StreamingFold};
+pub use checkpoint::{Checkpoint, SelectorState};
 pub use client::{ClientConfig, OptimizerSpec};
 pub use report::{RoundReport, TrainingReport};
 pub use selector::{ClientSelector, RandomSelector};

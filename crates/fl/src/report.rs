@@ -22,6 +22,15 @@ pub struct RoundReport {
     pub accuracy: Option<f64>,
     /// Global test loss (if evaluated this round).
     pub loss: Option<f32>,
+    /// Bytes shipped server → clients this round (the full-precision
+    /// global model to every selected client).
+    #[serde(default)]
+    pub bytes_down: u64,
+    /// Bytes shipped clients → server this round (one encoded update
+    /// per aggregated contributor; equals the dense size when no codec
+    /// is active).
+    #[serde(default)]
+    pub bytes_up: u64,
 }
 
 /// A full training run.
@@ -139,6 +148,18 @@ impl TrainingReport {
         1.0 - aggregated as f64 / selected as f64
     }
 
+    /// Total bytes shipped clients → server across the run.
+    #[must_use]
+    pub fn total_bytes_up(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes_up).sum()
+    }
+
+    /// Total bytes shipped server → clients across the run.
+    #[must_use]
+    pub fn total_bytes_down(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes_down).sum()
+    }
+
     /// Mean per-round latency in seconds.
     #[must_use]
     pub fn mean_round_latency(&self) -> f64 {
@@ -165,6 +186,8 @@ mod tests {
                     aggregated: Vec::new(),
                     accuracy: Some(0.3),
                     loss: Some(2.0),
+                    bytes_down: 200,
+                    bytes_up: 100,
                 },
                 RoundReport {
                     round: 1,
@@ -174,6 +197,8 @@ mod tests {
                     aggregated: Vec::new(),
                     accuracy: None,
                     loss: None,
+                    bytes_down: 200,
+                    bytes_up: 50,
                 },
                 RoundReport {
                     round: 2,
@@ -183,6 +208,8 @@ mod tests {
                     aggregated: Vec::new(),
                     accuracy: Some(0.7),
                     loss: Some(1.0),
+                    bytes_down: 200,
+                    bytes_up: 100,
                 },
             ],
         }
@@ -195,6 +222,13 @@ mod tests {
         assert_eq!(r.final_accuracy(), 0.7);
         assert_eq!(r.best_accuracy(), 0.7);
         assert!((r.mean_round_latency() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_totals_accumulate() {
+        let r = report();
+        assert_eq!(r.total_bytes_down(), 600);
+        assert_eq!(r.total_bytes_up(), 250);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! ([`RandomSelector`], §3.1) picks `|C|` clients uniformly at random
 //! from the full pool; `tifl-core` provides the tier-based selectors.
 
+use crate::checkpoint::SelectorState;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use tifl_tensor::{seed_rng, split_seed};
@@ -30,6 +31,19 @@ pub trait ClientSelector: Send {
     /// Receive the per-group accuracies requested via
     /// [`ClientSelector::monitored_groups`], in the same group order.
     fn observe(&mut self, _round: u64, _group_accuracies: &[f64]) {}
+
+    /// Serialisable working state for checkpointing, if the selector
+    /// carries any between rounds (adaptive credits, probabilities,
+    /// accuracy history). Stateless selectors return `None`: rebuilt
+    /// from their seed they replay identically.
+    fn export_state(&self) -> Option<SelectorState> {
+        None
+    }
+
+    /// Restore state previously produced by
+    /// [`ClientSelector::export_state`] on a selector with the same
+    /// configuration. The default ignores it (stateless selectors).
+    fn restore_state(&mut self, _state: &SelectorState) {}
 }
 
 /// Vanilla FedAvg selection: uniform random `|C|` clients from `K`

@@ -1,18 +1,20 @@
 //! The round engine: drives Algorithm 1 against the simulated testbed.
 
-use crate::aggregator::{aggregate_fedavg, ClientUpdate};
+use crate::aggregator::{aggregate_fedavg, ClientUpdate, StreamingFold};
 use crate::client::{self, ClientConfig};
+use crate::hierarchy::AggregationTree;
 use crate::report::{RoundReport, TrainingReport};
 use crate::selector::ClientSelector;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use tifl_comm::CommSpec;
 use tifl_data::FederatedDataset;
 use tifl_nn::model::EvalResult;
 use tifl_nn::models::ModelSpec;
 use tifl_sim::latency::TrainingTask;
 use tifl_sim::{Cluster, VirtualClock};
-use tifl_tensor::ParamVec;
+use tifl_tensor::{split_seed, ParamVec};
 
 /// How a round collects client updates.
 ///
@@ -69,6 +71,12 @@ pub struct SessionConfig {
     /// Update-collection strategy.
     #[serde(default)]
     pub aggregation: AggregationMode,
+    /// Communication model: update codec × link model (× optional
+    /// aggregation hierarchy). `None` is the legacy scalar-bandwidth,
+    /// uncompressed behaviour; `Some(CommSpec::default())` is its
+    /// bit-for-bit comm-subsystem equivalent.
+    #[serde(default)]
+    pub comm: Option<CommSpec>,
     /// Root seed for model init, shuffles and jitter.
     pub seed: u64,
 }
@@ -88,6 +96,9 @@ pub struct SessionOverrides {
     /// plain FedAvg even if the base config enabled the proximal term).
     #[serde(default)]
     pub proximal_mu: Option<f32>,
+    /// Replace the communication model (codec × link model).
+    #[serde(default)]
+    pub comm: Option<CommSpec>,
 }
 
 impl SessionConfig {
@@ -99,6 +110,9 @@ impl SessionConfig {
         }
         if let Some(mu) = overrides.proximal_mu {
             self.client.proximal_mu = mu;
+        }
+        if let Some(comm) = overrides.comm {
+            self.comm = Some(comm);
         }
         self
     }
@@ -139,6 +153,9 @@ pub struct Session {
     clock: VirtualClock,
     flops_per_sample: u64,
     update_bytes: u64,
+    /// Exact wire size of one encoded client upload (`None` without a
+    /// comm spec: uncompressed, `update_bytes` both ways).
+    upload_bytes: Option<u64>,
     round: u64,
 }
 
@@ -149,7 +166,7 @@ impl Session {
     /// Panics if the cluster is smaller than the client count, or the
     /// model's input width does not match the data.
     #[must_use]
-    pub fn new(data: FederatedDataset, cluster: Cluster, config: SessionConfig) -> Self {
+    pub fn new(data: FederatedDataset, mut cluster: Cluster, config: SessionConfig) -> Self {
         assert!(
             cluster.num_devices() >= data.num_clients(),
             "cluster has {} devices for {} clients",
@@ -167,9 +184,24 @@ impl Session {
         );
         let template = config.model.build(config.seed);
         let global = template.params();
+        // Activate the communication subsystem: install the spec's
+        // per-client links on the cluster (every latency path — rounds,
+        // profiling, deadlines — sees them) and price the encoded
+        // upload once (wire sizes are data-independent).
+        let upload_bytes = config.comm.map(|spec| {
+            let device_bps: Vec<f64> = (0..cluster.num_devices())
+                .map(|d| cluster.device(d).bandwidth_bps)
+                .collect();
+            let links = spec
+                .link
+                .materialize(&device_bps, split_seed(config.seed, 0xC033));
+            cluster.set_links(links.into_links());
+            spec.codec.encoded_bytes(global.len())
+        });
         Self {
             flops_per_sample: template.flops_per_sample(),
             update_bytes: template.update_bytes(),
+            upload_bytes,
             data: Arc::new(data),
             cluster,
             config,
@@ -232,7 +264,22 @@ impl Session {
             epochs: self.config.client.local_epochs,
             flops_per_sample: self.flops_per_sample,
             update_bytes: self.update_bytes,
+            upload_bytes: self.upload_bytes,
         }
+    }
+
+    /// Bytes one client uploads per round: the codec's exact wire size,
+    /// or the dense `update_bytes` when no comm spec is active.
+    #[must_use]
+    pub fn upload_wire_bytes(&self) -> u64 {
+        self.upload_bytes.unwrap_or(self.update_bytes)
+    }
+
+    /// Bytes one client downloads per round (the full-precision global
+    /// model).
+    #[must_use]
+    pub fn download_wire_bytes(&self) -> u64 {
+        self.update_bytes
     }
 
     /// Evaluate the global model on the balanced global test set.
@@ -264,13 +311,26 @@ impl Session {
         model.evaluate(&test.x, &test.y).accuracy
     }
 
-    /// Snapshot the session for checkpointing.
+    /// Snapshot the session for checkpointing (no selector state; use
+    /// [`Session::snapshot_with`] for stateful selectors).
     #[must_use]
     pub fn snapshot(&self) -> crate::checkpoint::Checkpoint {
         crate::checkpoint::Checkpoint {
             round: self.round,
             time: self.clock.now(),
             global: self.global.clone(),
+            selector: None,
+        }
+    }
+
+    /// Snapshot the session *and* the run's selector: stateful
+    /// selectors (adaptive credits, probabilities, accuracy history)
+    /// export their working set so a restored run replays bit-for-bit.
+    #[must_use]
+    pub fn snapshot_with(&self, selector: &dyn ClientSelector) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint {
+            selector: selector.export_state(),
+            ..self.snapshot()
         }
     }
 
@@ -361,6 +421,23 @@ impl Session {
             AggregationMode::Async { .. } => unreachable!("rejected above"),
         };
 
+        // Hierarchical aggregation: the master/child combine cost rides
+        // on top of the slowest client, in the same transfer-seconds
+        // units as every link (children absorb encoded uploads, the
+        // master absorbs dense partials).
+        let latency = match self.config.comm.and_then(|spec| spec.hierarchy) {
+            Some(h) => {
+                let tree = AggregationTree::with_plane(h.fan_out, h.plane_bps);
+                latency
+                    + tree.aggregation_latency_encoded(
+                        contributors.len(),
+                        self.upload_wire_bytes(),
+                        self.update_bytes,
+                    )
+            }
+            None => latency,
+        };
+
         RoundPlan {
             round,
             selected,
@@ -441,6 +518,12 @@ impl Session {
             round,
             time: self.clock.now(),
             latency,
+            // Every selected client downloads the global model; every
+            // aggregated contributor's (encoded) update crossed the
+            // uplink. Both derive from the plan alone, so the two
+            // execution backends account identically.
+            bytes_down: self.update_bytes * selected.len() as u64,
+            bytes_up: self.upload_wire_bytes() * contributors.len() as u64,
             selected,
             aggregated: contributors,
             accuracy,
@@ -488,8 +571,27 @@ impl Session {
             .map(|&c| self.train_contributor(c, plan.round))
             .collect();
         // Synchronous aggregation over the received updates, in the
-        // plan's canonical contributor order.
-        let new_global = (!updates.is_empty()).then(|| aggregate_fedavg(&updates));
+        // plan's canonical contributor order. With a comm spec the
+        // server folds each update from its encoded wire form — the
+        // exact decode-and-fold path the event-driven engine streams.
+        let new_global = match self.config.comm {
+            _ if updates.is_empty() => None,
+            // Identity's encoded fold is bitwise `aggregate_fedavg`
+            // (pinned in the aggregator tests) — skip the per-update
+            // model clone the encode would make.
+            None => Some(aggregate_fedavg(&updates)),
+            Some(spec) if spec.codec == tifl_comm::CodecSpec::Identity => {
+                Some(aggregate_fedavg(&updates))
+            }
+            Some(spec) => {
+                let weights: Vec<f32> = updates.iter().map(|u| u.samples as f32).collect();
+                let mut fold = StreamingFold::new(self.global.len(), &weights);
+                for u in &updates {
+                    fold.fold_encoded(&spec.codec.encode(&u.params, &self.global), u.samples);
+                }
+                fold.finish_against(&self.global)
+            }
+        };
         self.finish_round(plan, new_global, selector, true)
     }
 
@@ -538,6 +640,7 @@ mod tests {
             eval_every: 1,
             tmax_sec: 1e9,
             aggregation: AggregationMode::WaitAll,
+            comm: None,
             seed,
         };
         Session::new(fed, cluster, config)
@@ -670,12 +773,66 @@ mod tests {
         let changed = base.with_overrides(&SessionOverrides {
             aggregation: Some(AggregationMode::FirstK { factor: 1.3 }),
             proximal_mu: Some(0.5),
+            comm: Some(CommSpec::default()),
         });
         assert_eq!(changed.aggregation, AggregationMode::FirstK { factor: 1.3 });
         assert_eq!(changed.client.proximal_mu, 0.5);
+        assert_eq!(changed.comm, Some(CommSpec::default()));
         // Everything else is untouched.
         assert_eq!(changed.model, base.model);
         assert_eq!(changed.seed, base.seed);
+    }
+
+    /// `small_session` with a communication spec installed through the
+    /// constructor (so links and upload pricing activate).
+    fn comm_session(rounds: u64, seed: u64, comm: Option<CommSpec>) -> Session {
+        let config = SessionConfig {
+            comm,
+            ..small_session(rounds, seed).config
+        };
+        let gen = Generator::new(SynthSpec::family(SynthFamily::Mnist), seed);
+        let part = partition::iid(10, 60, 10, &mut seed_rng(seed));
+        let fed = FederatedDataset::materialize(&gen, &part, 0.2, 20, seed);
+        let mut ccfg = ClusterConfig::equal_groups(10, &profiles::MNIST, seed);
+        ccfg.latency.flops_per_cpu_sec = 1.0e5;
+        ccfg.latency.base_overhead_sec = 0.0;
+        Session::new(fed, Cluster::new(&ccfg), config)
+    }
+
+    #[test]
+    fn default_comm_spec_is_bit_for_bit_legacy() {
+        // Identity codec over the cluster-default link model must not
+        // perturb anything: reports, times, weights — all identical.
+        let run = |comm: Option<CommSpec>| {
+            let mut s = comm_session(6, 21, comm);
+            let mut sel = RandomSelector::new(10, 21);
+            let report = s.run(&mut sel);
+            (report, s.global_params().clone())
+        };
+        let (legacy_report, legacy_weights) = run(None);
+        let (comm_report, comm_weights) = run(Some(CommSpec::default()));
+        assert_eq!(legacy_report, comm_report);
+        assert_eq!(legacy_weights, comm_weights);
+    }
+
+    #[test]
+    fn compressed_sessions_report_fewer_uplink_bytes() {
+        use tifl_comm::CodecSpec;
+        let run = |codec: CodecSpec| {
+            let mut s = comm_session(4, 22, Some(CommSpec::with_codec(codec)));
+            let mut sel = RandomSelector::new(10, 22);
+            s.run(&mut sel)
+        };
+        let identity = run(CodecSpec::Identity);
+        let quant = run(CodecSpec::QuantizeI8);
+        let topk = run(CodecSpec::TopK { frac: 0.1 });
+        assert!(identity.total_bytes_up() > 0);
+        assert!(quant.total_bytes_up() < identity.total_bytes_up());
+        assert!(topk.total_bytes_up() < identity.total_bytes_up());
+        // The downlink still ships the dense model.
+        assert_eq!(quant.total_bytes_down(), identity.total_bytes_down());
+        // Quantized rounds are faster in virtual time (smaller uploads).
+        assert!(quant.total_time() < identity.total_time());
     }
 
     #[test]

@@ -175,6 +175,7 @@ impl Experiment for LeafExperiment {
             eval_every: self.eval_every,
             tmax_sec: self.profiler.tmax_sec,
             aggregation: self.aggregation,
+            comm: None,
             seed: split_seed(self.seed, 0x5E55),
         }
         .with_overrides(overrides);

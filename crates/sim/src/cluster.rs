@@ -3,7 +3,7 @@
 use crate::drift::DriftModel;
 use crate::dropout::DropoutModel;
 use crate::latency::{LatencyModel, LatencyModelConfig, TrainingTask};
-use crate::resource::DeviceResources;
+use crate::resource::{DeviceResources, LinkQuality};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -71,6 +71,9 @@ pub struct Cluster {
     latency: LatencyModel,
     dropout: DropoutModel,
     drift: DriftModel,
+    /// Per-device directional links (installed by the comm subsystem);
+    /// `None` falls back to each device's symmetric `bandwidth_bps`.
+    links: Option<Vec<LinkQuality>>,
     seed: u64,
 }
 
@@ -101,6 +104,7 @@ impl Cluster {
             latency: LatencyModel::new(config.latency),
             dropout: DropoutModel::always_available(n, split_seed(config.seed, 0xD0D0)),
             drift: DriftModel::None,
+            links: None,
             seed: config.seed,
         }
     }
@@ -108,6 +112,32 @@ impl Cluster {
     /// Install a time-varying performance model (see [`DriftModel`]).
     pub fn set_drift(&mut self, drift: DriftModel) {
         self.drift = drift;
+    }
+
+    /// Install per-device directional links (the comm subsystem's
+    /// refinement of the scalar `bandwidth_bps`). All latency paths —
+    /// training rounds, profiling, straggler deadlines — switch to the
+    /// directional model.
+    ///
+    /// # Panics
+    /// Panics if the link count does not cover every device.
+    pub fn set_links(&mut self, links: Vec<LinkQuality>) {
+        assert_eq!(
+            links.len(),
+            self.devices.len(),
+            "link table must cover every device"
+        );
+        self.links = Some(links);
+    }
+
+    /// The link of device `d`: the installed directional link, or the
+    /// symmetric legacy fallback over the device's `bandwidth_bps`.
+    #[must_use]
+    pub fn link_of(&self, d: usize) -> LinkQuality {
+        self.links.as_ref().map_or_else(
+            || LinkQuality::symmetric(self.devices[d].bandwidth_bps),
+            |l| l[d],
+        )
     }
 
     /// Replace the availability model (failure injection).
@@ -154,7 +184,7 @@ impl Cluster {
             rand::rngs::StdRng::seed_from_u64(split_seed(self.seed, split_seed(d as u64, round)));
         Some(
             self.latency
-                .sample_latency(task, cpu, dev.bandwidth_bps, &mut rng),
+                .sample_latency_link(task, cpu, &self.link_of(d), &mut rng),
         )
     }
 
@@ -163,7 +193,7 @@ impl Cluster {
     pub fn nominal_response(&self, d: usize, task: &TrainingTask) -> f64 {
         let dev = self.devices[d];
         self.latency
-            .nominal_latency(task, dev.cpu_share, dev.bandwidth_bps)
+            .nominal_latency_link(task, dev.cpu_share, &self.link_of(d))
     }
 
     /// Round latency (Eq. 1): max response latency over `selected`
@@ -192,6 +222,7 @@ mod tests {
             epochs: 1,
             flops_per_sample: 1_000_000,
             update_bytes: 10_000,
+            upload_bytes: None,
         }
     }
 
@@ -248,6 +279,32 @@ mod tests {
         assert_eq!(c.response(5, 0, &task()), None);
         let l = c.round_latency(&[(5, task())], 0, 123.0);
         assert_eq!(l, 123.0);
+    }
+
+    #[test]
+    fn installed_links_change_the_comm_term_only() {
+        let mut c = cluster();
+        let symmetric = c.response(3, 0, &task()).unwrap();
+        // Installing the explicit symmetric link is a no-op, bit for bit.
+        let links: Vec<LinkQuality> = (0..50)
+            .map(|d| LinkQuality::symmetric(c.device(d).bandwidth_bps))
+            .collect();
+        c.set_links(links);
+        assert_eq!(c.response(3, 0, &task()), Some(symmetric));
+        // A 10x slower uplink strictly slows the device down.
+        let mut slow: Vec<LinkQuality> = (0..50)
+            .map(|d| LinkQuality::symmetric(c.device(d).bandwidth_bps))
+            .collect();
+        slow[3].up_bps /= 10.0;
+        c.set_links(slow);
+        assert!(c.response(3, 0, &task()).unwrap() > symmetric);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every device")]
+    fn set_links_rejects_short_tables() {
+        let mut c = cluster();
+        c.set_links(vec![LinkQuality::symmetric(1e6); 3]);
     }
 
     #[test]

@@ -9,14 +9,25 @@
 //! L_i = compute + communication + jitter
 //! compute       = samples * epochs * flops_per_sample
 //!                 / (flops_per_cpu_sec * cpu_share)
-//! communication = 2 * update_bytes / bandwidth   (download + upload)
+//! communication = update_bytes / down_bps        (global model down)
+//!               + upload_bytes / up_bps          (trained update up)
+//!               + rtt
 //! jitter        = multiplicative lognormal noise
 //! ```
+//!
+//! The legacy scalar-bandwidth entry points ([`LatencyModel::nominal_latency`]
+//! and friends) are the symmetric special case `up = down = bandwidth`,
+//! `upload = update_bytes`, `rtt = 0`, which reduces the communication
+//! term to the historical `2 * update_bytes / bandwidth` — bit for bit,
+//! since `x + x == 2 * x` in IEEE arithmetic. Asymmetric links and
+//! compressed uploads come from `tifl_comm` through
+//! [`LatencyModel::nominal_latency_link`].
 //!
 //! Fig. 1(a)'s two observations fall straight out of this model: latency
 //! is linear in sample count at fixed CPU share, and inversely
 //! proportional to CPU share at fixed data size.
 
+use crate::resource::LinkQuality;
 use rand::rngs::StdRng;
 use rand_distr::{Distribution, LogNormal};
 use serde::{Deserialize, Serialize};
@@ -54,8 +65,23 @@ pub struct TrainingTask {
     pub epochs: usize,
     /// Model cost per sample (forward + backward), in FLOPs.
     pub flops_per_sample: u64,
-    /// Serialized model-update size in bytes.
+    /// Serialized model-update size in bytes (the full-precision model
+    /// the server ships down).
     pub update_bytes: u64,
+    /// Bytes the client uploads after training — the *encoded* wire
+    /// size when an update codec is active. `None` means uncompressed
+    /// (`update_bytes` both ways, the legacy symmetric behaviour).
+    #[serde(default)]
+    pub upload_bytes: Option<u64>,
+}
+
+impl TrainingTask {
+    /// Bytes crossing the uplink ([`TrainingTask::update_bytes`] unless
+    /// an encoded size is set).
+    #[must_use]
+    pub fn upload(&self) -> u64 {
+        self.upload_bytes.unwrap_or(self.update_bytes)
+    }
 }
 
 /// Deterministic latency model (given an RNG for the jitter stream).
@@ -99,11 +125,31 @@ impl LatencyModel {
     /// Panics if `cpu_share` or `bandwidth_bps` is not positive.
     #[must_use]
     pub fn nominal_latency(&self, task: &TrainingTask, cpu_share: f64, bandwidth_bps: f64) -> f64 {
+        self.nominal_latency_link(task, cpu_share, &LinkQuality::symmetric(bandwidth_bps))
+    }
+
+    /// Deterministic latency for a task on a device behind a directional
+    /// link: download of the global model at `down_bps`, upload of the
+    /// (possibly encoded) update at `up_bps`, plus the link's RTT.
+    ///
+    /// # Panics
+    /// Panics if `cpu_share` or either bandwidth is not positive.
+    #[must_use]
+    pub fn nominal_latency_link(
+        &self,
+        task: &TrainingTask,
+        cpu_share: f64,
+        link: &LinkQuality,
+    ) -> f64 {
         assert!(cpu_share > 0.0, "cpu_share must be positive");
-        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(link.up_bps > 0.0, "bandwidth must be positive");
+        assert!(link.down_bps > 0.0, "bandwidth must be positive");
+        assert!(link.rtt_sec >= 0.0, "rtt must be >= 0");
         let flops = task.samples as f64 * task.epochs as f64 * task.flops_per_sample as f64;
         let compute = flops / (self.config.flops_per_cpu_sec * cpu_share);
-        let comm = 2.0 * task.update_bytes as f64 / bandwidth_bps;
+        let comm = task.update_bytes as f64 / link.down_bps
+            + task.upload() as f64 / link.up_bps
+            + link.rtt_sec;
         self.config.base_overhead_sec + compute + comm
     }
 
@@ -116,7 +162,20 @@ impl LatencyModel {
         bandwidth_bps: f64,
         rng: &mut StdRng,
     ) -> f64 {
-        let nominal = self.nominal_latency(task, cpu_share, bandwidth_bps);
+        self.sample_latency_link(task, cpu_share, &LinkQuality::symmetric(bandwidth_bps), rng)
+    }
+
+    /// As [`LatencyModel::nominal_latency_link`] with multiplicative
+    /// jitter drawn from `rng`.
+    #[must_use]
+    pub fn sample_latency_link(
+        &self,
+        task: &TrainingTask,
+        cpu_share: f64,
+        link: &LinkQuality,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let nominal = self.nominal_latency_link(task, cpu_share, link);
         match &self.jitter {
             Some(dist) => nominal * dist.sample(rng),
             None => nominal,
@@ -135,6 +194,7 @@ mod tests {
             epochs: 1,
             flops_per_sample: 1_000_000,
             update_bytes: 100_000,
+            upload_bytes: None,
         }
     }
 
@@ -170,9 +230,68 @@ mod tests {
             epochs: 1,
             flops_per_sample: 0,
             update_bytes: 500,
+            upload_bytes: None,
         };
         let l = m.nominal_latency(&t, 1.0, 1000.0);
         assert!((l - 1.0).abs() < 1e-9, "2*500/1000 = 1s, got {l}");
+    }
+
+    #[test]
+    fn symmetric_link_is_bitwise_equal_to_scalar_bandwidth() {
+        // The legacy entry point is the symmetric special case — not
+        // approximately, bit for bit (the engine's Identity-codec
+        // equivalence contract rests on this).
+        let m = model(0.3);
+        for bw in [1000.0, 1.0e6, 3.7e7] {
+            let t = task(137);
+            let legacy = m.nominal_latency(&t, 0.7, bw);
+            let link = m.nominal_latency_link(&t, 0.7, &LinkQuality::symmetric(bw));
+            assert_eq!(legacy.to_bits(), link.to_bits());
+        }
+    }
+
+    #[test]
+    fn asymmetric_uplink_dominates_when_slow() {
+        let m = model(0.0);
+        let t = TrainingTask {
+            samples: 0,
+            epochs: 1,
+            flops_per_sample: 0,
+            update_bytes: 1000,
+            upload_bytes: None,
+        };
+        let slow_up = LinkQuality {
+            up_bps: 100.0,
+            down_bps: 10_000.0,
+            rtt_sec: 0.0,
+        };
+        let l = m.nominal_latency_link(&t, 1.0, &slow_up);
+        assert!((l - (0.1 + 10.0)).abs() < 1e-9, "got {l}");
+    }
+
+    #[test]
+    fn compressed_upload_shrinks_the_uplink_term() {
+        let m = model(0.0);
+        let full = TrainingTask {
+            samples: 0,
+            epochs: 1,
+            flops_per_sample: 0,
+            update_bytes: 4000,
+            upload_bytes: None,
+        };
+        let compressed = TrainingTask {
+            upload_bytes: Some(1000),
+            ..full
+        };
+        let link = LinkQuality {
+            up_bps: 1000.0,
+            down_bps: 1000.0,
+            rtt_sec: 0.5,
+        };
+        let lf = m.nominal_latency_link(&full, 1.0, &link);
+        let lc = m.nominal_latency_link(&compressed, 1.0, &link);
+        assert!((lf - (4.0 + 4.0 + 0.5)).abs() < 1e-9, "full {lf}");
+        assert!((lc - (4.0 + 1.0 + 0.5)).abs() < 1e-9, "compressed {lc}");
     }
 
     #[test]

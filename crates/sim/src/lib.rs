@@ -26,3 +26,4 @@ pub use clock::VirtualClock;
 pub use cluster::{Cluster, ClusterConfig, GroupSpec};
 pub use drift::DriftModel;
 pub use latency::{LatencyModel, LatencyModelConfig};
+pub use resource::LinkQuality;

@@ -23,6 +23,39 @@ impl DeviceResources {
     }
 }
 
+/// Directional link quality of one device: the communication-model
+/// refinement of the scalar [`DeviceResources::bandwidth_bps`].
+///
+/// Real fleets are uplink-constrained (ADSL/LTE uplinks run 5–20x below
+/// their downlinks), and the paper's whole tiering story rests on
+/// response latency being dominated by transferring model updates —
+/// so the comm subsystem (`tifl_comm`) models the two directions and a
+/// round-trip setup cost separately.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkQuality {
+    /// Client → server bandwidth in bytes/s.
+    pub up_bps: f64,
+    /// Server → client bandwidth in bytes/s.
+    pub down_bps: f64,
+    /// Fixed per-transfer round-trip cost in seconds (connection setup,
+    /// propagation).
+    pub rtt_sec: f64,
+}
+
+impl LinkQuality {
+    /// The legacy link shape: the same bandwidth both ways, no RTT.
+    /// Latencies computed through a symmetric link are bit-for-bit the
+    /// scalar-bandwidth model's (`up + down == 2 * bytes / bps`).
+    #[must_use]
+    pub fn symmetric(bps: f64) -> Self {
+        Self {
+            up_bps: bps,
+            down_bps: bps,
+            rtt_sec: 0.0,
+        }
+    }
+}
+
 /// The paper's per-group CPU allocations (§3.3 and §5.1).
 pub mod profiles {
     /// §3.3 case study: 4, 2, 1, 1/3, 1/5 CPUs across 5 groups.

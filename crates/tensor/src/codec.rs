@@ -1,0 +1,210 @@
+//! Low-level update-compression kernels.
+//!
+//! The communication subsystem (`tifl_comm`) shrinks model updates
+//! before they cross the simulated wire. The numeric kernels live here,
+//! next to the other flat-slice primitives, so they can be benchmarked
+//! and tested against the same `f32` conventions as `ops`:
+//!
+//! * whole-slice affine int8 quantization ([`quantize_i8`] /
+//!   [`dequantize_i8_axpy`]) — 4x smaller, error bounded by one
+//!   quantization step per element;
+//! * magnitude top-k selection ([`top_k_by_magnitude`]) with
+//!   delta-encoded indices ([`axpy_sparse`]) — the classic sparsified
+//!   gradient/update format.
+//!
+//! All kernels are deterministic: ties in the top-k selection break
+//! toward the lower index, and every accumulation order is fixed.
+
+/// Minimum and maximum of a flat slice (`(0.0, 0.0)` when empty).
+#[must_use]
+pub fn minmax(xs: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if lo > hi {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Affine int8 quantization over one flat slice: returns
+/// `(min, scale, codes)`
+/// with `x ≈ min + scale * (code + 128)` and
+/// `scale = (max - min) / 255`.
+///
+/// A constant slice gets `scale = 0` and decodes exactly to `min`. The
+/// reconstruction error is at most `scale` per element (round-to-nearest
+/// guarantees `scale / 2`; the bound tested downstream is the full
+/// step).
+#[must_use]
+pub fn quantize_i8(xs: &[f32]) -> (f32, f32, Vec<i8>) {
+    let (lo, hi) = minmax(xs);
+    let range = hi - lo;
+    if range <= 0.0 {
+        return (lo, 0.0, vec![-128; xs.len()]);
+    }
+    let scale = range / 255.0;
+    let codes = xs
+        .iter()
+        .map(|&x| {
+            let q = ((x - lo) / scale).round();
+            let q = q.clamp(0.0, 255.0) as i16;
+            (q - 128) as i8
+        })
+        .collect();
+    (lo, scale, codes)
+}
+
+/// `out[i] += alpha * (min + scale * (codes[i] + 128))`: fold a
+/// quantized tensor into an accumulator without materialising the
+/// dequantized vector.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn dequantize_i8_axpy(alpha: f32, min: f32, scale: f32, codes: &[i8], out: &mut [f32]) {
+    assert_eq!(codes.len(), out.len(), "dequantize_i8_axpy length mismatch");
+    for (o, &q) in out.iter_mut().zip(codes) {
+        *o += alpha * (min + scale * (f32::from(q) + 128.0));
+    }
+}
+
+/// Indices and values of the `k` largest-magnitude elements of `xs`,
+/// returned in ascending index order. Ties in magnitude break toward
+/// the lower index, so the selection is deterministic.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds `xs.len()`.
+#[must_use]
+pub fn top_k_by_magnitude(xs: &[f32], k: usize) -> Vec<(u32, f32)> {
+    assert!(k > 0 && k <= xs.len(), "top-k of {k} from {}", xs.len());
+    let mut order: Vec<u32> = (0..xs.len() as u32).collect();
+    // (magnitude desc, index asc) is a total order (NaNs sort last via
+    // total_cmp on the absolute value), so an O(n) partition around the
+    // k-th element selects exactly the winners a full sort would.
+    let cmp = |&a: &u32, &b: &u32| {
+        let ma = xs[a as usize].abs();
+        let mb = xs[b as usize].abs();
+        mb.total_cmp(&ma).then_with(|| a.cmp(&b))
+    };
+    if k < order.len() {
+        order.select_nth_unstable_by(k - 1, cmp);
+    }
+    let mut picked = order[..k].to_vec();
+    picked.sort_unstable();
+    picked.into_iter().map(|i| (i, xs[i as usize])).collect()
+}
+
+/// `out[idx] += alpha * value` over a delta-encoded sparse vector:
+/// `idx_delta[0]` is the first absolute index, every later entry the
+/// gap to its predecessor.
+///
+/// # Panics
+/// Panics if the arrays differ in length or an index lands out of
+/// bounds.
+pub fn axpy_sparse(alpha: f32, idx_delta: &[u32], values: &[f32], out: &mut [f32]) {
+    assert_eq!(idx_delta.len(), values.len(), "axpy_sparse length mismatch");
+    let mut idx = 0usize;
+    for (pos, (&d, &v)) in idx_delta.iter().zip(values).enumerate() {
+        idx = if pos == 0 {
+            d as usize
+        } else {
+            idx + d as usize
+        };
+        out[idx] += alpha * v;
+    }
+}
+
+/// Delta-encode ascending absolute indices (inverse of the walk in
+/// [`axpy_sparse`]).
+///
+/// # Panics
+/// Panics if the indices are not strictly ascending.
+#[must_use]
+pub fn delta_encode_indices(indices: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(indices.len());
+    let mut prev = 0u32;
+    for (pos, &i) in indices.iter().enumerate() {
+        if pos == 0 {
+            out.push(i);
+        } else {
+            assert!(i > prev, "indices must be strictly ascending");
+            out.push(i - prev);
+        }
+        prev = i;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_finds_extremes() {
+        assert_eq!(minmax(&[3.0, -1.0, 2.0]), (-1.0, 3.0));
+        assert_eq!(minmax(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn quantize_error_is_within_one_step() {
+        let xs: Vec<f32> = (0..1000).map(|i| ((i * 37) as f32).sin() * 4.2).collect();
+        let (min, scale, codes) = quantize_i8(&xs);
+        let mut out = vec![0.0f32; xs.len()];
+        dequantize_i8_axpy(1.0, min, scale, &codes, &mut out);
+        for (x, x_hat) in xs.iter().zip(&out) {
+            assert!(
+                (x - x_hat).abs() <= scale,
+                "error {} exceeds step {scale}",
+                (x - x_hat).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_constant_slice_is_exact() {
+        let xs = vec![2.5f32; 17];
+        let (min, scale, codes) = quantize_i8(&xs);
+        assert_eq!(scale, 0.0);
+        let mut out = vec![0.0f32; 17];
+        dequantize_i8_axpy(1.0, min, scale, &codes, &mut out);
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn top_k_picks_largest_magnitudes_in_index_order() {
+        let xs = [0.1, -5.0, 0.0, 3.0, -0.2];
+        let picked = top_k_by_magnitude(&xs, 2);
+        assert_eq!(picked, vec![(1, -5.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn top_k_ties_break_toward_lower_index() {
+        let xs = [1.0, -1.0, 1.0];
+        let picked = top_k_by_magnitude(&xs, 2);
+        assert_eq!(picked, vec![(0, 1.0), (1, -1.0)]);
+    }
+
+    #[test]
+    fn sparse_round_trip_via_delta_indices() {
+        let indices = vec![2u32, 5, 6, 40];
+        let values = vec![1.0f32, -2.0, 3.0, 0.5];
+        let deltas = delta_encode_indices(&indices);
+        assert_eq!(deltas, vec![2, 3, 1, 34]);
+        let mut out = vec![0.0f32; 41];
+        axpy_sparse(2.0, &deltas, &values, &mut out);
+        for (i, &v) in indices.iter().zip(&values) {
+            assert_eq!(out[*i as usize], 2.0 * v);
+        }
+        assert_eq!(out.iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn delta_encode_rejects_unsorted() {
+        let _ = delta_encode_indices(&[3, 2]);
+    }
+}

@@ -9,6 +9,7 @@
 //! Everything is deterministic given a seed: there is no global RNG and
 //! no use of system entropy anywhere in the workspace.
 
+pub mod codec;
 pub mod init;
 pub mod matrix;
 pub mod ops;

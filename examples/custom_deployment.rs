@@ -68,6 +68,7 @@ fn main() {
         eval_every: 5,
         tmax_sec: 60.0,
         aggregation: AggregationMode::WaitAll,
+        comm: None,
         seed,
     };
     let mut session = Session::new(fed, cluster, session_cfg);

@@ -55,6 +55,11 @@ fn print_report(report: &TrainingReport) {
         report.final_accuracy(),
         report.best_accuracy()
     );
+    println!(
+        "wire: {:.2} MB up, {:.2} MB down",
+        report.total_bytes_up() as f64 / 1e6,
+        report.total_bytes_down() as f64 / 1e6
+    );
     for (r, a) in report.accuracy_over_rounds().iter().step_by(10) {
         println!("round {r:>6}: {a:.3}");
     }

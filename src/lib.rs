@@ -10,6 +10,9 @@
 //! * [`data`] — synthetic federated datasets and non-IID partitioners;
 //! * [`sim`] — the discrete-event testbed simulator (virtual clock,
 //!   CPU-share resource model, latency model);
+//! * [`comm`] — the communication subsystem: per-client link models,
+//!   transfer-cost accounting and update codecs (int8 quantization,
+//!   top-k sparsification);
 //! * [`fl`] — the FL substrate: clients, FedAvg aggregator, round engine;
 //! * [`core`] — the paper's contribution: profiler, tiering, static and
 //!   adaptive tier schedulers, training-time estimator, privacy
@@ -47,6 +50,7 @@
 //! println!("{}: {:.3}", report.policy, report.final_accuracy());
 //! ```
 
+pub use tifl_comm as comm;
 pub use tifl_core as core;
 pub use tifl_data as data;
 pub use tifl_fl as fl;
@@ -57,6 +61,7 @@ pub use tifl_tensor as tensor;
 
 /// Convenience re-exports for examples and quick experiments.
 pub mod prelude {
+    pub use tifl_comm::{CodecSpec, CommSpec, EncodedUpdate, HierarchySpec, LinkModel};
     pub use tifl_core::baselines::DeadlineSelector;
     pub use tifl_core::exec::{ClientExecutor, EventEngine, ExecBackend, OrderedMerge};
     pub use tifl_core::experiment::{DataScenario, ExperimentConfig};
@@ -70,7 +75,7 @@ pub mod prelude {
     pub use tifl_data::synth::{Generator, SynthFamily, SynthSpec};
     pub use tifl_data::{Dataset, FederatedDataset};
     pub use tifl_fl::aggregator::{ClientUpdate, StreamingFold};
-    pub use tifl_fl::checkpoint::Checkpoint;
+    pub use tifl_fl::checkpoint::{Checkpoint, SelectorState};
     pub use tifl_fl::client::{ClientConfig, DpNoiseConfig};
     pub use tifl_fl::hierarchy::AggregationTree;
     pub use tifl_fl::report::{RoundReport, TrainingReport};
@@ -84,4 +89,5 @@ pub mod prelude {
     pub use tifl_sim::cluster::{Cluster, ClusterConfig};
     pub use tifl_sim::drift::DriftModel;
     pub use tifl_sim::latency::{LatencyModel, LatencyModelConfig};
+    pub use tifl_sim::resource::LinkQuality;
 }

@@ -374,6 +374,7 @@ fn json_spec_round_trips_and_drives_a_run() {
         reprofile_every: None,
         label: None,
         backend: ExecBackend::default(),
+        comm: None,
     };
     let json = serde_json::to_string_pretty(&spec).expect("spec serialises");
     let back: RunSpec = serde_json::from_str(&json).expect("spec parses");
