@@ -13,21 +13,22 @@ use tifl_bench::{
 };
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
-use tifl_core::runner::Experiment;
+use tifl_sweep::SweepBuilder;
 
 fn run_column(cfg: &ExperimentConfig) -> Vec<PolicyOutcome> {
-    // One runner per configuration: profiling/tiering happens once and
-    // is shared by every policy curve.
-    let mut runner = cfg.runner();
-    let outcomes = Policy::cifar_set(cfg.tiering.num_tiers)
+    // One sweep manifest per configuration: the scheduler's shared
+    // profile cache plays the old per-runner cache's role — every
+    // policy curve reuses one profiling pass — and the curves run in
+    // parallel across the host's cores.
+    let sweep = SweepBuilder::new(cfg.clone())
+        .policies(&Policy::cifar_set(cfg.tiering.num_tiers))
+        .run();
+    assert!(sweep.profiles_computed <= 1, "profiled more than once");
+    sweep
+        .into_reports()
         .iter()
-        .map(|p| {
-            eprintln!("[fig3] {} / {} ...", cfg.name, p.name);
-            PolicyOutcome::from(&runner.policy(p).run())
-        })
-        .collect();
-    assert!(runner.profile_count() <= 1, "profiled more than once");
-    outcomes
+        .map(PolicyOutcome::from)
+        .collect()
 }
 
 fn main() {

@@ -7,19 +7,22 @@ use tifl_bench::{
 };
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::policy::Policy;
-use tifl_core::runner::Experiment;
 use tifl_data::synth::SynthFamily;
+use tifl_sweep::SweepBuilder;
 
 fn run_column(family: SynthFamily, seed: u64, rounds: u64) -> Vec<PolicyOutcome> {
-    let mut cfg = ExperimentConfig::mnist_like_combined(family, seed);
-    cfg.rounds = rounds;
-    let mut runner = cfg.runner();
-    Policy::mnist_set(cfg.tiering.num_tiers)
+    // The policy family rides one sweep manifest (shared profiling
+    // pass, parallel curves) instead of a hand-rolled runner loop.
+    let cfg = ExperimentConfig::mnist_like_combined(family, seed);
+    let sweep = SweepBuilder::new(cfg.clone())
+        .rounds(rounds)
+        .policies(&Policy::mnist_set(cfg.tiering.num_tiers))
+        .run();
+    assert!(sweep.profiles_computed <= 1, "profiled more than once");
+    sweep
+        .into_reports()
         .iter()
-        .map(|p| {
-            eprintln!("[fig5] {} / {} ...", cfg.name, p.name);
-            PolicyOutcome::from(&runner.policy(p).run())
-        })
+        .map(PolicyOutcome::from)
         .collect()
 }
 

@@ -1,0 +1,147 @@
+//! Sweep throughput: whole-run scheduling rate of `tifl_sweep` at 1
+//! worker vs N workers — what multiplexing runs over a pool buys.
+//!
+//! ```sh
+//! cargo run --release -p tifl-bench --bin sweep_throughput
+//! cargo run --release -p tifl-bench --bin sweep_throughput -- \
+//!     --runs 12 --rounds 6 --workers 4 --out BENCH_sweep_throughput.json
+//! ```
+//!
+//! The manifest is a seed × policy matrix over a shrunken §5.1
+//! resource-heterogeneity topology; every cell is an independent full
+//! run (profile → tier → select → train), so the scheduler's speedup
+//! is pure run-level parallelism plus the shared profile cache (each
+//! seed's topology profiles once per sweep, not once per policy). The
+//! artifact records `host_parallelism` like the other BENCH files — on
+//! a 1-core host the worker pool cannot beat serial and the ratio pins
+//! near 1.0.
+//!
+//! Before timing anything the harness asserts the workers=1 and
+//! workers=N reports are bit-for-bit identical.
+
+use serde::{Deserialize, Serialize};
+use tifl_core::experiment::{DataScenario, ExperimentConfig};
+use tifl_core::policy::Policy;
+use tifl_nn::models::ModelSpec;
+use tifl_sweep::store::host_parallelism;
+use tifl_sweep::{SweepBuilder, SweepManifest, SweepReport};
+
+/// One measured worker-count cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Cell {
+    workers: usize,
+    runs: usize,
+    wall_clock_sec: f64,
+    runs_per_sec: f64,
+    profiles_computed: usize,
+}
+
+/// The checked-in artifact.
+#[derive(Debug, Serialize, Deserialize)]
+struct Throughput {
+    host_parallelism: usize,
+    rounds: u64,
+    runs: usize,
+    cells: Vec<Cell>,
+    /// `wall(1 worker) / wall(N workers)` — bounded by the host's
+    /// cores since every run is CPU-bound training.
+    speedup: f64,
+}
+
+fn manifest(runs: usize, rounds: u64) -> SweepManifest {
+    // A shrunken resource-het topology (as in tests/exec_backend.rs):
+    // real 5-group CPU profile, small data and model so a cell is
+    // milliseconds, not minutes.
+    let mut cfg = ExperimentConfig::cifar10_resource_het(7);
+    cfg.name = "sweep-throughput".into();
+    cfg.num_clients = 10;
+    cfg.clients_per_round = 2;
+    cfg.data = DataScenario::Iid { per_client: 50 };
+    cfg.model = ModelSpec::Mlp {
+        input: 64,
+        hidden: 32,
+        classes: 10,
+    };
+    cfg.eval_every = 2;
+    let policies = [Policy::vanilla(), Policy::uniform(5), Policy::fast(5)];
+    let seeds = (runs / policies.len()).max(1) as u64;
+    let mut builder = SweepBuilder::new(cfg);
+    builder
+        .named("throughput")
+        .rounds(rounds)
+        .seeds(0..seeds)
+        .policies(&policies);
+    builder.manifest().clone()
+}
+
+fn measure(manifest: &SweepManifest, workers: usize) -> (Cell, SweepReport) {
+    let mut builder = SweepBuilder::from_manifest(manifest.clone());
+    let report = builder.workers(workers).run();
+    assert_eq!(report.failed(), 0, "throughput runs must not fail");
+    let runs = report.outcomes.len();
+    let cell = Cell {
+        workers: report.workers,
+        runs,
+        wall_clock_sec: report.wall_clock_sec,
+        runs_per_sec: runs as f64 / report.wall_clock_sec,
+        profiles_computed: report.profiles_computed,
+    };
+    (cell, report)
+}
+
+fn main() {
+    let mut runs = 12usize;
+    let mut rounds = 6u64;
+    let mut workers = 4usize;
+    let mut out = "BENCH_sweep_throughput.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = || args.next().expect("flag needs a value");
+        match a.as_str() {
+            "--runs" => runs = next().parse().expect("--runs must be an integer"),
+            "--rounds" => rounds = next().parse().expect("--rounds must be an integer"),
+            "--workers" => workers = next().parse().expect("--workers must be an integer"),
+            "--out" => out = next(),
+            other => {
+                panic!("unknown argument `{other}` (expected --runs/--rounds/--workers/--out)")
+            }
+        }
+    }
+
+    let manifest = manifest(runs, rounds);
+    let total = manifest.expand().len();
+    let host = host_parallelism();
+    eprintln!("[sweep_throughput] {total} runs x {rounds} rounds on a {host}-core host");
+
+    let (serial, serial_report) = measure(&manifest, 1);
+    let (pooled, pooled_report) = measure(&manifest, workers);
+    assert_eq!(
+        serial_report.into_reports(),
+        pooled_report.into_reports(),
+        "worker count changed sweep results"
+    );
+
+    println!(
+        "{:>8} {:>6} {:>12} {:>10} {:>9}",
+        "workers", "runs", "wall [s]", "runs/s", "profiles"
+    );
+    for cell in [&serial, &pooled] {
+        println!(
+            "{:>8} {:>6} {:>12.3} {:>10.2} {:>9}",
+            cell.workers, cell.runs, cell.wall_clock_sec, cell.runs_per_sec, cell.profiles_computed
+        );
+    }
+    let speedup = serial.wall_clock_sec / pooled.wall_clock_sec;
+    println!("speedup {speedup:.2}x at {workers} workers (host parallelism {host})");
+
+    let artifact = Throughput {
+        host_parallelism: host,
+        rounds,
+        runs: total,
+        cells: vec![serial, pooled],
+        speedup,
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("serialises");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("[sweep_throughput] wrote {out}");
+}

@@ -39,6 +39,7 @@ use crate::profiler::{ProfileResult, Profiler, ProfilerConfig};
 use crate::scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
 use crate::tiering::{TierAssignment, TieringConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use tifl_comm::{CodecSpec, CommSpec, HierarchySpec, LinkModel};
 use tifl_fl::selector::{ClientSelector, RandomSelector};
 use tifl_fl::session::{AggregationMode, Session, SessionOverrides};
@@ -147,7 +148,22 @@ pub struct RunSpec {
     pub comm: Option<CommSpec>,
 }
 
+/// A profiling outcome shareable across runners and threads — the
+/// currency of cross-run profile caches (e.g. the sweep scheduler's):
+/// one measurement, many concurrent consumers.
+pub type SharedProfile = Arc<(TierAssignment, ProfileResult)>;
+
 impl RunSpec {
+    /// The axis the profiling outcome depends on: profiled latencies
+    /// see the communication model (links and encoded upload sizes) and
+    /// *nothing else* in the spec. This is exactly the [`Runner`]'s
+    /// profile-cache key; cross-run caches key on
+    /// (experiment, `profile_axis()`) the same way.
+    #[must_use]
+    pub fn profile_axis(&self) -> Option<CommSpec> {
+        self.comm
+    }
+
     /// The session-level overrides this spec implies.
     #[must_use]
     pub fn session_overrides(&self) -> SessionOverrides {
@@ -289,8 +305,10 @@ pub struct Runner<'a, E: Experiment + ?Sized> {
     spec: RunSpec,
     /// Cached profiling outcome, keyed by the comm axis it was measured
     /// under (profiled latencies depend on links and encoded upload
-    /// sizes, and on nothing else in the spec).
-    profile: Option<(Option<CommSpec>, (TierAssignment, ProfileResult))>,
+    /// sizes, and on nothing else in the spec — see
+    /// [`RunSpec::profile_axis`]). Shared so a cross-run cache can hand
+    /// the same measurement to many runners at once.
+    profile: Option<(Option<CommSpec>, SharedProfile)>,
     profile_runs: usize,
 }
 
@@ -311,6 +329,24 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
             profile: None,
             profile_runs: 0,
         }
+    }
+
+    /// Bind a runner to `exp` with `spec` and a profiling outcome that
+    /// was already measured elsewhere (keyed by the spec's
+    /// [`RunSpec::profile_axis`]). The runner will not re-profile
+    /// unless its comm axis is later changed — the seam a cross-run
+    /// scheduler uses to profile each topology once per sweep instead
+    /// of once per run.
+    ///
+    /// The installed profile must be the outcome of
+    /// [`Experiment::profile_and_tier_with`] under this spec's comm
+    /// overrides, or run results will differ from an unshared runner.
+    #[must_use]
+    pub fn with_shared_profile(exp: &'a E, spec: RunSpec, profile: SharedProfile) -> Self {
+        let comm = spec.profile_axis();
+        let mut runner = Self::with_spec(exp, spec);
+        runner.install_profile(comm, profile);
+        runner
     }
 
     /// The current run specification.
@@ -487,17 +523,42 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
     /// model re-profiles (the latencies genuinely change); everything
     /// else reuses the measurement.
     pub fn profile(&mut self) -> &(TierAssignment, ProfileResult) {
-        let comm = self.spec.comm;
+        self.ensure_profile();
+        self.profile
+            .as_ref()
+            .expect("profile cached above")
+            .1
+            .as_ref()
+    }
+
+    /// As [`Runner::profile`] but returns a [`SharedProfile`] handle,
+    /// so the measurement can be installed into other runners
+    /// ([`Runner::install_profile`]) or parked in a cross-run cache.
+    pub fn shared_profile(&mut self) -> SharedProfile {
+        self.ensure_profile();
+        Arc::clone(&self.profile.as_ref().expect("profile cached above").1)
+    }
+
+    /// Install an externally measured profiling outcome, keyed by the
+    /// comm axis it was measured under. Does not count as a profiler
+    /// run ([`Runner::profile_count`]); a later comm-axis change still
+    /// invalidates it.
+    pub fn install_profile(&mut self, comm: Option<CommSpec>, profile: SharedProfile) -> &mut Self {
+        self.profile = Some((comm, profile));
+        self
+    }
+
+    fn ensure_profile(&mut self) {
+        let comm = self.spec.profile_axis();
         let stale = self.profile.as_ref().is_some_and(|(c, _)| *c != comm);
         if self.profile.is_none() || stale {
             let overrides = SessionOverrides {
                 comm,
                 ..SessionOverrides::default()
             };
-            self.profile = Some((comm, self.exp.profile_and_tier_with(&overrides)));
+            self.profile = Some((comm, Arc::new(self.exp.profile_and_tier_with(&overrides))));
             self.profile_runs += 1;
         }
-        &self.profile.as_ref().expect("profile cached above").1
     }
 
     /// The cached tier assignment (profiles on first use).
@@ -842,6 +903,42 @@ mod tests {
         let _ = runner.adaptive(None).run();
         let _ = runner.estimate(&Policy::uniform(5));
         assert_eq!(runner.profile_count(), 1, "profile cache must be reused");
+    }
+
+    #[test]
+    fn shared_profile_seam_skips_reprofiling_and_matches() {
+        let cfg = tiny();
+        let spec = RunSpec {
+            selection: SelectionStrategy::TierPolicy {
+                policy: Policy::uniform(5),
+            },
+            ..RunSpec::default()
+        };
+        let mut owner = Runner::with_spec(&cfg, spec.clone());
+        let baseline = owner.run();
+        let profile = owner.shared_profile();
+        assert_eq!(owner.profile_count(), 1);
+
+        let mut borrower = Runner::with_shared_profile(&cfg, spec, profile);
+        let report = borrower.run();
+        assert_eq!(report, baseline, "shared profile must not change results");
+        assert_eq!(
+            borrower.profile_count(),
+            0,
+            "installed profiles never count as profiler runs"
+        );
+        // Changing the comm axis invalidates the installed measurement.
+        borrower.quantized_i8();
+        let _ = borrower.profile();
+        assert_eq!(borrower.profile_count(), 1);
+    }
+
+    #[test]
+    fn profile_axis_is_the_comm_axis() {
+        let mut spec = RunSpec::default();
+        assert_eq!(spec.profile_axis(), None);
+        spec.comm = Some(CommSpec::default());
+        assert_eq!(spec.profile_axis(), Some(CommSpec::default()));
     }
 
     #[test]

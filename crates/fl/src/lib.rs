@@ -28,6 +28,6 @@ pub mod timeline;
 pub use aggregator::{aggregate_fedavg, ClientUpdate, StreamingFold};
 pub use checkpoint::{Checkpoint, SelectorState};
 pub use client::{ClientConfig, OptimizerSpec};
-pub use report::{RoundReport, TrainingReport};
+pub use report::{ReportSummary, RoundReport, TrainingReport};
 pub use selector::{ClientSelector, RandomSelector};
 pub use session::{RoundPlan, Session, SessionConfig};

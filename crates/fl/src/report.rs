@@ -42,7 +42,41 @@ pub struct TrainingReport {
     pub rounds: Vec<RoundReport>,
 }
 
+/// A compact, serializable digest of one run — what sweep summaries
+/// and CLI listings record without shipping the full per-round series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportSummary {
+    /// Policy label of the run.
+    pub policy: String,
+    /// Number of completed rounds.
+    pub rounds: u64,
+    /// Total virtual training time in seconds (0 for an empty run).
+    pub total_time: f64,
+    /// Last measured global accuracy.
+    pub final_accuracy: f64,
+    /// Best measured global accuracy.
+    pub best_accuracy: f64,
+    /// Total bytes shipped clients → server.
+    pub bytes_up: u64,
+    /// Total bytes shipped server → clients.
+    pub bytes_down: u64,
+}
+
 impl TrainingReport {
+    /// The run's [`ReportSummary`] (total time is 0 for an empty run,
+    /// unlike the panicking [`TrainingReport::total_time`]).
+    #[must_use]
+    pub fn summary(&self) -> ReportSummary {
+        ReportSummary {
+            policy: self.policy.clone(),
+            rounds: self.rounds.len() as u64,
+            total_time: self.rounds.last().map_or(0.0, |r| r.time),
+            final_accuracy: self.final_accuracy(),
+            best_accuracy: self.best_accuracy(),
+            bytes_up: self.total_bytes_up(),
+            bytes_down: self.total_bytes_down(),
+        }
+    }
     /// Total virtual training time (end of last round), in seconds.
     ///
     /// # Panics
@@ -222,6 +256,25 @@ mod tests {
         assert_eq!(r.final_accuracy(), 0.7);
         assert_eq!(r.best_accuracy(), 0.7);
         assert!((r.mean_round_latency() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_digests_the_run() {
+        let r = report();
+        let s = r.summary();
+        assert_eq!(s.policy, "test");
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.total_time, 30.0);
+        assert_eq!(s.final_accuracy, 0.7);
+        assert_eq!(s.bytes_up, 250);
+        assert_eq!(s.bytes_down, 600);
+        // Empty runs digest without panicking.
+        let empty = TrainingReport {
+            policy: "empty".into(),
+            rounds: Vec::new(),
+        };
+        assert_eq!(empty.summary().total_time, 0.0);
+        assert_eq!(empty.summary().rounds, 0);
     }
 
     #[test]

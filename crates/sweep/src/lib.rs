@@ -1,0 +1,243 @@
+//! Sweep orchestration: fleets of runs, declared once, executed in
+//! parallel, persisted and resumable.
+//!
+//! The paper's entire evaluation (§5) is a *matrix* of runs — selection
+//! policy × aggregation mode × local objective × communication model ×
+//! scale × seed. This crate turns that matrix into a first-class
+//! object:
+//!
+//! * [`manifest`] — a serde-serializable [`SweepManifest`] declares one
+//!   value list per axis and expands deterministically into keyed
+//!   [`RunRequest`](tifl_core::runner::RunRequest)s (a [`RunKey`] is a
+//!   stable content hash of the fully resolved request);
+//! * [`scheduler`] — a [`SweepScheduler`] multiplexes whole runs over a
+//!   `std::thread` worker pool with per-run panic isolation and a
+//!   shared, mutex-guarded profile/tier cache keyed by
+//!   (experiment × comm axis), so a 60-run sweep profiles each topology
+//!   once instead of 60 times. Results are bit-for-bit identical to a
+//!   serial loop for any worker count;
+//! * [`store`] — a [`RunStore`] persists every completed run as a
+//!   deterministic JSON artifact named by its key; a re-invoked sweep
+//!   **resumes** by validating and skipping keys whose artifacts
+//!   already exist.
+//!
+//! The fluent entry point is [`SweepBuilder`]:
+//!
+//! ```no_run
+//! use tifl_core::experiment::ExperimentConfig;
+//! use tifl_core::policy::Policy;
+//! use tifl_sweep::SweepBuilder;
+//!
+//! let cfg = ExperimentConfig::cifar10_resource_het(42);
+//! let sweep = SweepBuilder::new(cfg)
+//!     .policies(&Policy::cifar_set(5))
+//!     .seeds([42, 43, 44])
+//!     .workers(4)
+//!     .out("sweep-artifacts")
+//!     .resume(true)
+//!     .run();
+//! for report in sweep.reports() {
+//!     println!("{}: {:.3}", report.policy, report.final_accuracy());
+//! }
+//! ```
+
+pub mod manifest;
+pub mod scheduler;
+pub mod store;
+
+pub use manifest::{KeyedRun, RunKey, SweepAxes, SweepManifest};
+pub use scheduler::{ProfileCache, RunOutcome, SweepReport, SweepScheduler};
+pub use store::{RunArtifact, RunStore, SweepSummary};
+
+use std::path::PathBuf;
+use tifl_comm::{CodecSpec, LinkModel};
+use tifl_core::exec::ExecBackend;
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::policy::Policy;
+use tifl_core::runner::{LocalTraining, SelectionStrategy};
+use tifl_fl::session::AggregationMode;
+
+/// Fluent construction and execution of a sweep — the multi-run
+/// counterpart of `cfg.runner()`.
+///
+/// Builder methods mutate the pending manifest and return `&mut Self`;
+/// [`SweepBuilder::run`] expands and executes it.
+pub struct SweepBuilder {
+    manifest: SweepManifest,
+    workers: usize,
+    out: Option<PathBuf>,
+    resume: bool,
+}
+
+impl SweepBuilder {
+    /// A sweep over `experiment` with no axes yet (a single cell).
+    #[must_use]
+    pub fn new(experiment: ExperimentConfig) -> Self {
+        Self {
+            manifest: SweepManifest::new(experiment),
+            workers: 0,
+            out: None,
+            resume: false,
+        }
+    }
+
+    /// Start from an existing manifest (e.g. one parsed from JSON).
+    #[must_use]
+    pub fn from_manifest(manifest: SweepManifest) -> Self {
+        Self {
+            manifest,
+            workers: 0,
+            out: None,
+            resume: false,
+        }
+    }
+
+    /// Name the sweep (recorded in the store summary).
+    pub fn named(&mut self, name: impl Into<String>) -> &mut Self {
+        self.manifest.name = Some(name.into());
+        self
+    }
+
+    /// Override the round count for every cell.
+    pub fn rounds(&mut self, rounds: u64) -> &mut Self {
+        self.manifest.rounds = Some(rounds);
+        self
+    }
+
+    /// Sweep the pool size `|K|`.
+    pub fn clients(&mut self, clients: impl IntoIterator<Item = usize>) -> &mut Self {
+        self.manifest.axes.clients = clients.into_iter().collect();
+        self
+    }
+
+    /// Sweep the root seed.
+    pub fn seeds(&mut self, seeds: impl IntoIterator<Item = u64>) -> &mut Self {
+        self.manifest.axes.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sweep selection strategies.
+    pub fn selections(
+        &mut self,
+        selections: impl IntoIterator<Item = SelectionStrategy>,
+    ) -> &mut Self {
+        self.manifest.axes.selection = selections.into_iter().collect();
+        self
+    }
+
+    /// Sweep a family of static tier policies (the figure binaries'
+    /// idiom: one curve per Table 1 policy; a vanilla policy degrades
+    /// to vanilla selection exactly like `Runner::policy`).
+    pub fn policies(&mut self, policies: &[Policy]) -> &mut Self {
+        self.selections(
+            policies
+                .iter()
+                .map(|p| SelectionStrategy::TierPolicy { policy: p.clone() }),
+        )
+    }
+
+    /// Sweep aggregation modes (`None` inherits the experiment's).
+    pub fn aggregations(
+        &mut self,
+        modes: impl IntoIterator<Item = Option<AggregationMode>>,
+    ) -> &mut Self {
+        self.manifest.axes.aggregation = modes.into_iter().collect();
+        self
+    }
+
+    /// Sweep local-training variants.
+    pub fn locals(&mut self, locals: impl IntoIterator<Item = LocalTraining>) -> &mut Self {
+        self.manifest.axes.local = locals.into_iter().collect();
+        self
+    }
+
+    /// Sweep update codecs.
+    pub fn codecs(&mut self, codecs: impl IntoIterator<Item = CodecSpec>) -> &mut Self {
+        self.manifest.axes.codec = codecs.into_iter().collect();
+        self
+    }
+
+    /// Sweep link models.
+    pub fn links(&mut self, links: impl IntoIterator<Item = LinkModel>) -> &mut Self {
+        self.manifest.axes.link = links.into_iter().collect();
+        self
+    }
+
+    /// Sweep execution backends (result-invariant).
+    pub fn backends(&mut self, backends: impl IntoIterator<Item = ExecBackend>) -> &mut Self {
+        self.manifest.axes.backend = backends.into_iter().collect();
+        self
+    }
+
+    /// Worker threads (0 = one per logical core, the default).
+    pub fn workers(&mut self, workers: usize) -> &mut Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Persist artifacts under `dir`.
+    pub fn out(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
+        self.out = Some(dir.into());
+        self
+    }
+
+    /// Skip runs whose valid artifacts already exist in the store.
+    pub fn resume(&mut self, resume: bool) -> &mut Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The manifest built so far.
+    #[must_use]
+    pub fn manifest(&self) -> &SweepManifest {
+        &self.manifest
+    }
+
+    /// Expand and execute.
+    ///
+    /// # Panics
+    /// Panics if the artifact directory cannot be created (a sweep that
+    /// silently drops its persistence would un-resume itself).
+    pub fn run(&self) -> SweepReport {
+        let store = self.out.as_ref().map(|dir| {
+            RunStore::open(dir)
+                .unwrap_or_else(|e| panic!("opening run store {}: {e}", dir.display()))
+        });
+        SweepScheduler::new(self.workers).run(&self.manifest, store.as_ref(), self.resume)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_the_manifest() {
+        let mut builder = SweepBuilder::new(ExperimentConfig::tiny(60));
+        builder
+            .named("demo")
+            .rounds(6)
+            .seeds([1, 2])
+            .policies(&[Policy::vanilla(), Policy::uniform(5)])
+            .backends([
+                ExecBackend::Lockstep,
+                ExecBackend::EventDriven { threads: 2 },
+            ])
+            .workers(2);
+        let manifest = builder.manifest();
+        assert_eq!(manifest.name.as_deref(), Some("demo"));
+        assert_eq!(manifest.rounds, Some(6));
+        assert_eq!(manifest.axes.cells(), 8);
+        assert_eq!(manifest.expand().len(), 8);
+    }
+
+    #[test]
+    fn builder_runs_a_single_cell() {
+        let mut builder = SweepBuilder::new(ExperimentConfig::tiny(62));
+        let sweep = builder.rounds(3).workers(1).run();
+        assert_eq!(sweep.completed(), 1);
+        let reports = sweep.into_reports();
+        assert_eq!(reports[0].rounds.len(), 3);
+        assert_eq!(reports[0].policy, "vanilla");
+    }
+}

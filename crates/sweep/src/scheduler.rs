@@ -1,0 +1,584 @@
+//! The sweep scheduler: whole runs multiplexed over a worker pool,
+//! with per-run panic isolation and a shared profile cache.
+//!
+//! Every run is an independent pure function of its request, so the
+//! scheduler can hand runs to `std::thread` workers in any order and
+//! still produce results bit-for-bit identical to a serial loop — the
+//! worker count is an execution knob, never a result knob (pinned in
+//! `tests/sweep.rs`). The one piece of genuinely shared work, the
+//! profiling pass, goes through a [`ProfileCache`] keyed by
+//! (experiment × comm axis) — exactly the key `Runner`'s own per-config
+//! cache uses — so a sweep profiles each topology once, not once per
+//! run.
+
+use crate::manifest::{content_key, KeyedRun, RunKey, SweepManifest};
+use crate::store::{host_parallelism, RunArtifact, RunStore, RunSummaryLine, SweepSummary};
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tifl_comm::CommSpec;
+use tifl_core::experiment::ExperimentConfig;
+use tifl_core::runner::{Experiment, RunRequest, Runner, SharedProfile};
+use tifl_fl::session::SessionOverrides;
+use tifl_fl::TrainingReport;
+
+/// The cross-run profile-cache key: a content hash of the resolved
+/// experiment and the spec's comm axis — the same two inputs
+/// `Runner::profile` derives its measurement from, so equal keys imply
+/// interchangeable profiles.
+#[must_use]
+pub fn profile_key(experiment: &ExperimentConfig, comm: Option<CommSpec>) -> u128 {
+    let canon = serde_json::to_string(&(experiment, comm)).expect("experiment configs serialize");
+    content_key(&canon)
+}
+
+/// A mutex-guarded profile/tier cache shared by every worker of a
+/// sweep. Each key is computed exactly once: concurrent requesters of
+/// the same topology block on the key's slot until the first one
+/// finishes measuring.
+#[derive(Default)]
+pub struct ProfileCache {
+    slots: Mutex<HashMap<u128, Arc<Mutex<Option<SharedProfile>>>>>,
+    computed: AtomicUsize,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many profiling passes actually ran — the sharing observable
+    /// the tests and the sweep summary assert on.
+    #[must_use]
+    pub fn computed(&self) -> usize {
+        self.computed.load(Ordering::SeqCst)
+    }
+
+    /// The profile under `key`, computing it with `compute` on first
+    /// use. `compute` runs outside the global map lock (only the
+    /// per-key slot is held), so distinct topologies profile in
+    /// parallel while duplicate requests wait instead of re-measuring.
+    ///
+    /// A `compute` that panics leaves the slot empty, not wedged: the
+    /// panic unwinds to this run's isolation boundary with its real
+    /// message, and later requesters of the key recover the (poisoned
+    /// but still empty) slot and try the measurement themselves — so
+    /// every affected run reports the actual profiling error instead
+    /// of a lock-poisoning artifact.
+    pub fn get_or_compute(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> SharedProfile,
+    ) -> SharedProfile {
+        let slot = {
+            let mut slots = self
+                .slots
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut guard = slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(profile) = guard.as_ref() {
+            return Arc::clone(profile);
+        }
+        let profile = compute();
+        *guard = Some(Arc::clone(&profile));
+        self.computed.fetch_add(1, Ordering::SeqCst);
+        profile
+    }
+}
+
+/// What happened to one scheduled run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// Executed this sweep; artifact written (when a store is attached).
+    Completed {
+        /// The produced artifact.
+        artifact: RunArtifact,
+        /// Wall-clock seconds spent on the run.
+        wall_clock_sec: f64,
+    },
+    /// A valid artifact already existed — resume skipped the run and
+    /// loaded it instead.
+    Skipped {
+        /// The pre-existing artifact.
+        artifact: RunArtifact,
+    },
+    /// The run (or its artifact write) panicked/failed; the rest of the
+    /// sweep was unaffected.
+    Failed {
+        /// The run's key.
+        key: RunKey,
+        /// The run's display label.
+        label: String,
+        /// Panic or I/O message.
+        message: String,
+    },
+}
+
+impl RunOutcome {
+    /// The run's key.
+    #[must_use]
+    pub fn key(&self) -> RunKey {
+        match self {
+            RunOutcome::Completed { artifact, .. } | RunOutcome::Skipped { artifact } => {
+                artifact.key
+            }
+            RunOutcome::Failed { key, .. } => *key,
+        }
+    }
+
+    /// The run's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        match self {
+            RunOutcome::Completed { artifact, .. } | RunOutcome::Skipped { artifact } => {
+                &artifact.label
+            }
+            RunOutcome::Failed { label, .. } => label,
+        }
+    }
+
+    /// The training report, unless the run failed.
+    #[must_use]
+    pub fn report(&self) -> Option<&TrainingReport> {
+        match self {
+            RunOutcome::Completed { artifact, .. } | RunOutcome::Skipped { artifact } => {
+                Some(&artifact.report)
+            }
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True for [`RunOutcome::Failed`].
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self, RunOutcome::Failed { .. })
+    }
+
+    fn summary_line(&self) -> RunSummaryLine {
+        match self {
+            RunOutcome::Completed {
+                artifact,
+                wall_clock_sec,
+            } => RunSummaryLine {
+                key: artifact.key,
+                status: "completed".into(),
+                wall_clock_sec: *wall_clock_sec,
+                summary: Some(artifact.report.summary()),
+                error: None,
+            },
+            RunOutcome::Skipped { artifact } => RunSummaryLine {
+                key: artifact.key,
+                status: "skipped".into(),
+                wall_clock_sec: 0.0,
+                summary: Some(artifact.report.summary()),
+                error: None,
+            },
+            RunOutcome::Failed {
+                key,
+                label: _,
+                message,
+            } => RunSummaryLine {
+                key: *key,
+                status: "failed".into(),
+                wall_clock_sec: 0.0,
+                summary: None,
+                error: Some(message.clone()),
+            },
+        }
+    }
+}
+
+/// The result of one sweep execution: per-run outcomes in canonical
+/// manifest order plus sweep-level observables.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-run outcomes, in manifest order.
+    pub outcomes: Vec<RunOutcome>,
+    /// Worker threads the sweep ran on.
+    pub workers: usize,
+    /// Profiling passes actually executed (see [`ProfileCache`]).
+    pub profiles_computed: usize,
+    /// Total wall-clock seconds.
+    pub wall_clock_sec: f64,
+}
+
+impl SweepReport {
+    /// Runs executed this sweep.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, RunOutcome::Completed { .. }))
+            .count()
+    }
+
+    /// Runs satisfied from pre-existing artifacts.
+    #[must_use]
+    pub fn skipped(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, RunOutcome::Skipped { .. }))
+            .count()
+    }
+
+    /// Runs that failed.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_failed()).count()
+    }
+
+    /// `(key, label, message)` of every failed run.
+    #[must_use]
+    pub fn failures(&self) -> Vec<(RunKey, &str, &str)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                RunOutcome::Failed {
+                    key,
+                    label,
+                    message,
+                } => Some((*key, label.as_str(), message.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The reports of the non-failed runs, in manifest order.
+    #[must_use]
+    pub fn reports(&self) -> Vec<&TrainingReport> {
+        self.outcomes
+            .iter()
+            .filter_map(RunOutcome::report)
+            .collect()
+    }
+
+    /// All reports, in manifest order, consuming the sweep.
+    ///
+    /// # Panics
+    /// Panics if any run failed, naming every failure — the behaviour
+    /// the figure binaries want (a partially plotted figure is a bug).
+    #[must_use]
+    pub fn into_reports(self) -> Vec<TrainingReport> {
+        assert!(
+            self.failed() == 0,
+            "sweep had failures: {:?}",
+            self.failures()
+        );
+        self.outcomes
+            .into_iter()
+            .map(|o| match o {
+                RunOutcome::Completed { artifact, .. } | RunOutcome::Skipped { artifact } => {
+                    artifact.report
+                }
+                RunOutcome::Failed { .. } => unreachable!("asserted above"),
+            })
+            .collect()
+    }
+
+    /// The summary sidecar for this execution.
+    #[must_use]
+    pub fn summary(&self, name: Option<String>) -> SweepSummary {
+        SweepSummary {
+            name,
+            workers: self.workers,
+            host_parallelism: host_parallelism(),
+            profiles_computed: self.profiles_computed,
+            wall_clock_sec: self.wall_clock_sec,
+            runs: self.outcomes.iter().map(RunOutcome::summary_line).collect(),
+        }
+    }
+}
+
+/// Multiplexes whole runs over a pool of `std::thread` workers.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepScheduler {
+    workers: usize,
+}
+
+impl SweepScheduler {
+    /// A scheduler with `workers` threads (0 = one per logical core).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            host_parallelism()
+        } else {
+            workers
+        };
+        Self { workers }
+    }
+
+    /// The worker count in effect.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Expand `manifest` and execute it. With a store attached, every
+    /// completed run is persisted under its key and (when `resume` is
+    /// set) runs whose valid artifacts already exist are skipped; the
+    /// sweep summary sidecar is rewritten at the end.
+    pub fn run(
+        &self,
+        manifest: &SweepManifest,
+        store: Option<&RunStore>,
+        resume: bool,
+    ) -> SweepReport {
+        let runs = manifest.expand();
+        let report = self.execute(&runs, store, resume);
+        if let Some(store) = store {
+            if let Err(e) = store.write_summary(&report.summary(manifest.name.clone())) {
+                eprintln!("[sweep] warning: writing sweep summary failed: {e}");
+            }
+        }
+        report
+    }
+
+    /// Execute an explicit run list (the seam `run` and the tests
+    /// share). Outcomes come back in input order regardless of which
+    /// worker finished which run when.
+    pub fn execute(
+        &self,
+        runs: &[KeyedRun],
+        store: Option<&RunStore>,
+        resume: bool,
+    ) -> SweepReport {
+        let started = Instant::now();
+        let total = runs.len();
+        let cache = ProfileCache::new();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(total.max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= total {
+                        break;
+                    }
+                    let outcome = execute_one(&runs[i], &cache, store, resume);
+                    let tag = match &outcome {
+                        RunOutcome::Completed { wall_clock_sec, .. } => {
+                            format!("done in {wall_clock_sec:.1}s")
+                        }
+                        RunOutcome::Skipped { .. } => "skipped (artifact exists)".into(),
+                        RunOutcome::Failed { message, .. } => format!("FAILED: {message}"),
+                    };
+                    eprintln!(
+                        "[sweep] {}/{total} {} ({}): {tag}",
+                        i + 1,
+                        outcome.label(),
+                        runs[i].key,
+                    );
+                    *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
+                });
+            }
+        });
+
+        let outcomes = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("outcome slot poisoned")
+                    .expect("every slot filled before scope exit")
+            })
+            .collect();
+        SweepReport {
+            outcomes,
+            workers,
+            profiles_computed: cache.computed(),
+            wall_clock_sec: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+fn execute_one(
+    run: &KeyedRun,
+    cache: &ProfileCache,
+    store: Option<&RunStore>,
+    resume: bool,
+) -> RunOutcome {
+    if resume {
+        if let Some(artifact) = store.and_then(|s| s.load_valid(run.key, &run.request)) {
+            return RunOutcome::Skipped { artifact };
+        }
+    }
+    let label = run.request.spec.display_label();
+    let started = Instant::now();
+    match std::panic::catch_unwind(AssertUnwindSafe(|| run_one(&run.request, cache))) {
+        Ok(report) => {
+            let artifact = RunArtifact::new(run.key, run.request.clone(), report);
+            if let Some(store) = store {
+                if let Err(e) = store.write(&artifact) {
+                    return RunOutcome::Failed {
+                        key: run.key,
+                        label,
+                        message: format!("writing artifact: {e}"),
+                    };
+                }
+            }
+            RunOutcome::Completed {
+                artifact,
+                wall_clock_sec: started.elapsed().as_secs_f64(),
+            }
+        }
+        Err(payload) => RunOutcome::Failed {
+            key: run.key,
+            label,
+            message: panic_message(payload.as_ref()),
+        },
+    }
+}
+
+/// Execute one request, sourcing the profiling pass from the shared
+/// cache. Bit-for-bit equivalent to `request.run()`: the cache hands
+/// the runner exactly the measurement it would have taken itself
+/// (re-profiling runs measure per segment inside the run and bypass the
+/// cache, like an unshared runner).
+fn run_one(request: &RunRequest, cache: &ProfileCache) -> TrainingReport {
+    let experiment = request.experiment();
+    let spec = request.spec.clone();
+    let wants_shared = spec.selection.needs_profile() && spec.reprofile_every.is_none();
+    if !wants_shared {
+        return Runner::with_spec(&experiment, spec).run();
+    }
+    let comm = spec.profile_axis();
+    let profile = cache.get_or_compute(profile_key(&experiment, comm), || {
+        let overrides = SessionOverrides {
+            comm,
+            ..SessionOverrides::default()
+        };
+        Arc::new(experiment.profile_and_tier_with(&overrides))
+    });
+    Runner::with_shared_profile(&experiment, spec, profile).run()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "run panicked".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::SweepManifest;
+    use tifl_core::policy::Policy;
+    use tifl_core::runner::{RunSpec, SelectionStrategy};
+
+    fn tiny_manifest(policies: &[Policy]) -> SweepManifest {
+        let mut manifest = SweepManifest::new(ExperimentConfig::tiny(60));
+        manifest.axes.selection = policies
+            .iter()
+            .map(|p| SelectionStrategy::TierPolicy { policy: p.clone() })
+            .collect();
+        manifest
+    }
+
+    #[test]
+    fn profile_cache_computes_each_key_once() {
+        let cache = ProfileCache::new();
+        let exp = ExperimentConfig::tiny(60);
+        let mk = || Arc::new(exp.profile_and_tier());
+        let a = cache.get_or_compute(1, mk);
+        let b = cache.get_or_compute(1, || unreachable!("key 1 already cached"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let _ = cache.get_or_compute(2, mk);
+        assert_eq!(cache.computed(), 2);
+    }
+
+    #[test]
+    fn profile_cache_survives_a_panicking_compute() {
+        // A compute that panics (a degenerate topology) must not wedge
+        // the key's slot: the next requester recovers it and takes the
+        // measurement itself, so each run surfaces the real error.
+        let cache = ProfileCache::new();
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            cache.get_or_compute(1, || panic!("profiling exploded"));
+        }));
+        assert!(attempt.is_err());
+        assert_eq!(cache.computed(), 0);
+        let exp = ExperimentConfig::tiny(60);
+        let profile = cache.get_or_compute(1, || Arc::new(exp.profile_and_tier()));
+        assert_eq!(cache.computed(), 1);
+        let again = cache.get_or_compute(1, || unreachable!("cached after recovery"));
+        assert!(Arc::ptr_eq(&profile, &again));
+    }
+
+    #[test]
+    fn profile_keys_separate_experiments_and_comm() {
+        let a = ExperimentConfig::tiny(1);
+        let b = ExperimentConfig::tiny(2);
+        assert_eq!(profile_key(&a, None), profile_key(&a, None));
+        assert_ne!(profile_key(&a, None), profile_key(&b, None));
+        assert_ne!(
+            profile_key(&a, None),
+            profile_key(&a, Some(CommSpec::default()))
+        );
+    }
+
+    #[test]
+    fn sweep_shares_one_profile_across_tiered_runs() {
+        let manifest = tiny_manifest(&[Policy::uniform(5), Policy::fast(5), Policy::slow(5)]);
+        let report = SweepScheduler::new(2).run(&manifest, None, false);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(
+            report.profiles_computed, 1,
+            "one topology must profile exactly once"
+        );
+    }
+
+    #[test]
+    fn vanilla_sweeps_never_profile() {
+        let manifest = SweepManifest::new(ExperimentConfig::tiny(61));
+        let report = SweepScheduler::new(1).run(&manifest, None, false);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.profiles_computed, 0);
+    }
+
+    #[test]
+    fn a_panicking_run_is_isolated() {
+        // vanilla + reprofile_every is rejected by the runner with a
+        // panic; the surrounding sweep must carry on.
+        let mut runs = tiny_manifest(&[Policy::uniform(5)]).expand();
+        let mut bad = runs[0].request.clone();
+        bad.spec = RunSpec {
+            reprofile_every: Some(2),
+            ..RunSpec::default()
+        };
+        runs.push(KeyedRun {
+            index: 1,
+            key: RunKey::of(&bad),
+            request: bad,
+        });
+        let report = SweepScheduler::new(2).execute(&runs, None, false);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.failed(), 1);
+        let failures = report.failures();
+        assert!(
+            failures[0]
+                .2
+                .contains("re-profiling requires a tiered policy"),
+            "unexpected failure message: {failures:?}"
+        );
+        assert!(!report.outcomes[0].is_failed());
+        assert!(report.outcomes[1].is_failed());
+    }
+
+    #[test]
+    fn scheduler_defaults_workers_to_host_parallelism() {
+        assert_eq!(SweepScheduler::new(0).workers(), host_parallelism());
+        assert_eq!(SweepScheduler::new(3).workers(), 3);
+    }
+}

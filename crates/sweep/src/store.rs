@@ -1,0 +1,360 @@
+//! The shared artifact store: one JSON file per completed run, named
+//! by its [`RunKey`], plus a sweep-level summary.
+//!
+//! Artifact bytes are **deterministic**: everything in a
+//! [`RunArtifact`] is a pure function of the request (the report, the
+//! label) or stable per host (`host_parallelism`), and the store always
+//! renders through the one shared serializer ([`write_json`]). That is
+//! what makes the resume contract testable — an interrupted sweep that
+//! resumes produces byte-identical artifacts to one that never stopped.
+//! Per-run wall-clock timings (which genuinely vary) live in the
+//! [`SweepSummary`] sidecar, not in the artifacts.
+
+use crate::manifest::RunKey;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+use tifl_core::runner::RunRequest;
+use tifl_fl::{ReportSummary, TrainingReport};
+
+/// The one JSON serializer every artifact path shares (the sweep store
+/// and the `tifl run --spec --out` single-run path): pretty-printed
+/// with a trailing newline.
+///
+/// # Errors
+/// Propagates the underlying filesystem error.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    let mut text = serde_json::to_string_pretty(value).expect("artifact values serialize");
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+/// The logical cores of this host (1 where undetectable) — recorded in
+/// every artifact so perf numbers derived from a store are
+/// interpretable later.
+#[must_use]
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Everything one completed run leaves behind: identity, provenance
+/// (the full request), and the result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunArtifact {
+    /// Stable content key of the request (also the file name).
+    pub key: RunKey,
+    /// The run's report label.
+    pub label: String,
+    /// Logical cores of the host that produced the artifact.
+    pub host_parallelism: usize,
+    /// The request that produced the report (resume validates against
+    /// it, so a manifest edit that changes a cell re-runs that cell).
+    pub request: RunRequest,
+    /// The full training report.
+    pub report: TrainingReport,
+}
+
+impl RunArtifact {
+    /// Package a completed run.
+    #[must_use]
+    pub fn new(key: RunKey, request: RunRequest, report: TrainingReport) -> Self {
+        Self {
+            key,
+            label: report.policy.clone(),
+            host_parallelism: host_parallelism(),
+            request,
+            report,
+        }
+    }
+}
+
+/// One line of the sweep summary sidecar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummaryLine {
+    /// The run's key.
+    pub key: RunKey,
+    /// `completed` / `skipped` / `failed`.
+    pub status: String,
+    /// Wall-clock seconds this sweep spent on the run (0 when skipped).
+    pub wall_clock_sec: f64,
+    /// Digest of the result (`None` for failed runs).
+    pub summary: Option<ReportSummary>,
+    /// Failure message (`None` unless failed).
+    pub error: Option<String>,
+}
+
+/// The sweep-level sidecar (`sweep_summary.json`): run statuses and
+/// timings. Unlike the artifacts this is *not* byte-stable across
+/// re-executions — wall-clock lives here on purpose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Manifest name, if any.
+    pub name: Option<String>,
+    /// Worker threads the sweep ran on.
+    pub workers: usize,
+    /// Logical cores of the host.
+    pub host_parallelism: usize,
+    /// Profiling passes actually executed (the shared-cache observable:
+    /// one per distinct experiment × comm topology, not one per run).
+    pub profiles_computed: usize,
+    /// Total sweep wall-clock in seconds.
+    pub wall_clock_sec: f64,
+    /// Per-run lines, in canonical manifest order.
+    pub runs: Vec<RunSummaryLine>,
+}
+
+/// A directory of keyed run artifacts.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    dir: PathBuf,
+}
+
+impl RunStore {
+    /// Open (creating if needed) a store at `dir`.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The store's directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The artifact path of `key` (`<dir>/<key>.json`).
+    #[must_use]
+    pub fn path_of(&self, key: RunKey) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// The summary sidecar path (`<dir>/sweep_summary.json`).
+    #[must_use]
+    pub fn summary_path(&self) -> PathBuf {
+        self.dir.join("sweep_summary.json")
+    }
+
+    /// Persist an artifact under its key. Writes to a temporary file
+    /// and renames, so a killed sweep never leaves a half-written
+    /// artifact that could pass validation.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write(&self, artifact: &RunArtifact) -> io::Result<PathBuf> {
+        let path = self.path_of(artifact.key);
+        let tmp = path.with_extension("json.tmp");
+        write_json(&tmp, artifact)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Load the artifact of `key`, if present and parseable.
+    #[must_use]
+    pub fn load(&self, key: RunKey) -> Option<RunArtifact> {
+        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Load the artifact of `key` only if it validates against
+    /// `request`: the stored key matches the file's claim, the stored
+    /// request *resolves to the same key* as the one being scheduled
+    /// (the [`RunKey`] equivalence — a seed passed as an override and
+    /// the same seed baked into the experiment are the same run, so
+    /// artifacts stay shareable across manifest layouts), and the
+    /// report spans the resolved round count. Anything else (missing,
+    /// corrupt, stale manifest edit, truncated run) returns `None` and
+    /// the run re-executes.
+    #[must_use]
+    pub fn load_valid(&self, key: RunKey, request: &RunRequest) -> Option<RunArtifact> {
+        let artifact = self.load(key)?;
+        let rounds = request.experiment().rounds;
+        (artifact.key == key
+            && RunKey::of(&artifact.request) == RunKey::of(request)
+            && artifact.report.rounds.len() as u64 == rounds)
+            .then_some(artifact)
+    }
+
+    /// Whether a valid artifact for (`key`, `request`) already exists —
+    /// the resume predicate.
+    #[must_use]
+    pub fn validates(&self, key: RunKey, request: &RunRequest) -> bool {
+        self.load_valid(key, request).is_some()
+    }
+
+    /// Keys of every artifact in the store (sorted; summary and foreign
+    /// files ignored).
+    #[must_use]
+    pub fn keys(&self) -> Vec<RunKey> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut keys: Vec<RunKey> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                RunKey::parse(name.strip_suffix(".json")?)
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Write the sweep summary sidecar.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_summary(&self, summary: &SweepSummary) -> io::Result<PathBuf> {
+        let path = self.summary_path();
+        write_json(&path, summary)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tifl_core::experiment::ExperimentConfig;
+    use tifl_core::runner::RunSpec;
+    use tifl_fl::RoundReport;
+
+    fn tmp_store(tag: &str) -> RunStore {
+        let dir = std::env::temp_dir().join(format!("tifl-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        RunStore::open(dir).expect("store opens")
+    }
+
+    fn request(seed: u64, rounds: u64) -> RunRequest {
+        let mut experiment = ExperimentConfig::tiny(seed);
+        experiment.rounds = rounds;
+        RunRequest {
+            experiment,
+            rounds: None,
+            seed: None,
+            clients_per_round: None,
+            spec: RunSpec::default(),
+        }
+    }
+
+    fn report(rounds: u64) -> TrainingReport {
+        TrainingReport {
+            policy: "vanilla".into(),
+            rounds: (0..rounds)
+                .map(|r| RoundReport {
+                    round: r,
+                    time: (r + 1) as f64,
+                    latency: 1.0,
+                    selected: vec![0, 1],
+                    aggregated: vec![0, 1],
+                    accuracy: Some(0.5),
+                    loss: Some(1.0),
+                    bytes_down: 10,
+                    bytes_up: 10,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn artifacts_round_trip_and_validate() {
+        let store = tmp_store("roundtrip");
+        let request = request(1, 3);
+        let key = RunKey::of(&request);
+        let artifact = RunArtifact::new(key, request.clone(), report(3));
+        let path = store.write(&artifact).expect("writes");
+        assert_eq!(path, store.path_of(key));
+        assert_eq!(store.load(key), Some(artifact.clone()));
+        assert!(store.validates(key, &request));
+        assert_eq!(store.keys(), vec![key]);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn validation_rejects_corrupt_and_mismatched_artifacts() {
+        let store = tmp_store("reject");
+        let request = request(2, 3);
+        let key = RunKey::of(&request);
+
+        // Missing.
+        assert!(!store.validates(key, &request));
+        // Corrupt (truncated JSON).
+        std::fs::write(store.path_of(key), "{\"key\": \"tru").expect("write");
+        assert!(!store.validates(key, &request));
+        // Valid bytes but a different request (e.g. edited manifest).
+        let other = self::request(3, 3);
+        let artifact = RunArtifact::new(key, other, report(3));
+        store.write(&artifact).expect("writes");
+        assert!(!store.validates(key, &request));
+        // Truncated run (too few rounds for the resolved horizon).
+        let short = RunArtifact::new(key, request.clone(), report(2));
+        store.write(&short).expect("writes");
+        assert!(!store.validates(key, &request));
+        // The real thing.
+        let good = RunArtifact::new(key, request.clone(), report(3));
+        store.write(&good).expect("writes");
+        assert!(store.validates(key, &request));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn validation_accepts_equivalent_request_layouts() {
+        // A seed passed as a RunRequest override and the same seed
+        // baked into the experiment resolve to the same RunKey — so an
+        // artifact written by one manifest layout must satisfy a resume
+        // scheduled by the other (artifacts are shareable across
+        // manifest edits that keep the resolved cell).
+        let store = tmp_store("layout");
+        let mut exp = ExperimentConfig::tiny(1);
+        exp.rounds = 3;
+        let via_override = RunRequest {
+            experiment: exp.clone(),
+            rounds: None,
+            seed: Some(9),
+            clients_per_round: None,
+            spec: RunSpec::default(),
+        };
+        let mut baked_exp = exp;
+        baked_exp.seed = 9;
+        let baked = RunRequest {
+            experiment: baked_exp,
+            rounds: None,
+            seed: None,
+            clients_per_round: None,
+            spec: RunSpec::default(),
+        };
+        let key = RunKey::of(&via_override);
+        assert_eq!(key, RunKey::of(&baked));
+        store
+            .write(&RunArtifact::new(key, via_override, report(3)))
+            .expect("writes");
+        assert!(store.validates(key, &baked));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn summary_and_foreign_files_are_not_keys() {
+        let store = tmp_store("keys");
+        std::fs::write(store.summary_path(), "{}").expect("write");
+        std::fs::write(store.dir().join("notes.txt"), "hi").expect("write");
+        assert_eq!(store.keys(), Vec::new());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn artifact_bytes_are_deterministic() {
+        let store = tmp_store("bytes");
+        let request = request(4, 2);
+        let key = RunKey::of(&request);
+        let artifact = RunArtifact::new(key, request, report(2));
+        store.write(&artifact).expect("writes");
+        let first = std::fs::read(store.path_of(key)).expect("read");
+        store.write(&artifact).expect("writes again");
+        let second = std::fs::read(store.path_of(key)).expect("read");
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

@@ -3,20 +3,26 @@
 //! ```sh
 //! tifl init experiment.json            # write a template config
 //! tifl init --spec run.json            # write a template run request
+//! tifl init --sweep sweep.json         # write a template sweep manifest
 //! tifl profile experiment.json         # profile + print tiers
 //! tifl estimate experiment.json        # Eq. 6 time estimates per policy
 //! tifl run experiment.json uniform     # train under a policy
 //! tifl run experiment.json adaptive    # train under Algorithm 2
 //! tifl run --spec run.json             # train a declarative RunSpec
 //! tifl run --spec run.json --threads 4 # … on 4 worker threads
+//! tifl run --spec run.json --out r.json# … writing the full report JSON
+//! tifl sweep sweep.json --workers 4    # execute a whole run matrix
+//! tifl sweep sweep.json --resume       # … skipping completed run keys
 //! ```
 //!
 //! Configs are JSON-serialised `ExperimentConfig`s; run requests are
 //! JSON-serialised `RunRequest`s (an experiment + scalar overrides + a
-//! `RunSpec`), so the full §5 evaluation matrix — selection strategy ×
-//! aggregation mode × local objective × re-profiling cadence — is
-//! scriptable without recompiling: `cargo run --release --bin tifl --
-//! init --spec my.json`, edit, `run --spec my.json`.
+//! `RunSpec`); sweep manifests are JSON-serialised `SweepManifest`s
+//! (an experiment + per-axis value lists). The full §5 evaluation
+//! matrix — selection strategy × aggregation mode × local objective ×
+//! communication model × seeds × scale — is scriptable without
+//! recompiling: `cargo run --release --bin tifl -- init --sweep
+//! my.json`, edit, `sweep my.json --workers 4 --out artifacts`.
 
 use std::process::ExitCode;
 use tifl::prelude::*;
@@ -24,10 +30,11 @@ use tifl::prelude::*;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tifl init <config.json>\n  tifl init --spec <run.json>\n  \
-         tifl profile <config.json>\n  \
+         tifl init --sweep <sweep.json>\n  tifl profile <config.json>\n  \
          tifl estimate <config.json>\n  tifl run <config.json> \
          <vanilla|slow|uniform|random|fast|fast1|fast2|fast3|adaptive>\n  \
-         tifl run --spec <run.json> [--threads N]"
+         tifl run --spec <run.json> [--threads N] [--out <report.json>]\n  \
+         tifl sweep <sweep.json> [--workers N] [--out DIR] [--resume]"
     );
     ExitCode::FAILURE
 }
@@ -72,6 +79,34 @@ fn main() -> ExitCode {
             let cfg = ExperimentConfig::cifar10_resource_het(42);
             write_json(path, &cfg);
             println!("wrote template config to {path}");
+            ExitCode::SUCCESS
+        }
+        [cmd, flag, path] if cmd == "init" && flag == "--sweep" => {
+            // A 6-run template: 3 selection strategies × 2 seeds over
+            // the §5.1 resource-heterogeneity topology (the CI smoke
+            // manifest). The tiered cells share one profiling pass per
+            // seed through the scheduler's cache.
+            let manifest = SweepManifest {
+                name: Some("selection-x-seeds".into()),
+                experiment: ExperimentConfig::cifar10_resource_het(42),
+                rounds: Some(10),
+                axes: SweepAxes {
+                    seeds: vec![42, 43],
+                    selection: vec![
+                        SelectionStrategy::Vanilla,
+                        SelectionStrategy::TierPolicy {
+                            policy: Policy::uniform(5),
+                        },
+                        SelectionStrategy::Adaptive { config: None },
+                    ],
+                    ..SweepAxes::default()
+                },
+            };
+            write_json(path, &manifest);
+            println!(
+                "wrote template sweep manifest ({} runs) to {path}",
+                manifest.expand().len()
+            );
             ExitCode::SUCCESS
         }
         [cmd, flag, path] if cmd == "init" && flag == "--spec" => {
@@ -122,15 +157,23 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         [cmd, flag, path, rest @ ..] if cmd == "run" && flag == "--spec" => {
-            let threads = match rest {
-                [] => None,
-                [tflag, n] if tflag == "--threads" => {
-                    Some(n.parse::<usize>().unwrap_or_else(|e| {
-                        panic!("--threads must be a thread count: {e}");
-                    }))
+            let mut threads = None;
+            let mut out = None;
+            let mut args = rest.iter();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--threads" => {
+                        let n = args.next().map(|n| n.parse::<usize>());
+                        let Some(Ok(n)) = n else { return usage() };
+                        threads = Some(n);
+                    }
+                    "--out" => {
+                        let Some(p) = args.next() else { return usage() };
+                        out = Some(p.clone());
+                    }
+                    _ => return usage(),
                 }
-                _ => return usage(),
-            };
+            }
             let mut request: RunRequest = read_json(path);
             if let Some(threads) = threads {
                 // Force the worker count: event-driven specs get their
@@ -157,7 +200,92 @@ fn main() -> ExitCode {
                 _ => request.run(),
             };
             print_report(&report);
+            if let Some(out) = out {
+                // The sweep store's serializer, so a single run's
+                // report and a sweep artifact's `report` field are the
+                // same JSON.
+                tifl::sweep::store::write_json(std::path::Path::new(&out), &report)
+                    .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+                println!("wrote full report to {out}");
+            }
             ExitCode::SUCCESS
+        }
+        [cmd, path, rest @ ..] if cmd == "sweep" => {
+            let mut workers = 0usize;
+            let mut out = "sweep-artifacts".to_string();
+            let mut resume = false;
+            let mut args = rest.iter();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--workers" => {
+                        let n = args.next().map(|n| n.parse::<usize>());
+                        let Some(Ok(n)) = n else { return usage() };
+                        workers = n;
+                    }
+                    "--out" => {
+                        let Some(p) = args.next() else { return usage() };
+                        out = p.clone();
+                    }
+                    "--resume" => resume = true,
+                    _ => return usage(),
+                }
+            }
+            let manifest: SweepManifest = read_json(path);
+            let store = RunStore::open(&out).unwrap_or_else(|e| panic!("opening {out}: {e}"));
+            let scheduler = SweepScheduler::new(workers);
+            let runs = manifest.expand();
+            eprintln!(
+                "[tifl] sweep `{}`: {} runs on {} workers -> {}",
+                manifest.name.as_deref().unwrap_or("unnamed"),
+                runs.len(),
+                scheduler.workers(),
+                store.dir().display()
+            );
+            let sweep = scheduler.execute(&runs, Some(&store), resume);
+            if let Err(e) = store.write_summary(&sweep.summary(manifest.name.clone())) {
+                eprintln!("[tifl] warning: writing sweep summary failed: {e}");
+            }
+            println!(
+                "{:<12} {:<34} {:>10} {:>11} {:>9}",
+                "status", "run", "rounds", "time [s]", "final acc"
+            );
+            for outcome in &sweep.outcomes {
+                let (status, summary) = match outcome {
+                    RunOutcome::Completed { artifact, .. } => {
+                        ("completed", Some(artifact.report.summary()))
+                    }
+                    RunOutcome::Skipped { artifact } => {
+                        ("skipped", Some(artifact.report.summary()))
+                    }
+                    RunOutcome::Failed { .. } => ("FAILED", None),
+                };
+                match summary {
+                    Some(s) => println!(
+                        "{status:<12} {:<34} {:>10} {:>11.0} {:>9.3}",
+                        outcome.label(),
+                        s.rounds,
+                        s.total_time,
+                        s.final_accuracy
+                    ),
+                    None => println!("{status:<12} {:<34}", outcome.label()),
+                }
+            }
+            println!(
+                "sweep: {} completed, {} skipped, {} failed; {} profiling pass(es); {:.1}s",
+                sweep.completed(),
+                sweep.skipped(),
+                sweep.failed(),
+                sweep.profiles_computed,
+                sweep.wall_clock_sec
+            );
+            for (key, label, message) in sweep.failures() {
+                eprintln!("[tifl] FAILED {label} ({key}): {message}");
+            }
+            if sweep.failed() > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         [cmd, path, policy] if cmd == "run" => {
             let cfg: ExperimentConfig = read_json(path);

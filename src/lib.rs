@@ -17,6 +17,9 @@
 //! * [`core`] — the paper's contribution: profiler, tiering, static and
 //!   adaptive tier schedulers, training-time estimator, privacy
 //!   accounting, and the composable `RunSpec`/`Runner` execution API;
+//! * [`sweep`] — multi-run orchestration: declarative sweep manifests,
+//!   a worker-pool scheduler with a shared profile cache, and a
+//!   resumable keyed artifact store;
 //! * [`leaf`] — the LEAF-like FEMNIST benchmark harness.
 //!
 //! ## Quickstart
@@ -57,6 +60,7 @@ pub use tifl_fl as fl;
 pub use tifl_leaf as leaf;
 pub use tifl_nn as nn;
 pub use tifl_sim as sim;
+pub use tifl_sweep as sweep;
 pub use tifl_tensor as tensor;
 
 /// Convenience re-exports for examples and quick experiments.
@@ -78,7 +82,7 @@ pub mod prelude {
     pub use tifl_fl::checkpoint::{Checkpoint, SelectorState};
     pub use tifl_fl::client::{ClientConfig, DpNoiseConfig};
     pub use tifl_fl::hierarchy::AggregationTree;
-    pub use tifl_fl::report::{RoundReport, TrainingReport};
+    pub use tifl_fl::report::{ReportSummary, RoundReport, TrainingReport};
     pub use tifl_fl::selector::{ClientSelector, RandomSelector};
     pub use tifl_fl::session::{
         AggregationMode, RoundPlan, Session, SessionConfig, SessionOverrides,
@@ -90,4 +94,8 @@ pub mod prelude {
     pub use tifl_sim::drift::DriftModel;
     pub use tifl_sim::latency::{LatencyModel, LatencyModelConfig};
     pub use tifl_sim::resource::LinkQuality;
+    pub use tifl_sweep::{
+        KeyedRun, RunArtifact, RunKey, RunOutcome, RunStore, SweepAxes, SweepBuilder,
+        SweepManifest, SweepReport, SweepScheduler, SweepSummary,
+    };
 }

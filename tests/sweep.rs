@@ -1,0 +1,473 @@
+//! Integration tests for `tifl_sweep`, pinning the subsystem's three
+//! contracts:
+//!
+//! 1. **Determinism** — a sweep executed with 1 or 4 workers is
+//!    bit-for-bit identical to the same `RunRequest`s executed
+//!    serially, on both execution backends (the worker pool is an
+//!    execution knob, never a result knob);
+//! 2. **Resume** — a sweep interrupted after k of n runs resumes,
+//!    skips the completed run keys without touching their artifacts
+//!    (mtime-checked), re-profiles only what the remaining runs need,
+//!    and ends with artifacts byte-identical to an uninterrupted
+//!    sweep's;
+//! 3. **Expansion stability** — manifest expansion is a pure function
+//!    of the manifest (order-stable) and `RunKey`s never collide
+//!    across distinct cells (proptested over the axes).
+
+use proptest::prelude::*;
+use tifl::prelude::*;
+
+/// A shrunken §5.1 resource-heterogeneity config (the
+/// `tests/exec_backend.rs` scaling): real 5-group CPU profile, small
+/// data/model so a run is milliseconds.
+fn small_resource_het(seed: u64, rounds: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
+    cfg.num_clients = 10;
+    cfg.clients_per_round = 2;
+    cfg.rounds = rounds;
+    cfg.data = DataScenario::Iid { per_client: 30 };
+    cfg.model = ModelSpec::Mlp {
+        input: 64,
+        hidden: 16,
+        classes: 10,
+    };
+    cfg.eval_every = 2;
+    cfg.profiler = ProfilerConfig {
+        sync_rounds: 2,
+        tmax_sec: 1e6,
+    };
+    cfg
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tifl-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The ISSUE's pinned matrix: selection × both backends on a small
+/// `cifar10_resource_het`.
+fn backend_matrix() -> SweepManifest {
+    let mut manifest = SweepManifest::new(small_resource_het(42, 4));
+    manifest.axes.selection = vec![
+        SelectionStrategy::Vanilla,
+        SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        SelectionStrategy::Adaptive { config: None },
+    ];
+    manifest.axes.backend = vec![
+        ExecBackend::Lockstep,
+        ExecBackend::EventDriven { threads: 2 },
+    ];
+    manifest
+}
+
+#[test]
+fn sweep_equals_serial_request_loop_bit_for_bit() {
+    let manifest = backend_matrix();
+    let runs = manifest.expand();
+    assert_eq!(runs.len(), 6);
+
+    // The reference: each expanded request executed serially through
+    // the plain (unshared, uncached) `RunRequest::run` path.
+    let serial: Vec<TrainingReport> = runs.iter().map(|r| r.request.run()).collect();
+
+    for workers in [1, 4] {
+        let sweep = SweepScheduler::new(workers).run(&manifest, None, false);
+        assert_eq!(sweep.failed(), 0, "workers={workers}");
+        let reports = sweep.into_reports();
+        assert_eq!(
+            reports, serial,
+            "sweep(workers={workers}) diverged from the serial loop"
+        );
+    }
+}
+
+#[test]
+fn sweep_shares_one_profile_per_topology() {
+    let manifest = backend_matrix();
+    let sweep = SweepScheduler::new(4).run(&manifest, None, false);
+    // One experiment, one comm axis: the four tiered/adaptive cells
+    // (2 selections × 2 backends) share a single profiling pass.
+    assert_eq!(sweep.profiles_computed, 1);
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_byte_identical_artifacts() {
+    let mut full = SweepManifest::new(small_resource_het(7, 3));
+    full.axes.seeds = vec![7, 8];
+    full.axes.selection = vec![
+        SelectionStrategy::Vanilla,
+        SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        SelectionStrategy::TierPolicy {
+            policy: Policy::fast(5),
+        },
+    ];
+    let runs = full.expand();
+    assert_eq!(runs.len(), 6);
+
+    // Reference: the uninterrupted sweep.
+    let clean_dir = tmp_dir("clean");
+    let clean_store = RunStore::open(&clean_dir).expect("store opens");
+    let clean = SweepScheduler::new(2).run(&full, Some(&clean_store), false);
+    assert_eq!(clean.completed(), 6);
+    assert_eq!(clean.profiles_computed, 2, "one profile per seed");
+
+    // "Interrupted after k of n": only the first seed's 3 runs got to
+    // execute before the kill.
+    let mut prefix = full.clone();
+    prefix.axes.seeds = vec![7];
+    let resumed_dir = tmp_dir("resumed");
+    let resumed_store = RunStore::open(&resumed_dir).expect("store opens");
+    let partial = SweepScheduler::new(2).run(&prefix, Some(&resumed_store), false);
+    assert_eq!(partial.completed(), 3);
+    assert_eq!(partial.profiles_computed, 1);
+    let pre_existing: Vec<(std::path::PathBuf, std::time::SystemTime)> = resumed_store
+        .keys()
+        .into_iter()
+        .map(|k| {
+            let path = resumed_store.path_of(k);
+            let mtime = std::fs::metadata(&path).and_then(|m| m.modified()).unwrap();
+            (path, mtime)
+        })
+        .collect();
+    assert_eq!(pre_existing.len(), 3);
+
+    // Resume the full manifest over the half-filled store.
+    let resumed = SweepScheduler::new(2).run(&full, Some(&resumed_store), true);
+    assert_eq!(resumed.skipped(), 3, "completed run keys must be skipped");
+    assert_eq!(resumed.completed(), 3);
+    assert_eq!(
+        resumed.profiles_computed, 1,
+        "resume must re-profile only the un-run seed's topology"
+    );
+    for (path, mtime) in &pre_existing {
+        let now = std::fs::metadata(path).and_then(|m| m.modified()).unwrap();
+        assert_eq!(
+            now,
+            *mtime,
+            "resume rewrote a completed artifact: {}",
+            path.display()
+        );
+    }
+
+    // The resumed store is byte-identical to the uninterrupted one,
+    // artifact for artifact.
+    let keys = clean_store.keys();
+    assert_eq!(keys.len(), 6);
+    assert_eq!(keys, resumed_store.keys());
+    for key in keys {
+        let a = std::fs::read(clean_store.path_of(key)).expect("clean artifact");
+        let b = std::fs::read(resumed_store.path_of(key)).expect("resumed artifact");
+        assert_eq!(a, b, "artifact {key} diverged between clean and resumed");
+    }
+
+    // And the outcomes agree report-for-report with the clean sweep.
+    assert_eq!(resumed.into_reports(), clean.into_reports());
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&resumed_dir);
+}
+
+#[test]
+fn resume_reruns_cells_whose_artifacts_do_not_validate() {
+    let mut manifest = SweepManifest::new(small_resource_het(3, 3));
+    manifest.axes.seeds = vec![1, 2];
+    let dir = tmp_dir("invalid");
+    let store = RunStore::open(&dir).expect("store opens");
+    let first = SweepScheduler::new(1).run(&manifest, Some(&store), false);
+    assert_eq!(first.completed(), 2);
+
+    // Corrupt one artifact; a manifest edit changes the other cell's
+    // key entirely (so its old artifact is simply unreferenced).
+    let keys = store.keys();
+    std::fs::write(store.path_of(keys[0]), "not json").expect("corrupt");
+    let resumed = SweepScheduler::new(1).run(&manifest, Some(&store), true);
+    assert_eq!(resumed.completed(), 1, "corrupt artifact must re-run");
+    assert_eq!(resumed.skipped(), 1);
+    for run in manifest.expand() {
+        assert!(store.validates(run.key, &run.request));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_runs_do_not_sink_the_sweep() {
+    // vanilla selection + re-profiling is rejected by the runner with a
+    // panic; schedule it between two good runs and make sure only that
+    // cell fails — and that nothing was persisted for it.
+    let good = SweepManifest::new(small_resource_het(5, 3));
+    let mut runs = good.expand();
+    let mut bad_request = runs[0].request.clone();
+    bad_request.spec.reprofile_every = Some(1);
+    bad_request.seed = Some(99);
+    let bad = KeyedRun {
+        index: 1,
+        key: RunKey::of(&bad_request),
+        request: bad_request,
+    };
+    let mut more = SweepManifest::new(small_resource_het(6, 3)).expand();
+    runs.push(bad);
+    runs.append(&mut more);
+    for (i, run) in runs.iter_mut().enumerate() {
+        run.index = i;
+    }
+
+    let dir = tmp_dir("panic");
+    let store = RunStore::open(&dir).expect("store opens");
+    let sweep = SweepScheduler::new(2).execute(&runs, Some(&store), false);
+    assert_eq!(sweep.completed(), 2);
+    assert_eq!(sweep.failed(), 1);
+    assert!(sweep.outcomes[1].is_failed());
+    assert!(sweep.failures()[0]
+        .2
+        .contains("re-profiling requires a tiered policy"));
+    assert_eq!(store.keys().len(), 2, "failed runs leave no artifact");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_builder_runs_comm_and_aggregation_axes() {
+    // A cross of lossy codecs and aggregation modes — cells the legacy
+    // figure loops never expressed — all through one builder chain.
+    let mut builder = SweepBuilder::new(small_resource_het(9, 3));
+    let sweep = builder
+        .codecs([CodecSpec::Identity, CodecSpec::QuantizeI8])
+        .aggregations([None, Some(AggregationMode::FirstK { factor: 1.5 })])
+        .workers(2)
+        .run();
+    assert_eq!(sweep.failed(), 0);
+    let reports = sweep.into_reports();
+    assert_eq!(reports.len(), 4);
+    let labels: Vec<&str> = reports.iter().map(|r| r.policy.as_str()).collect();
+    assert_eq!(
+        labels,
+        vec![
+            "vanilla",
+            "vanilla+i8",
+            "overselect(1.5)",
+            "overselect(1.5)+i8"
+        ]
+    );
+}
+
+// -- CLI end-to-end ----------------------------------------------------------
+
+#[test]
+fn run_spec_cli_out_writes_the_full_report_json() {
+    // `tifl run --spec run.json --out report.json` must write the full
+    // TrainingReport through the sweep store's serializer, so the file
+    // parses back into exactly the in-process report.
+    let request = RunRequest {
+        experiment: ExperimentConfig::tiny(91),
+        rounds: Some(4),
+        seed: None,
+        clients_per_round: None,
+        spec: RunSpec::default(),
+    };
+    let dir = tmp_dir("cli-out");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec_path = dir.join("run.json");
+    let out_path = dir.join("report.json");
+    std::fs::write(&spec_path, serde_json::to_string_pretty(&request).unwrap())
+        .expect("write spec");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args([
+            "run",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("tifl binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "tifl run --spec --out failed: {stdout}"
+    );
+    assert!(stdout.contains("wrote full report to"), "stdout: {stdout}");
+
+    let text = std::fs::read_to_string(&out_path).expect("report written");
+    let report: TrainingReport = serde_json::from_str(&text).expect("report parses");
+    assert_eq!(report, request.run(), "file must round-trip the report");
+    // Same serializer as the sweep store: pretty JSON + trailing
+    // newline.
+    assert!(text.ends_with('\n'));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_cli_executes_and_resumes_a_manifest() {
+    let mut manifest = SweepManifest::new(small_resource_het(33, 3));
+    manifest.name = Some("cli-e2e".into());
+    manifest.axes.selection = vec![
+        SelectionStrategy::Vanilla,
+        SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+    ];
+    let dir = tmp_dir("cli-sweep");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let manifest_path = dir.join("sweep.json");
+    let arts = dir.join("arts");
+    std::fs::write(
+        &manifest_path,
+        serde_json::to_string_pretty(&manifest).unwrap(),
+    )
+    .expect("write manifest");
+
+    let run_cli = |extra: &[&str]| {
+        let mut args = vec![
+            "sweep",
+            manifest_path.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--out",
+            arts.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+            .args(&args)
+            .output()
+            .expect("tifl binary runs");
+        assert!(
+            out.status.success(),
+            "tifl {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let first = run_cli(&[]);
+    assert!(
+        first.contains("2 completed, 0 skipped, 0 failed"),
+        "first pass: {first}"
+    );
+    let store = RunStore::open(&arts).expect("store opens");
+    assert_eq!(store.keys().len(), 2);
+    for run in manifest.expand() {
+        assert!(store.validates(run.key, &run.request));
+    }
+    assert!(store.summary_path().exists(), "summary sidecar written");
+
+    let second = run_cli(&["--resume"]);
+    assert!(
+        second.contains("0 completed, 2 skipped, 0 failed"),
+        "resume pass: {second}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -- property tests ----------------------------------------------------------
+
+/// Build a manifest from proptest-drawn axis subsets. Drawn indices
+/// are deduplicated (first occurrence wins) before indexing the fixed
+/// pools, so values within an axis are distinct and every expanded
+/// cell is a genuinely different request.
+fn manifest_from(
+    seeds: Vec<u64>,
+    selection_idx: Vec<usize>,
+    aggregation_idx: Vec<usize>,
+    local_idx: Vec<usize>,
+    codec_idx: Vec<usize>,
+    backend_idx: Vec<usize>,
+) -> SweepManifest {
+    let selections = [
+        SelectionStrategy::Vanilla,
+        SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        SelectionStrategy::TierPolicy {
+            policy: Policy::fast(5),
+        },
+        SelectionStrategy::Adaptive { config: None },
+        SelectionStrategy::Deadline { deadline_sec: 9.0 },
+    ];
+    let aggregations = [
+        None,
+        Some(AggregationMode::WaitAll),
+        Some(AggregationMode::FirstK { factor: 1.5 }),
+    ];
+    let locals = [
+        LocalTraining::FedAvg,
+        LocalTraining::FedProx { mu: 0.01 },
+        LocalTraining::FedProx { mu: 0.1 },
+    ];
+    let codecs = [
+        CodecSpec::Identity,
+        CodecSpec::QuantizeI8,
+        CodecSpec::TopK { frac: 0.25 },
+    ];
+    let backends = [
+        ExecBackend::Lockstep,
+        ExecBackend::EventDriven { threads: 2 },
+        ExecBackend::EventDriven { threads: 4 },
+    ];
+    let mut seen_seeds = std::collections::BTreeSet::new();
+    let mut manifest = SweepManifest::new(ExperimentConfig::tiny(1));
+    manifest.axes.seeds = seeds
+        .into_iter()
+        .filter(|&s| seen_seeds.insert(s))
+        .collect();
+    manifest.axes.selection = distinct(&selection_idx)
+        .map(|i| selections[i].clone())
+        .collect();
+    manifest.axes.aggregation = distinct(&aggregation_idx)
+        .map(|i| aggregations[i])
+        .collect();
+    manifest.axes.local = distinct(&local_idx).map(|i| locals[i]).collect();
+    manifest.axes.codec = distinct(&codec_idx).map(|i| codecs[i]).collect();
+    manifest.axes.backend = distinct(&backend_idx).map(|i| backends[i]).collect();
+    manifest
+}
+
+/// First occurrence of each index, in draw order.
+fn distinct(indices: &[usize]) -> impl Iterator<Item = usize> + '_ {
+    let mut seen = std::collections::BTreeSet::new();
+    indices.iter().copied().filter(move |&i| seen.insert(i))
+}
+
+proptest! {
+    /// Expansion is order-stable and `RunKey`s are collision-free
+    /// across the axes: every distinct cell gets a distinct key, and
+    /// re-expanding reproduces the exact same keyed list.
+    #[test]
+    fn prop_expansion_is_stable_and_keys_collision_free(
+        seeds in prop::collection::vec(0u64..1000, 0..3),
+        selection_idx in prop::collection::vec(0usize..5, 0..5),
+        aggregation_idx in prop::collection::vec(0usize..3, 0..3),
+        local_idx in prop::collection::vec(0usize..3, 0..3),
+        codec_idx in prop::collection::vec(0usize..3, 0..3),
+        backend_idx in prop::collection::vec(0usize..3, 0..3),
+    ) {
+        let manifest = manifest_from(
+            seeds, selection_idx, aggregation_idx, local_idx, codec_idx, backend_idx,
+        );
+        let runs = manifest.expand();
+        // Order-stable: a second expansion is identical, index for
+        // index and key for key.
+        prop_assert_eq!(&runs, &manifest.expand());
+        for (i, run) in runs.iter().enumerate() {
+            prop_assert_eq!(run.index, i);
+        }
+        // Collision-free: distinct resolved requests <-> distinct keys.
+        let requests: std::collections::BTreeSet<String> = runs
+            .iter()
+            .map(|r| serde_json::to_string(&(r.request.experiment(), r.request.spec.clone())).unwrap())
+            .collect();
+        let keys: std::collections::BTreeSet<RunKey> =
+            runs.iter().map(|r| r.key).collect();
+        prop_assert_eq!(requests.len(), runs.len(), "expansion emitted duplicate cells");
+        prop_assert_eq!(keys.len(), runs.len(), "run keys collided");
+        // And keys really are content-stable: recomputing from the
+        // request reproduces them.
+        for run in &runs {
+            prop_assert_eq!(run.key, RunKey::of(&run.request));
+        }
+    }
+}
