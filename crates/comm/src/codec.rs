@@ -22,6 +22,113 @@
 use serde::{Deserialize, Serialize};
 use tifl_tensor::{codec as kernels, ParamVec};
 
+/// Buffers a recycled pool may hold per shape before excess buffers are
+/// dropped (bounds memory when one scratch serves many payload shapes).
+const POOL_CAP: usize = 8;
+
+/// Reusable buffers for the encode/fold hot path.
+///
+/// Encoding a client update needs transient workspace (the dense delta,
+/// the top-k selection order) plus the buffers that leave inside the
+/// returned [`EncodedUpdate`] (codes, indices, values). A scratch arena
+/// owns pools of both kinds so a steady-state round allocates nothing:
+/// [`CodecSpec::encode_with`] draws buffers out, and the caller hands
+/// them back with [`EncodeScratch::recycle`] once the payload has been
+/// folded.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    /// Dense f32 workspace: the delta (or error-compensated update)
+    /// being encoded.
+    pub(crate) delta: Vec<f32>,
+    /// Top-k selection order scratch (packed magnitude-key words).
+    pub(crate) order: Vec<u64>,
+    /// Absolute-index scratch for sparse encodes.
+    pub(crate) indices: Vec<u32>,
+    dense_pool: Vec<Vec<f32>>,
+    codes_pool: Vec<Vec<i8>>,
+    idx_pool: Vec<Vec<u32>>,
+    vals_pool: Vec<Vec<f32>>,
+}
+
+impl EncodeScratch {
+    /// Empty arena; buffers grow to steady-state sizes on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn take_dense(&mut self) -> Vec<f32> {
+        let mut b = self.dense_pool.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    pub(crate) fn take_codes(&mut self) -> Vec<i8> {
+        let mut b = self.codes_pool.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    pub(crate) fn take_idx(&mut self) -> Vec<u32> {
+        let mut b = self.idx_pool.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    pub(crate) fn take_vals(&mut self) -> Vec<f32> {
+        let mut b = self.vals_pool.pop().unwrap_or_default();
+        b.clear();
+        b
+    }
+
+    /// Pooled all-zeros vector of length `len` (a FedAvg accumulator or
+    /// decode target). Return it via [`EncodeScratch::recycle_dense`].
+    #[must_use]
+    pub fn take_zeroed(&mut self, len: usize) -> ParamVec {
+        let mut b = self.take_dense();
+        b.resize(len, 0.0);
+        ParamVec(b)
+    }
+
+    /// Pooled empty vector (capacity reused) for targets that overwrite
+    /// their contents, e.g. `EncodedUpdate::decode_into`.
+    #[must_use]
+    pub fn take_empty(&mut self) -> ParamVec {
+        ParamVec(self.take_dense())
+    }
+
+    /// Return a dense vector's buffer to the pool (e.g. the previous
+    /// global model displaced by a round's new aggregate).
+    pub fn recycle_dense(&mut self, p: ParamVec) {
+        if self.dense_pool.len() < POOL_CAP {
+            self.dense_pool.push(p.0);
+        }
+    }
+
+    /// Return a folded payload's buffers to the pools so the next
+    /// encode reuses them.
+    pub fn recycle(&mut self, enc: EncodedUpdate) {
+        match enc {
+            EncodedUpdate::Dense(p) => self.recycle_dense(p),
+            EncodedUpdate::QuantI8 { codes, .. } => {
+                if self.codes_pool.len() < POOL_CAP {
+                    self.codes_pool.push(codes);
+                }
+            }
+            EncodedUpdate::SparseDelta {
+                idx_delta, values, ..
+            } => {
+                if self.idx_pool.len() < POOL_CAP {
+                    self.idx_pool.push(idx_delta);
+                }
+                if self.vals_pool.len() < POOL_CAP {
+                    self.vals_pool.push(values);
+                }
+            }
+        }
+    }
+}
+
 /// Which compression scheme encodes client uploads.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum CodecSpec {
@@ -79,17 +186,40 @@ impl CodecSpec {
 
     /// Encode `params` (a client's trained weights) against `base` (the
     /// global model the client trained from; only [`CodecSpec::TopK`]
-    /// reads it).
+    /// reads it). Allocates fresh payload buffers; the hot path uses
+    /// [`CodecSpec::encode_with`] instead.
     ///
     /// # Panics
     /// Panics if `base` and `params` differ in length.
     #[must_use]
     pub fn encode(&self, params: &ParamVec, base: &ParamVec) -> EncodedUpdate {
+        self.encode_with(params, base, &mut EncodeScratch::new())
+    }
+
+    /// [`CodecSpec::encode`] drawing every buffer from a reusable
+    /// [`EncodeScratch`] arena: at steady state this allocates nothing.
+    /// The payload's buffers go back to the arena via
+    /// [`EncodeScratch::recycle`] after the fold.
+    ///
+    /// # Panics
+    /// Panics if `base` and `params` differ in length.
+    #[must_use]
+    pub fn encode_with(
+        &self,
+        params: &ParamVec,
+        base: &ParamVec,
+        scratch: &mut EncodeScratch,
+    ) -> EncodedUpdate {
         assert_eq!(params.len(), base.len(), "codec base length mismatch");
         let enc = match *self {
-            CodecSpec::Identity => EncodedUpdate::Dense(params.clone()),
+            CodecSpec::Identity => {
+                let mut buf = scratch.take_dense();
+                buf.extend_from_slice(params.as_slice());
+                EncodedUpdate::Dense(ParamVec(buf))
+            }
             CodecSpec::QuantizeI8 => {
-                let (min, scale, codes) = kernels::quantize_i8(params.as_slice());
+                let mut codes = scratch.take_codes();
+                let (min, scale) = kernels::quantize_i8_into(params.as_slice(), &mut codes);
                 EncodedUpdate::QuantI8 {
                     len: params.len(),
                     min,
@@ -98,19 +228,28 @@ impl CodecSpec {
                 }
             }
             CodecSpec::TopK { frac } => {
-                let delta: Vec<f32> = params
-                    .as_slice()
-                    .iter()
-                    .zip(base.as_slice())
-                    .map(|(&p, &b)| p - b)
-                    .collect();
-                let k = Self::top_k_of(frac, delta.len());
-                let picked = kernels::top_k_by_magnitude(&delta, k);
-                let indices: Vec<u32> = picked.iter().map(|&(i, _)| i).collect();
-                let values: Vec<f32> = picked.iter().map(|&(_, v)| v).collect();
+                scratch.delta.clear();
+                scratch.delta.extend(
+                    params
+                        .as_slice()
+                        .iter()
+                        .zip(base.as_slice())
+                        .map(|(&p, &b)| p - b),
+                );
+                let k = Self::top_k_of(frac, scratch.delta.len());
+                let mut values = scratch.take_vals();
+                kernels::top_k_by_magnitude_into(
+                    &scratch.delta,
+                    k,
+                    &mut scratch.order,
+                    &mut scratch.indices,
+                    &mut values,
+                );
+                let mut idx_delta = scratch.take_idx();
+                kernels::delta_encode_indices_into(&scratch.indices, &mut idx_delta);
                 EncodedUpdate::SparseDelta {
-                    len: delta.len(),
-                    idx_delta: kernels::delta_encode_indices(&indices),
+                    len: scratch.delta.len(),
+                    idx_delta,
                     values,
                 }
             }
@@ -213,24 +352,39 @@ impl EncodedUpdate {
 
     /// Materialise the decoded weights (`base` is read only by delta
     /// payloads). Test/diagnostic path; the hot path folds via
-    /// [`EncodedUpdate::axpy_into`].
+    /// [`EncodedUpdate::axpy_into`] or decodes into a pooled buffer via
+    /// [`EncodedUpdate::decode_into`].
     ///
     /// # Panics
     /// Panics on a length mismatch.
     #[must_use]
     pub fn decode(&self, base: &ParamVec) -> ParamVec {
+        let mut out = ParamVec::default();
+        self.decode_into(base, &mut out);
+        out
+    }
+
+    /// [`EncodedUpdate::decode`] into a caller-owned buffer (cleared and
+    /// resized first), bit-for-bit identical to the allocating form.
+    ///
+    /// # Panics
+    /// Panics if a delta payload's `base` differs in length.
+    pub fn decode_into(&self, base: &ParamVec, out: &mut ParamVec) {
         match self {
-            EncodedUpdate::Dense(p) => p.clone(),
+            EncodedUpdate::Dense(p) => {
+                out.0.clear();
+                out.0.extend_from_slice(p.as_slice());
+            }
             EncodedUpdate::QuantI8 { len, .. } => {
-                let mut out = ParamVec::zeros(*len);
-                self.axpy_into(1.0, &mut out);
-                out
+                out.0.clear();
+                out.0.resize(*len, 0.0);
+                self.axpy_into(1.0, out);
             }
             EncodedUpdate::SparseDelta { len, .. } => {
                 assert_eq!(base.len(), *len, "decode base length mismatch");
-                let mut out = base.clone();
-                self.axpy_into(1.0, &mut out);
-                out
+                out.0.clear();
+                out.0.extend_from_slice(base.as_slice());
+                self.axpy_into(1.0, out);
             }
         }
     }
@@ -360,5 +514,58 @@ mod tests {
     #[should_panic(expected = "fraction must be in (0, 1]")]
     fn topk_rejects_zero_fraction() {
         let _ = CodecSpec::top_k_of(0.0, 10);
+    }
+
+    #[test]
+    fn encode_with_scratch_is_identical_to_allocating_encode() {
+        let p = params(257, 11);
+        let base = params(257, 12);
+        let mut scratch = EncodeScratch::new();
+        for spec in [
+            CodecSpec::Identity,
+            CodecSpec::QuantizeI8,
+            CodecSpec::TopK { frac: 0.1 },
+        ] {
+            // Round-trip twice so the second pass runs on recycled buffers.
+            for _ in 0..2 {
+                let enc = spec.encode_with(&p, &base, &mut scratch);
+                assert_eq!(enc, spec.encode(&p, &base), "{spec:?}");
+                scratch.recycle(enc);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuses_recycled_buffers() {
+        let p = params(100, 13);
+        let base = ParamVec::zeros(100);
+        let mut scratch = EncodeScratch::new();
+        let enc = CodecSpec::QuantizeI8.encode_with(&p, &base, &mut scratch);
+        let EncodedUpdate::QuantI8 { ref codes, .. } = enc else {
+            panic!("wrong payload");
+        };
+        let ptr = codes.as_ptr();
+        scratch.recycle(enc);
+        let enc2 = CodecSpec::QuantizeI8.encode_with(&p, &base, &mut scratch);
+        let EncodedUpdate::QuantI8 { ref codes, .. } = enc2 else {
+            panic!("wrong payload");
+        };
+        assert_eq!(codes.as_ptr(), ptr, "codes buffer must come from the pool");
+    }
+
+    #[test]
+    fn decode_into_matches_decode() {
+        let p = params(64, 14);
+        let base = params(64, 15);
+        let mut out = ParamVec::default();
+        for spec in [
+            CodecSpec::Identity,
+            CodecSpec::QuantizeI8,
+            CodecSpec::TopK { frac: 0.25 },
+        ] {
+            let enc = spec.encode(&p, &base);
+            enc.decode_into(&base, &mut out);
+            assert_eq!(out, enc.decode(&base), "{spec:?}");
+        }
     }
 }

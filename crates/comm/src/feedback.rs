@@ -1,0 +1,255 @@
+//! Client-side error-feedback residuals for lossy codecs.
+//!
+//! Plain lossy compression discards part of every update and the
+//! discarded mass is gone forever; with aggressive sparsification
+//! (`TopK` at small fractions) that loss compounds until training
+//! stalls — exactly the accuracy collapse the comm sweep showed at
+//! `topk(0.1)`. Error feedback (EF-SGD; Karimireddy et al., ICML 2019)
+//! fixes this with one per-client vector: whatever the codec failed to
+//! transmit this round is remembered and added back into what the
+//! client *wants* to send next round, so every coordinate's error is
+//! eventually flushed instead of dropped.
+//!
+//! The residual state lives with the simulation session (it is
+//! client-side state in a real deployment), is keyed by client id, and
+//! is updated in the canonical fold order both execution backends
+//! share — so lockstep and event-driven runs stay bit-for-bit
+//! equivalent with EF active. The lossless `Identity` codec bypasses EF
+//! entirely, preserving every historical bit-for-bit pin.
+
+use std::collections::HashMap;
+
+use tifl_tensor::{codec as kernels, ParamVec};
+
+use crate::codec::{CodecSpec, EncodeScratch, EncodedUpdate};
+
+/// Per-client error-feedback residuals for lossy codecs.
+///
+/// [`ErrorFeedback::encode`] is a drop-in replacement for
+/// [`CodecSpec::encode_with`] on the aggregation path: it compensates
+/// the update with the client's residual before encoding, then stores
+/// what the codec still failed to represent.
+#[derive(Debug, Default)]
+pub struct ErrorFeedback {
+    residuals: HashMap<usize, Vec<f32>>,
+}
+
+impl ErrorFeedback {
+    /// Empty state: every client's first encode is uncompensated.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of clients holding a residual.
+    #[must_use]
+    pub fn tracked_clients(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// Drop all residual state (used when a session restores a
+    /// checkpoint: residuals are not part of the checkpoint, so a
+    /// restored lossy run restarts with clean compensation).
+    pub fn reset(&mut self) {
+        self.residuals.clear();
+    }
+
+    /// Encode `client`'s trained `params` against `base` with residual
+    /// compensation.
+    ///
+    /// * `Identity` — lossless, no residual involved; identical to
+    ///   [`CodecSpec::encode_with`].
+    /// * `QuantizeI8` — quantizes `params + e`, then stores the new
+    ///   quantization error as `e` (bounded by one step per element).
+    /// * `TopK` — sparsifies the compensated delta
+    ///   `(params − base) + e`, then stores the unsent coordinates of
+    ///   that delta as `e`.
+    ///
+    /// Wire size is unchanged: compensation alters which bits ship, not
+    /// how many.
+    ///
+    /// # Panics
+    /// Panics if `params` and `base` differ in length, or if a client's
+    /// model length changed between rounds.
+    #[must_use]
+    pub fn encode(
+        &mut self,
+        codec: CodecSpec,
+        client: usize,
+        params: &ParamVec,
+        base: &ParamVec,
+        scratch: &mut EncodeScratch,
+    ) -> EncodedUpdate {
+        assert_eq!(params.len(), base.len(), "codec base length mismatch");
+        let enc = match codec {
+            CodecSpec::Identity => codec.encode_with(params, base, scratch),
+            CodecSpec::QuantizeI8 => {
+                let e = self
+                    .residuals
+                    .entry(client)
+                    .or_insert_with(|| vec![0.0; params.len()]);
+                assert_eq!(e.len(), params.len(), "error-feedback length mismatch");
+                // Two fused passes: compensate + range in one, quantize +
+                // residual in the other (both bit-for-bit the separate
+                // loops they replace).
+                let (lo, hi) = kernels::add_into_minmax(params.as_slice(), e, &mut scratch.delta);
+                let mut codes = scratch.take_codes();
+                let (min, scale) =
+                    kernels::quantize_i8_residual_into(&scratch.delta, lo, hi, &mut codes, e);
+                EncodedUpdate::QuantI8 {
+                    len: params.len(),
+                    min,
+                    scale,
+                    codes,
+                }
+            }
+            CodecSpec::TopK { frac } => {
+                let e = self
+                    .residuals
+                    .entry(client)
+                    .or_insert_with(|| vec![0.0; params.len()]);
+                assert_eq!(e.len(), params.len(), "error-feedback length mismatch");
+                scratch.delta.clear();
+                scratch.delta.extend(
+                    params
+                        .as_slice()
+                        .iter()
+                        .zip(base.as_slice())
+                        .zip(e.iter())
+                        .map(|((&p, &b), &r)| (p - b) + r),
+                );
+                let k = CodecSpec::top_k_of(frac, scratch.delta.len());
+                let mut values = scratch.take_vals();
+                kernels::top_k_by_magnitude_into(
+                    &scratch.delta,
+                    k,
+                    &mut scratch.order,
+                    &mut scratch.indices,
+                    &mut values,
+                );
+                // The residual is the compensated delta with the shipped
+                // coordinates zeroed — take it by swapping buffers (the
+                // values were already gathered) instead of copying n
+                // floats; the old residual becomes next round's delta
+                // scratch.
+                std::mem::swap(e, &mut scratch.delta);
+                for &i in &scratch.indices {
+                    e[i as usize] = 0.0;
+                }
+                let mut idx_delta = scratch.take_idx();
+                kernels::delta_encode_indices_into(&scratch.indices, &mut idx_delta);
+                EncodedUpdate::SparseDelta {
+                    len: scratch.delta.len(),
+                    idx_delta,
+                    values,
+                }
+            }
+        };
+        debug_assert_eq!(enc.wire_bytes(), codec.encoded_bytes(params.len()));
+        enc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize, seed: u64) -> ParamVec {
+        ParamVec(
+            (0..n)
+                .map(|i| ((i as f32 + seed as f32) * 0.37).sin() * 2.5)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identity_bypasses_residuals() {
+        let mut ef = ErrorFeedback::new();
+        let mut scratch = EncodeScratch::new();
+        let p = params(50, 1);
+        let base = params(50, 2);
+        let enc = ef.encode(CodecSpec::Identity, 0, &p, &base, &mut scratch);
+        assert_eq!(enc, CodecSpec::Identity.encode(&p, &base));
+        assert_eq!(ef.tracked_clients(), 0);
+    }
+
+    #[test]
+    fn first_topk_encode_matches_uncompensated() {
+        let mut ef = ErrorFeedback::new();
+        let mut scratch = EncodeScratch::new();
+        let p = params(200, 3);
+        let base = params(200, 4);
+        let spec = CodecSpec::TopK { frac: 0.1 };
+        let enc = ef.encode(spec, 7, &p, &base, &mut scratch);
+        assert_eq!(enc, spec.encode(&p, &base), "zero residual must be a no-op");
+        assert_eq!(ef.tracked_clients(), 1);
+    }
+
+    #[test]
+    fn topk_residual_flushes_dropped_coordinates_next_round() {
+        // Round 1 drops most of the delta; round 2 must ship the part
+        // that was dropped (compensated delta = residual when the new
+        // delta is zero).
+        let mut ef = ErrorFeedback::new();
+        let mut scratch = EncodeScratch::new();
+        let base = ParamVec::zeros(10);
+        let p = ParamVec(vec![5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.4, 0.3, 0.2, 0.1]);
+        let spec = CodecSpec::TopK { frac: 0.2 };
+        let enc1 = ef.encode(spec, 0, &p, &base, &mut scratch);
+        let d1 = enc1.decode(&base);
+        // Only the two largest coordinates shipped.
+        assert_eq!(d1.0[0], 5.0);
+        assert_eq!(d1.0[1], 4.0);
+        assert_eq!(d1.0[2], 0.0);
+        // Client trains to the same point again: the residual must push
+        // the previously-dropped coordinates to the top.
+        let enc2 = ef.encode(spec, 0, &p, &base, &mut scratch);
+        let d2 = enc2.decode(&base);
+        // Compensated delta is [5, 4, 6, 4, ...]: the dropped coord 2
+        // (residual 3 + fresh delta 3 = 6) now outranks everything.
+        assert_eq!(d2.0[2], 2.0 * 3.0, "residual 3.0 + fresh delta 3.0");
+        assert_eq!(d2.0[0], 5.0);
+        assert_eq!(
+            d2.0[1], 0.0,
+            "coord 1 loses its slot to the flushed coord 2"
+        );
+    }
+
+    #[test]
+    fn quantize_residual_is_bounded_by_one_step() {
+        let mut ef = ErrorFeedback::new();
+        let mut scratch = EncodeScratch::new();
+        let base = ParamVec::zeros(300);
+        let p = params(300, 5);
+        for _ in 0..4 {
+            let enc = ef.encode(CodecSpec::QuantizeI8, 3, &p, &base, &mut scratch);
+            let EncodedUpdate::QuantI8 { scale, .. } = enc else {
+                panic!("wrong payload");
+            };
+            // The stored residual never exceeds a quantization step, so
+            // compensation cannot run away.
+            let e = &ef.residuals[&3];
+            for &r in e {
+                assert!(r.abs() <= scale, "residual {r} exceeds step {scale}");
+            }
+            scratch.recycle(enc);
+        }
+    }
+
+    #[test]
+    fn residuals_are_per_client() {
+        let mut ef = ErrorFeedback::new();
+        let mut scratch = EncodeScratch::new();
+        let base = ParamVec::zeros(40);
+        let spec = CodecSpec::TopK { frac: 0.1 };
+        let _ = ef.encode(spec, 0, &params(40, 6), &base, &mut scratch);
+        // A fresh client's encode must match the uncompensated encode
+        // even after another client accumulated a residual.
+        let p = params(40, 7);
+        let enc = ef.encode(spec, 1, &p, &base, &mut scratch);
+        assert_eq!(enc, spec.encode(&p, &base));
+        assert_eq!(ef.tracked_clients(), 2);
+        ef.reset();
+        assert_eq!(ef.tracked_clients(), 0);
+    }
+}

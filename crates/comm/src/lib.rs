@@ -26,9 +26,11 @@
 //! can become bandwidth-aware and compressed declaratively.
 
 pub mod codec;
+pub mod feedback;
 pub mod link;
 
-pub use codec::{CodecSpec, EncodedUpdate};
+pub use codec::{CodecSpec, EncodeScratch, EncodedUpdate};
+pub use feedback::ErrorFeedback;
 pub use link::{CommCost, LinkAssignment, LinkModel};
 
 use serde::{Deserialize, Serialize};

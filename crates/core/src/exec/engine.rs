@@ -130,13 +130,16 @@ impl EventEngine {
     ) -> Vec<RoundReport> {
         let ctx = TrainContext::of(session);
         let executor = ClientExecutor::new(self.threads);
-        let param_len = session.global_params().len();
         let comm = session.config().comm;
         let (reports, timelines) = executor.run(&ctx, |queue, results| {
             let mut reports: Vec<RoundReport> = Vec::with_capacity(rounds as usize);
             let mut timelines = Vec::new();
             let mut evals_pending = 0usize;
             let mut eval_patches: Vec<EvalPatch> = Vec::new();
+            // Reused across rounds; with the session's pooled fold
+            // accumulator and encode scratch, a steady-state round
+            // allocates only its dispatch snapshot.
+            let mut weights: Vec<f32> = Vec::new();
             for _ in 0..rounds {
                 let plan = session.plan_round(selector);
                 if self.record_timelines {
@@ -150,12 +153,9 @@ impl EventEngine {
                 // The fold's total weight is known before any client
                 // finishes — contributors and their sample counts come
                 // from the plan alone.
-                let weights: Vec<f32> = plan
-                    .contributors
-                    .iter()
-                    .map(|&c| ctx.samples(c) as f32)
-                    .collect();
-                let mut fold = StreamingFold::new(param_len, &weights);
+                weights.clear();
+                weights.extend(plan.contributors.iter().map(|&c| ctx.samples(c) as f32));
+                let mut fold = StreamingFold::with_acc(session.take_fold_acc(), &weights);
                 let global = Arc::new(session.global_params().clone());
                 for (slot, &c) in plan.contributors.iter().enumerate() {
                     queue.submit_train(slot as u64, c, plan.round, Arc::clone(&global));
@@ -164,8 +164,11 @@ impl EventEngine {
                 // Stream: fold each update the moment its canonical
                 // predecessor has been folded; collect any finished
                 // deferred evaluations that arrive in between. With a
-                // comm spec active, each update folds from its encoded
-                // wire form (decode-and-fold, no dense intermediate).
+                // comm spec active, each released update encodes (with
+                // error-feedback compensation) and folds from its wire
+                // form — one push can release and encode a whole batch
+                // of stashed out-of-order arrivals, all on the session's
+                // scratch buffers.
                 let mut merge = OrderedMerge::new();
                 while fold.folded() < fold.expected() {
                     match results.recv().expect("workers outlive the round") {
@@ -178,10 +181,16 @@ impl EventEngine {
                                 Some(spec) if spec.codec == tifl_comm::CodecSpec::Identity => {
                                     fold.fold(&u);
                                 }
-                                Some(spec) => fold.fold_encoded(
-                                    &spec.codec.encode(&u.params, &global),
-                                    u.samples,
-                                ),
+                                Some(spec) => {
+                                    let (feedback, scratch) = session.codec_state_mut();
+                                    fold.fold_compensated(
+                                        &spec.codec,
+                                        &u,
+                                        &global,
+                                        feedback,
+                                        scratch,
+                                    );
+                                }
                             });
                         }
                         TaskResult::Eval {
@@ -352,25 +361,21 @@ impl EventEngine {
                             );
                             // With a codec active the server only ever
                             // sees the encoded upload: round-trip the
-                            // update through the wire format. Sparse
-                            // deltas rebase against the current global
-                            // (the staleness damping already mixes
-                            // toward it).
+                            // update through the wire format (with
+                            // error-feedback compensation, on pooled
+                            // buffers). Sparse deltas rebase against the
+                            // current global (the staleness damping
+                            // already mixes toward it).
                             let params = match comm {
                                 None => update.params,
                                 Some(spec) if spec.codec == tifl_comm::CodecSpec::Identity => {
                                     update.params
                                 }
-                                Some(spec) => {
-                                    let base = session.global_params();
-                                    spec.codec.encode(&update.params, base).decode(base)
-                                }
+                                Some(spec) => session.roundtrip_through_codec(&spec.codec, &update),
                             };
                             let beta = ASYNC_BASE_MIX / (1.0 + staleness as f32);
-                            let mut global = session.global_params().clone();
-                            global.scale(1.0 - beta);
-                            global.axpy(beta, &params);
-                            session.set_global_params(global);
+                            session.mix_global(beta, &params);
+                            session.recycle_dense(params);
                             version += 1;
                         } else if stash.remove(&seq).is_none() {
                             // The stale update may not have been

@@ -1,7 +1,7 @@
 //! FedAvg aggregation (Algorithm 1, line 8).
 
 use std::sync::mpsc;
-use tifl_comm::EncodedUpdate;
+use tifl_comm::{CodecSpec, EncodeScratch, EncodedUpdate, ErrorFeedback};
 use tifl_tensor::ParamVec;
 
 /// One client's contribution to a round: updated weights plus the local
@@ -71,13 +71,27 @@ impl StreamingFold {
     /// (mirroring `weighted_mean`'s "zero total weight").
     #[must_use]
     pub fn new(param_len: usize, weights: &[f32]) -> Self {
+        Self::with_acc(ParamVec::zeros(param_len), weights)
+    }
+
+    /// As [`StreamingFold::new`], accumulating into a caller-supplied
+    /// buffer (zeroed here) instead of a fresh allocation — the
+    /// allocation-free form fed from `EncodeScratch::take_zeroed` /
+    /// recycled global models on the per-round hot path.
+    ///
+    /// # Panics
+    /// Panics if updates are expected but all weights are zero
+    /// (mirroring `weighted_mean`'s "zero total weight").
+    #[must_use]
+    pub fn with_acc(mut acc: ParamVec, weights: &[f32]) -> Self {
         let total: f64 = weights.iter().map(|&w| f64::from(w)).sum();
         assert!(
             weights.is_empty() || total > 0.0,
             "weighted_mean with zero total weight"
         );
+        acc.0.fill(0.0);
         Self {
-            acc: ParamVec::zeros(param_len),
+            acc,
             total,
             expected: weights.len(),
             folded: 0,
@@ -140,6 +154,33 @@ impl StreamingFold {
             self.base_coeff += coeff;
         }
         self.folded += 1;
+    }
+
+    /// Encode-and-fold one client contribution on the zero-allocation
+    /// path: the update is encoded with error-feedback compensation
+    /// (lossy codecs carry the client's residual; `Identity` folds the
+    /// raw weights directly, bit-for-bit [`StreamingFold::fold`]), the
+    /// payload folds via [`StreamingFold::fold_encoded`], and its
+    /// buffers return to `scratch` immediately.
+    ///
+    /// # Panics
+    /// Panics past the expected count or on a length mismatch.
+    pub fn fold_compensated(
+        &mut self,
+        codec: &CodecSpec,
+        update: &ClientUpdate,
+        base: &ParamVec,
+        feedback: &mut ErrorFeedback,
+        scratch: &mut EncodeScratch,
+    ) {
+        if matches!(codec, CodecSpec::Identity) {
+            // Lossless: skip the wire-format copy entirely.
+            self.fold(update);
+            return;
+        }
+        let enc = feedback.encode(*codec, update.client, &update.params, base, scratch);
+        self.fold_encoded(&enc, update.samples);
+        scratch.recycle(enc);
     }
 
     /// The aggregated model, or `None` when the fold expected no updates

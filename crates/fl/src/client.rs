@@ -153,6 +153,12 @@ pub fn local_train(
     let mut shuffle_rng = seed_rng(split_seed(seed, split_seed(client as u64, round)));
     let mut indices: Vec<usize> = (0..data.len()).collect();
 
+    // Hoisted FedProx scratch: the proximal pull runs once per
+    // mini-batch, so per-batch `ParamVec` allocations here dominate the
+    // training hot path. Both buffers grow once and are reused.
+    let mut prox_params = ParamVec::default();
+    let mut prox_pull = ParamVec::default();
+
     for _ in 0..config.local_epochs {
         indices.shuffle(&mut shuffle_rng);
         for batch in indices.chunks(config.batch_size.max(1)) {
@@ -163,12 +169,13 @@ pub fn local_train(
                 // FedProx: gradient of μ‖w − w_global‖²/2 is
                 // μ(w − w_global); apply it as an extra SGD step at the
                 // optimiser's current learning rate.
-                let mut params = model.params();
+                model.params_into(&mut prox_params);
                 let step = opt.learning_rate() * config.proximal_mu;
-                let mut pull = params.clone();
-                pull.axpy(-1.0, global);
-                params.axpy(-step, &pull);
-                model.set_params(&params);
+                prox_pull.0.clear();
+                prox_pull.0.extend_from_slice(prox_params.as_slice());
+                prox_pull.axpy(-1.0, global);
+                prox_params.axpy(-step, &prox_pull);
+                model.set_params(&prox_params);
             }
         }
     }
@@ -191,8 +198,11 @@ pub fn local_train(
 fn apply_dp_noise(params: &mut ParamVec, global: &ParamVec, dp: DpNoiseConfig, seed: u64) {
     assert!(dp.clip > 0.0, "DP clip bound must be positive");
     assert!(dp.noise_multiplier >= 0.0, "noise multiplier must be >= 0");
-    let mut delta = params.clone();
-    delta.axpy(-1.0, global);
+    // Turn `params` into the delta in place; the clipped/noised delta is
+    // re-based onto `global` at the end. Same per-element operation order
+    // as the old buffer-copy formulation, so results are bit-identical.
+    params.axpy(-1.0, global);
+    let delta = params;
     let norm = delta
         .as_slice()
         .iter()
@@ -211,8 +221,9 @@ fn apply_dp_noise(params: &mut ParamVec, global: &ParamVec, dp: DpNoiseConfig, s
             *v += normal.sample(&mut rng);
         }
     }
-    params.0.copy_from_slice(global.as_slice());
-    params.axpy(1.0, &delta);
+    // delta + 1.0 * global is exact in the multiply, so this matches the
+    // old `global + 1.0 * delta` bit for bit (f32 addition commutes).
+    delta.axpy(1.0, global);
 }
 
 /// Train one client of a federated dataset and package the result as a

@@ -1,6 +1,6 @@
 //! The round engine: drives Algorithm 1 against the simulated testbed.
 
-use crate::aggregator::{aggregate_fedavg, ClientUpdate, StreamingFold};
+use crate::aggregator::{ClientUpdate, StreamingFold};
 use crate::client::{self, ClientConfig};
 use crate::hierarchy::AggregationTree;
 use crate::report::{RoundReport, TrainingReport};
@@ -8,7 +8,7 @@ use crate::selector::ClientSelector;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use tifl_comm::CommSpec;
+use tifl_comm::{CodecSpec, CommSpec, EncodeScratch, ErrorFeedback};
 use tifl_data::FederatedDataset;
 use tifl_nn::model::EvalResult;
 use tifl_nn::models::ModelSpec;
@@ -157,6 +157,13 @@ pub struct Session {
     /// comm spec: uncompressed, `update_bytes` both ways).
     upload_bytes: Option<u64>,
     round: u64,
+    /// Reusable encode/fold buffers: at steady state a round's
+    /// aggregation path allocates nothing.
+    codec_scratch: EncodeScratch,
+    /// Per-client error-feedback residuals for lossy codecs.
+    feedback: ErrorFeedback,
+    /// Reusable per-round aggregation-weight buffer.
+    fold_weights: Vec<f32>,
 }
 
 impl Session {
@@ -208,6 +215,9 @@ impl Session {
             global,
             clock: VirtualClock::new(),
             round: 0,
+            codec_scratch: EncodeScratch::new(),
+            feedback: ErrorFeedback::new(),
+            fold_weights: Vec::new(),
         }
     }
 
@@ -351,6 +361,9 @@ impl Session {
         self.clock.reset();
         self.clock.advance(checkpoint.time);
         self.round = checkpoint.round;
+        // Residuals are not part of the checkpoint: a restored lossy run
+        // restarts with clean error-feedback compensation.
+        self.feedback.reset();
     }
 
     /// Simulate the next round up to (but excluding) local training:
@@ -497,7 +510,10 @@ impl Session {
         self.clock.advance(latency);
         if let Some(global) = new_global {
             assert_eq!(global.len(), self.global.len(), "aggregated model size");
-            self.global = global;
+            let old = std::mem::replace(&mut self.global, global);
+            // The displaced model's buffer becomes next round's fold
+            // accumulator.
+            self.codec_scratch.recycle_dense(old);
         }
 
         let (accuracy, loss) = if eval_inline && self.is_eval_round(round) {
@@ -540,7 +556,70 @@ impl Session {
     /// Panics if the parameter count does not match the model.
     pub fn set_global_params(&mut self, params: ParamVec) {
         assert_eq!(params.len(), self.global.len(), "global model size");
-        self.global = params;
+        let old = std::mem::replace(&mut self.global, params);
+        self.codec_scratch.recycle_dense(old);
+    }
+
+    /// Disjoint borrows of the error-feedback state and the encode
+    /// scratch arena, for executors that encode updates outside
+    /// [`Session::run_round`] while reading the global model.
+    pub fn codec_state_mut(&mut self) -> (&mut ErrorFeedback, &mut EncodeScratch) {
+        (&mut self.feedback, &mut self.codec_scratch)
+    }
+
+    /// Pooled zeroed accumulator sized for the global model (feeds
+    /// `StreamingFold::with_acc`; the buffer cycles back through
+    /// [`Session::finish_round`] / [`Session::set_global_params`]).
+    #[must_use]
+    pub fn take_fold_acc(&mut self) -> ParamVec {
+        let n = self.global.len();
+        self.codec_scratch.take_zeroed(n)
+    }
+
+    /// Return a dense buffer to the session's pool (an executor's
+    /// decoded arrival it has finished folding).
+    pub fn recycle_dense(&mut self, p: ParamVec) {
+        self.codec_scratch.recycle_dense(p);
+    }
+
+    /// Round-trip one client's update through its encoded wire form
+    /// against the current global model — the asynchronous engine's
+    /// server-side view of an arrival. Encodes with error-feedback
+    /// compensation and decodes into a pooled buffer (return it via
+    /// [`Session::recycle_dense`] after folding).
+    ///
+    /// # Panics
+    /// Panics if the update's parameter count does not match the model.
+    #[must_use]
+    pub fn roundtrip_through_codec(
+        &mut self,
+        codec: &CodecSpec,
+        update: &ClientUpdate,
+    ) -> ParamVec {
+        let enc = self.feedback.encode(
+            *codec,
+            update.client,
+            &update.params,
+            &self.global,
+            &mut self.codec_scratch,
+        );
+        let mut out = self.codec_scratch.take_empty();
+        enc.decode_into(&self.global, &mut out);
+        self.codec_scratch.recycle(enc);
+        out
+    }
+
+    /// FedAsync mix step, in place: `global = (1 − beta) · global +
+    /// beta · params`. Same scale-then-axpy operation order as mixing
+    /// on a copy, so the result is bit-for-bit identical — without the
+    /// per-arrival model clone.
+    ///
+    /// # Panics
+    /// Panics if the parameter count does not match the model.
+    pub fn mix_global(&mut self, beta: f32, params: &ParamVec) {
+        assert_eq!(params.len(), self.global.len(), "global model size");
+        self.global.scale(1.0 - beta);
+        self.global.axpy(beta, params);
     }
 
     /// Advance the virtual clock to an absolute time (asynchronous
@@ -564,32 +643,60 @@ impl Session {
         let plan = self.plan_round(selector);
         // Local training in parallel across contributing clients. Each
         // client's result depends only on (seed, client, round), so rayon
-        // scheduling cannot perturb the outcome.
-        let updates: Vec<ClientUpdate> = plan
-            .contributors
-            .par_iter()
-            .map(|&c| self.train_contributor(c, plan.round))
-            .collect();
+        // scheduling cannot perturb the outcome. On a single-threaded
+        // pool the fan-out is pure overhead — worse, the pool's lone
+        // worker briefly spin-waits for more work after the collect,
+        // contending with this thread for the only core exactly while
+        // the fold below runs — so train inline instead (same results
+        // either way).
+        let updates: Vec<ClientUpdate> = if rayon::current_num_threads() > 1 {
+            plan.contributors
+                .par_iter()
+                .map(|&c| self.train_contributor(c, plan.round))
+                .collect()
+        } else {
+            plan.contributors
+                .iter()
+                .map(|&c| self.train_contributor(c, plan.round))
+                .collect()
+        };
         // Synchronous aggregation over the received updates, in the
         // plan's canonical contributor order. With a comm spec the
         // server folds each update from its encoded wire form — the
         // exact decode-and-fold path the event-driven engine streams.
-        let new_global = match self.config.comm {
-            _ if updates.is_empty() => None,
-            // Identity's encoded fold is bitwise `aggregate_fedavg`
-            // (pinned in the aggregator tests) — skip the per-update
-            // model clone the encode would make.
-            None => Some(aggregate_fedavg(&updates)),
-            Some(spec) if spec.codec == tifl_comm::CodecSpec::Identity => {
-                Some(aggregate_fedavg(&updates))
-            }
-            Some(spec) => {
-                let weights: Vec<f32> = updates.iter().map(|u| u.samples as f32).collect();
-                let mut fold = StreamingFold::new(self.global.len(), &weights);
-                for u in &updates {
-                    fold.fold_encoded(&spec.codec.encode(&u.params, &self.global), u.samples);
+        // Every buffer (accumulator, weights, payloads) cycles through
+        // the session's scratch pools: a steady-state round allocates
+        // nothing on this path.
+        let new_global = if updates.is_empty() {
+            None
+        } else {
+            self.fold_weights.clear();
+            self.fold_weights
+                .extend(updates.iter().map(|u| u.samples as f32));
+            let acc = self.codec_scratch.take_zeroed(self.global.len());
+            let mut fold = StreamingFold::with_acc(acc, &self.fold_weights);
+            match self.config.comm.map(|spec| spec.codec) {
+                // The plain streaming fold is bitwise `aggregate_fedavg`
+                // (pinned in the aggregator tests) — Identity skips the
+                // wire-format copy the encode would make.
+                None | Some(CodecSpec::Identity) => {
+                    for u in &updates {
+                        fold.fold(u);
+                    }
+                    fold.finish()
                 }
-                fold.finish_against(&self.global)
+                Some(codec) => {
+                    for u in &updates {
+                        fold.fold_compensated(
+                            &codec,
+                            u,
+                            &self.global,
+                            &mut self.feedback,
+                            &mut self.codec_scratch,
+                        );
+                    }
+                    fold.finish_against(&self.global)
+                }
             }
         };
         self.finish_round(plan, new_global, selector, true)

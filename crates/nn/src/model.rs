@@ -67,11 +67,19 @@ impl Sequential {
     /// Export all parameters as a flat vector.
     #[must_use]
     pub fn params(&self) -> ParamVec {
-        let mut out = Vec::with_capacity(self.param_count());
+        let mut out = ParamVec::default();
+        self.params_into(&mut out);
+        out
+    }
+
+    /// Export all parameters into a caller-owned buffer, reusing its
+    /// capacity. Allocation-free once `out` has grown to `param_count()`.
+    pub fn params_into(&self, out: &mut ParamVec) {
+        out.0.clear();
+        out.0.reserve(self.param_count());
         for layer in &self.layers {
-            layer.append_params(&mut out);
+            layer.append_params(&mut out.0);
         }
-        ParamVec(out)
     }
 
     /// Export the gradients recorded by the last backward pass.

@@ -1,0 +1,156 @@
+//! Allocation-count regression gate for the per-round fold/encode hot
+//! path.
+//!
+//! The tentpole claim of the scratch-arena rework is that a steady-state
+//! aggregation round — encode every contributor with error-feedback
+//! compensation, fold the payloads, resolve the new global, recycle the
+//! old one — performs **zero heap allocations** once the pools have
+//! warmed up. This test pins that with a counting `#[global_allocator]`:
+//! it runs warm-up rounds to size every pool, then asserts the measured
+//! rounds allocate nothing.
+//!
+//! It lives in its own integration-test binary on purpose: the counter
+//! is process-global, so no other test may run concurrently in this
+//! process (one `#[test]` here, single-threaded by construction).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use tifl::comm::{CodecSpec, EncodeScratch, ErrorFeedback};
+use tifl::fl::{ClientUpdate, StreamingFold};
+use tifl::tensor::ParamVec;
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f` with allocation counting enabled; returns how many heap
+/// allocations (alloc/alloc_zeroed/realloc) it performed.
+fn allocations_in(f: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// One aggregation round exactly as `Session::run_round` performs it:
+/// pooled accumulator, per-contributor compensated encode + fold,
+/// deferred delta bases, old global recycled into the arena.
+fn round(
+    codec: CodecSpec,
+    global: &mut ParamVec,
+    updates: &[ClientUpdate],
+    weights: &mut Vec<f32>,
+    feedback: &mut ErrorFeedback,
+    scratch: &mut EncodeScratch,
+) {
+    weights.clear();
+    weights.extend(updates.iter().map(|u| u.samples as f32));
+    let acc = scratch.take_zeroed(global.len());
+    let mut fold = StreamingFold::with_acc(acc, weights);
+    let new_global = if matches!(codec, CodecSpec::Identity) {
+        for u in updates {
+            fold.fold(u);
+        }
+        fold.finish()
+    } else {
+        for u in updates {
+            fold.fold_compensated(&codec, u, global, feedback, scratch);
+        }
+        fold.finish_against(global)
+    }
+    .expect("non-empty round");
+    let old = std::mem::replace(global, new_global);
+    scratch.recycle_dense(old);
+}
+
+#[test]
+fn steady_state_fold_encode_round_is_allocation_free() {
+    const PARAMS: usize = 4_096;
+    const CLIENTS: usize = 6;
+
+    let updates: Vec<ClientUpdate> = (0..CLIENTS)
+        .map(|c| ClientUpdate {
+            client: c,
+            params: ParamVec(
+                (0..PARAMS)
+                    .map(|j| ((c * 131 + j * 7) as f32 * 0.013).sin() * 2.0)
+                    .collect(),
+            ),
+            samples: 50 + c * 13,
+        })
+        .collect();
+
+    for codec in [
+        CodecSpec::Identity,
+        CodecSpec::QuantizeI8,
+        CodecSpec::TopK { frac: 0.25 },
+    ] {
+        let mut global = ParamVec::zeros(PARAMS);
+        let mut weights = Vec::new();
+        let mut feedback = ErrorFeedback::new();
+        let mut scratch = EncodeScratch::new();
+
+        // Warm-up: grows every pool buffer, residual vector and the
+        // weights vec to steady-state capacity.
+        for _ in 0..3 {
+            round(
+                codec,
+                &mut global,
+                &updates,
+                &mut weights,
+                &mut feedback,
+                &mut scratch,
+            );
+        }
+
+        let allocs = allocations_in(|| {
+            for _ in 0..5 {
+                round(
+                    codec,
+                    &mut global,
+                    &updates,
+                    &mut weights,
+                    &mut feedback,
+                    &mut scratch,
+                );
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "{codec:?}: steady-state rounds allocated {allocs} times"
+        );
+    }
+}

@@ -253,10 +253,17 @@ fn compressed_runs_pin_accuracy_on_cifar10_resource_het() {
         )
         .run()
     };
+    // top-k(0.1) is the regression pin for error feedback: without
+    // residual compensation this setting collapsed to ~0.20 final
+    // accuracy vs ~0.42 uncompressed (see BENCH_comm_sweep.json history)
+    // because 90% of every update was dropped forever. With EF the
+    // dropped mass is flushed over later rounds, so the curve recovers
+    // to within the same envelope as top-k(0.25).
     let identity = run(CodecSpec::Identity);
     for (codec, round_tol, final_tol) in [
         (CodecSpec::QuantizeI8, 0.02, 0.02),
         (CodecSpec::TopK { frac: 0.25 }, 0.2, 0.05),
+        (CodecSpec::TopK { frac: 0.1 }, 0.25, 0.05),
     ] {
         let compressed = run(codec);
         // Strictly fewer uplink bytes, identical downlink.

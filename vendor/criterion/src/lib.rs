@@ -7,8 +7,30 @@
 //! target measurement time and report the mean time per iteration.
 //! No statistics, no HTML reports; output is one line per benchmark on
 //! stdout. Good enough to compare hot-path changes within this repo.
+//!
+//! # Baseline compare (the perf gate)
+//!
+//! Unlike upstream, baselines are explicit JSON files so they can be
+//! checked into the repo and diffed in review. The bench binary accepts
+//! (unknown flags, e.g. cargo's `--bench`, are ignored):
+//!
+//! * `--save-baseline <path>` — write every measured benchmark to
+//!   `<path>` as a flat `label → ns/iter` JSON map;
+//! * `--baseline <path>` — after running, compare against `<path>` and
+//!   exit non-zero if any benchmark regressed beyond the threshold;
+//! * `--fail-threshold <pct>` — regression tolerance for `--baseline`
+//!   (default 15, i.e. fail at >15% slower).
+//!
+//! Raw nanoseconds are not comparable across hosts, so comparisons are
+//! **calibration-normalized** when possible: if both the run and the
+//! baseline contain a benchmark whose label starts with `calibration/`,
+//! every time is first divided by its own run's calibration time. A
+//! baseline recorded on a fast machine then gates a slow CI runner on
+//! *relative* kernel cost (e.g. "blocked axpy vs the scalar reference")
+//! instead of absolute wall-clock.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimiser value barrier.
@@ -100,6 +122,10 @@ fn human_time(ns: f64) -> String {
     }
 }
 
+/// Every `(label, mean ns/iter)` measured by this process, in run
+/// order. Drained by [`finalize`].
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
 fn run_one(label: &str, measurement_time: Duration, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         measurement_time,
@@ -112,6 +138,164 @@ fn run_one(label: &str, measurement_time: Duration, f: &mut dyn FnMut(&mut Bench
         human_time(bencher.result_ns),
         bencher.iters_done
     );
+    RESULTS
+        .lock()
+        .expect("results poisoned")
+        .push((label.to_string(), bencher.result_ns));
+}
+
+/// Labels with this prefix are host-speed probes: they normalize the
+/// baseline comparison and are never gated themselves.
+pub const CALIBRATION_PREFIX: &str = "calibration/";
+
+/// Serialize results as a flat JSON map (sorted by label; one entry per
+/// line so the checked-in baseline diffs cleanly).
+fn baseline_json(results: &[(String, f64)]) -> String {
+    let mut sorted: Vec<&(String, f64)> = results.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n  \"schema\": \"tifl-criterion-baseline-v1\",\n");
+    for (i, (label, ns)) in sorted.iter().enumerate() {
+        let sep = if i + 1 == sorted.len() { "" } else { "," };
+        out.push_str(&format!("  \"{label}\": {ns:.3}{sep}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parse the writer's line-oriented JSON back into `(label, ns)` pairs.
+/// Non-numeric values (the schema tag) are skipped.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key.is_empty() || key == "schema" {
+            continue;
+        }
+        if let Ok(ns) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), ns));
+        }
+    }
+    out
+}
+
+fn lookup(results: &[(String, f64)], label: &str) -> Option<f64> {
+    results.iter().find(|(l, _)| l == label).map(|&(_, ns)| ns)
+}
+
+/// The calibration divisor for a result set: the first `calibration/`
+/// entry, provided it is also present in `other` (both sides must
+/// normalize by the same probe for the ratios to be comparable).
+fn calibration_of(results: &[(String, f64)], other: &[(String, f64)]) -> Option<(String, f64)> {
+    results
+        .iter()
+        .find(|(l, ns)| {
+            l.starts_with(CALIBRATION_PREFIX) && *ns > 0.0 && lookup(other, l).is_some()
+        })
+        .cloned()
+}
+
+/// Compare `current` against a saved baseline. Returns the list of
+/// regressions (`label`, current-vs-baseline ratio) beyond
+/// `1 + threshold_pct/100`. Benchmarks only present on one side are
+/// reported to stdout but never fail the gate (so adding a bench does
+/// not require regenerating the baseline atomically).
+fn compare_against_baseline(
+    current: &[(String, f64)],
+    baseline: &[(String, f64)],
+    threshold_pct: f64,
+) -> Vec<(String, f64)> {
+    let calibration = calibration_of(current, baseline);
+    match &calibration {
+        Some((label, _)) => println!("perf gate: normalizing by {label}"),
+        None => println!("perf gate: no shared calibration bench; comparing raw ns"),
+    }
+    let norm = |results: &[(String, f64)], ns: f64| match &calibration {
+        Some((label, _)) => ns / lookup(results, label).expect("calibration present"),
+        None => ns,
+    };
+    let mut regressions = Vec::new();
+    for (label, base_ns) in baseline {
+        if label.starts_with(CALIBRATION_PREFIX) {
+            continue;
+        }
+        let Some(cur_ns) = lookup(current, label) else {
+            println!("perf gate: {label}: in baseline but not measured (skipped)");
+            continue;
+        };
+        let ratio = norm(current, cur_ns) / norm(baseline, *base_ns);
+        let verdict = if ratio > 1.0 + threshold_pct / 100.0 {
+            regressions.push((label.clone(), ratio));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "perf gate: {label:<46} {:>10} vs {:>10}  ({:+6.1}%)  {verdict}",
+            human_time(cur_ns),
+            human_time(*base_ns),
+            (ratio - 1.0) * 100.0,
+        );
+    }
+    for (label, _) in current {
+        if !label.starts_with(CALIBRATION_PREFIX) && lookup(baseline, label).is_none() {
+            println!("perf gate: {label}: not in baseline (add with --save-baseline)");
+        }
+    }
+    regressions
+}
+
+/// Process the perf-gate CLI after all groups ran: handle
+/// `--save-baseline` / `--baseline` / `--fail-threshold`, exiting
+/// non-zero on a regression. Called by `criterion_main!`; unknown
+/// arguments (cargo's `--bench`, name filters) are ignored.
+pub fn finalize() {
+    let results = std::mem::take(&mut *RESULTS.lock().expect("results poisoned"));
+    let mut save_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut threshold_pct = 15.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--save-baseline" => save_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
+            "--fail-threshold" => {
+                threshold_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fail-threshold takes a percentage");
+            }
+            _ => {}
+        }
+    }
+    if let Some(path) = save_path {
+        std::fs::write(&path, baseline_json(&results))
+            .unwrap_or_else(|e| panic!("cannot write baseline {path}: {e}"));
+        println!("perf gate: saved {} benchmarks to {path}", results.len());
+    }
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = parse_baseline(&text);
+        let regressions = compare_against_baseline(&results, &baseline, threshold_pct);
+        if !regressions.is_empty() {
+            eprintln!(
+                "perf gate FAILED: {} benchmark(s) regressed more than {threshold_pct}%:",
+                regressions.len()
+            );
+            for (label, ratio) in &regressions {
+                eprintln!("  {label}: {:+.1}%", (ratio - 1.0) * 100.0);
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "perf gate: ok ({} benchmarks within {threshold_pct}%)",
+            baseline.len()
+        );
+    }
 }
 
 /// Top-level benchmark driver.
@@ -229,12 +413,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declare the bench entry point.
+/// Declare the bench entry point. After every group runs, the perf-gate
+/// CLI (`--save-baseline` / `--baseline`) is processed via
+/// [`finalize`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -260,5 +447,48 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("matmul", 64).to_string(), "matmul/64");
         assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let results = vec![
+            ("hot/axpy".to_string(), 1234.5678),
+            ("calibration/axpy_scalar".to_string(), 900.0),
+        ];
+        let parsed = parse_baseline(&baseline_json(&results));
+        // Sorted by label, schema tag skipped, values kept to 3 decimals.
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "calibration/axpy_scalar");
+        assert!((parsed[1].1 - 1234.568).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_normalizes_by_calibration() {
+        // Current host is uniformly 2x slower than the baseline host:
+        // with the shared calibration probe, nothing regresses.
+        let baseline = vec![
+            ("calibration/probe".to_string(), 100.0),
+            ("hot/axpy".to_string(), 50.0),
+        ];
+        let current = vec![
+            ("calibration/probe".to_string(), 200.0),
+            ("hot/axpy".to_string(), 100.0),
+        ];
+        assert!(compare_against_baseline(&current, &baseline, 15.0).is_empty());
+        // A genuine 50% relative slowdown still fails.
+        let regressed = vec![
+            ("calibration/probe".to_string(), 200.0),
+            ("hot/axpy".to_string(), 150.0),
+        ];
+        let failures = compare_against_baseline(&regressed, &baseline, 15.0);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "hot/axpy");
+    }
+
+    #[test]
+    fn compare_skips_one_sided_benchmarks() {
+        let baseline = vec![("hot/gone".to_string(), 50.0)];
+        let current = vec![("hot/new".to_string(), 50.0)];
+        assert!(compare_against_baseline(&current, &baseline, 15.0).is_empty());
     }
 }
