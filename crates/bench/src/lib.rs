@@ -11,6 +11,8 @@
 //! All "time" columns are **virtual seconds** from the simulated
 //! testbed.
 
+#![forbid(unsafe_code)]
+
 use serde::Serialize;
 use std::fmt::Write as _;
 use tifl_fl::TrainingReport;

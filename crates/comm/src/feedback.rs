@@ -17,7 +17,7 @@
 //! equivalent with EF active. The lossless `Identity` codec bypasses EF
 //! entirely, preserving every historical bit-for-bit pin.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tifl_tensor::{codec as kernels, ParamVec};
 
@@ -31,7 +31,7 @@ use crate::codec::{CodecSpec, EncodeScratch, EncodedUpdate};
 /// what the codec still failed to represent.
 #[derive(Debug, Default)]
 pub struct ErrorFeedback {
-    residuals: HashMap<usize, Vec<f32>>,
+    residuals: BTreeMap<usize, Vec<f32>>,
 }
 
 impl ErrorFeedback {

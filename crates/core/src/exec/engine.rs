@@ -34,7 +34,7 @@
 
 use crate::exec::executor::{ClientExecutor, TaskResult, TrainContext, WorkQueue};
 use crate::exec::streaming::OrderedMerge;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use tifl_fl::selector::ClientSelector;
@@ -229,6 +229,7 @@ impl EventEngine {
                         eval_patches.push((report_index, accuracy, loss));
                     }
                     TaskResult::Update { .. } => {
+                        // tifl-lint: allow(panic-in-library) — invariant panic: the lockstep loop drains every update it spawned before looking for round ends
                         unreachable!("every round drains its own updates")
                     }
                 }
@@ -277,11 +278,11 @@ impl EventEngine {
         executor.run(&ctx, |queue, results| {
             let mut events: EventQueue<AsyncEvent> = EventQueue::new();
             let mut reports: Vec<RoundReport> = Vec::with_capacity(steps as usize);
-            let mut stash: HashMap<u64, tifl_fl::ClientUpdate> = HashMap::new();
+            let mut stash: BTreeMap<u64, tifl_fl::ClientUpdate> = BTreeMap::new();
             // Dispatch seqs whose arrival was judged stale: their
             // (already-trained) updates are dropped on receipt instead
             // of accumulating in the stash.
-            let mut discarded: HashSet<u64> = HashSet::new();
+            let mut discarded: BTreeSet<u64> = BTreeSet::new();
             let mut evals_pending = 0usize;
             let mut eval_patches: Vec<EvalPatch> = Vec::new();
             let mut next_seq: u64 = 0;
@@ -476,8 +477,8 @@ fn pick_one(selector: &mut dyn ClientSelector, seq: u64) -> usize {
 /// and dropping any whose arrival was already judged stale.
 fn take_update(
     seq: u64,
-    stash: &mut HashMap<u64, tifl_fl::ClientUpdate>,
-    discarded: &mut HashSet<u64>,
+    stash: &mut BTreeMap<u64, tifl_fl::ClientUpdate>,
+    discarded: &mut BTreeSet<u64>,
     results: &Receiver<TaskResult>,
     evals_pending: &mut usize,
     eval_patches: &mut Vec<EvalPatch>,

@@ -25,6 +25,8 @@
 //!   (bit-for-bit equal to the lockstep loop, plus straggler
 //!   cancellation and asynchronous staleness-aware aggregation).
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod baselines;
 pub mod estimator;

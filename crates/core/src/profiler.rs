@@ -189,8 +189,8 @@ mod tests {
         });
         let r = p.profile(&cluster(), task);
         // group means: devices 0-4 fastest ... 15-19 slowest
-        let l0 = r.mean_latency[0].unwrap();
-        let l19 = r.mean_latency[19].unwrap();
+        let l0 = r.mean_latency[0].expect("client 0 completes profiling under uniform shares");
+        let l19 = r.mean_latency[19].expect("client 19 completes profiling under uniform shares");
         assert!(l19 > 5.0 * l0, "fast {l0}, slow {l19}");
         assert!(r.dropouts().is_empty());
     }
@@ -224,7 +224,7 @@ mod tests {
         });
         let r = p.profile(&c, task);
         let flaky = r.mean_latency[0].expect("flaky device should not be a dropout");
-        let healthy = r.mean_latency[1].unwrap();
+        let healthy = r.mean_latency[1].expect("healthy device profiles without dropouts");
         assert!(
             flaky > 5.0 * healthy,
             "flaky {flaky} should be penalised vs healthy {healthy}"
@@ -273,8 +273,8 @@ mod tests {
             update_bytes: 1_000,
             upload_bytes: None,
         });
-        let small = r.mean_latency[0].unwrap();
-        let big = r.mean_latency[1].unwrap();
+        let small = r.mean_latency[0].expect("small-model client completes profiling");
+        let big = r.mean_latency[1].expect("big-model client completes profiling");
         assert!((big / small - 10.0).abs() < 1.0, "ratio {}", big / small);
     }
 }

@@ -635,6 +635,7 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
                 let latencies = self.profile().1.mean_latency.clone();
                 Box::new(DeadlineSelector::new(latencies, deadline_sec, seed))
             }
+            // tifl-lint: allow(panic-in-library) — invariant panic: the is_vanilla branch above handles this variant
             SelectionStrategy::Vanilla => unreachable!("covered by the is_vanilla arm"),
         }
     }
@@ -676,6 +677,7 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
                     SelectionStrategy::Deadline { deadline_sec } => Box::new(
                         DeadlineSelector::new(profile.mean_latency, *deadline_sec, seed),
                     ),
+                    // tifl-lint: allow(panic-in-library) — invariant panic: vanilla selection is dispatched before this match
                     SelectionStrategy::Vanilla => unreachable!("rejected above"),
                 };
             let segment = every.min(rounds_total - done);

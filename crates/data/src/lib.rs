@@ -12,6 +12,8 @@
 //! shard-based sort-by-label (McMahan et al.), class-limited non-IID(k)
 //! (Zhao et al.), and the 10/15/20/25/30 % quantity-skew split.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod federated;
 pub mod partition;

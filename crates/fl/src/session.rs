@@ -385,6 +385,7 @@ impl Session {
                 ((target as f64 * factor).ceil() as usize).min(self.data.num_clients())
             }
             AggregationMode::Async { .. } => {
+                // tifl-lint: allow(panic-in-library) — documented precondition: config validation rejects Async on the lockstep backend before a session starts
                 panic!("Async aggregation requires the event-driven backend (ExecBackend::EventDriven)")
             }
         };
@@ -431,6 +432,7 @@ impl Session {
                 let latency = ok.last().map_or(self.config.tmax_sec, |&(_, l)| l);
                 (ok.into_iter().map(|(c, _)| c).collect(), latency)
             }
+            // tifl-lint: allow(panic-in-library) — invariant panic: Async mode already rejected at session entry
             AggregationMode::Async { .. } => unreachable!("rejected above"),
         };
 

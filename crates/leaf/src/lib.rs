@@ -14,6 +14,8 @@
 //! per-writer style offsets (the feature skew). [`experiment`] is the
 //! runner mirroring `tifl-core`'s harness for this benchmark.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod experiment;
 

@@ -1,0 +1,123 @@
+//! Command-line driver shared by the `tifl-lint` binary and the
+//! `tifl lint` facade subcommand.
+
+use std::env;
+use std::path::PathBuf;
+
+use crate::workspace::{find_workspace_root, lint_workspace, Report};
+
+const USAGE: &str = "\
+usage: tifl-lint [--deny] [--format human|json] [path]
+
+Static determinism & robustness analysis over the workspace source.
+
+  --deny           exit non-zero if any unwaived finding remains
+  --format FORMAT  `human` (default, file:line diagnostics) or `json`
+  path             workspace root (default: walk up from the cwd)
+
+Rules and waiver syntax: crates/lint/RULES.md";
+
+enum Format {
+    Human,
+    Json,
+}
+
+/// Run the linter with CLI-style `args` (without the program name).
+/// Returns the process exit code: 0 clean (or findings without
+/// `--deny`), 1 findings under `--deny`, 2 usage or I/O error.
+#[must_use]
+pub fn run(args: &[String]) -> u8 {
+    let mut deny = false;
+    let mut format = Format::Human;
+    let mut root_arg: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("tifl-lint: bad --format {other:?}\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("tifl-lint: unknown flag `{arg}`\n{USAGE}");
+                return 2;
+            }
+            path => {
+                if root_arg.replace(PathBuf::from(path)).is_some() {
+                    eprintln!("tifl-lint: more than one path given\n{USAGE}");
+                    return 2;
+                }
+            }
+        }
+    }
+
+    let root = match root_arg {
+        Some(p) => p,
+        None => {
+            let cwd = match env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("tifl-lint: cannot determine cwd: {e}");
+                    return 2;
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "tifl-lint: no `[workspace]` Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return 2;
+                }
+            }
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tifl-lint: failed to scan {}: {e}", root.display());
+            return 2;
+        }
+    };
+
+    match format {
+        Format::Human => print_human(&report),
+        Format::Json => match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("tifl-lint: cannot serialize report: {e}");
+                return 2;
+            }
+        },
+    }
+
+    if deny && !report.is_clean() {
+        1
+    } else {
+        0
+    }
+}
+
+fn print_human(report: &Report) {
+    for f in &report.findings {
+        println!("{}:{}: {}: {}", f.file, f.line, f.rule, f.message);
+    }
+    let status = if report.is_clean() { "clean" } else { "FAILED" };
+    println!(
+        "tifl-lint: {status} — {} finding(s), {} waived, {} files scanned",
+        report.findings.len(),
+        report.waived,
+        report.files_scanned
+    );
+}

@@ -1,0 +1,483 @@
+//! A small, panic-free Rust lexer.
+//!
+//! The rule engine does not need a parser — every invariant `tifl-lint`
+//! enforces is visible in the token stream — but it absolutely needs
+//! tokens, not text: `HashMap` inside a doc comment, a string literal
+//! or a `'H'` char literal must never trigger a finding. This lexer
+//! classifies exactly that much:
+//!
+//! * line (`//`) and nested block (`/* */`) comments, kept as tokens
+//!   because waiver annotations and `// SAFETY:` contracts live there;
+//! * string likes: `"…"` with escapes, raw strings `r"…"`/`r#"…"#`
+//!   (any hash depth), byte/C-string prefixes (`b`, `br`, `c`, `cr`);
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escaped
+//!   chars (`'\n'`, `'\u{1F600}'`);
+//! * identifiers/keywords (raw identifiers `r#mod` keep their prefix so
+//!   they can never be confused with the keyword), numbers, and
+//!   single-char punctuation.
+//!
+//! Malformed input never panics: unterminated literals and comments
+//! extend to end-of-file and everything else falls through to a
+//! punctuation token. This is property-tested on arbitrary byte soup
+//! (`tests/lexer_props.rs`).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers keep their `r#` prefix).
+    Ident,
+    /// A lifetime such as `'a` (no trailing quote).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// Any string-like literal (plain, raw, byte, C), quotes included.
+    Str,
+    /// A char or byte-char literal, quotes included.
+    Char,
+    /// One punctuation character.
+    Punct,
+    /// A `//` or `/* */` comment, markers included.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line (block comments and
+/// multi-line strings report the line they start on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Raw text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for `Punct` tokens matching `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for `Ident` tokens with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Cursor over the source characters; every accessor is bounds-checked
+/// so no input can panic the lexer.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one char, counting newlines.
+    fn bump(&mut self) {
+        if let Some('\n') = self.peek(0) {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        self.chars
+            .get(start..self.pos)
+            .unwrap_or_default()
+            .iter()
+            .collect()
+    }
+}
+
+/// Lex `src` into tokens. Whitespace is dropped; comments are kept.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        if c.is_whitespace() {
+            cur.bump();
+        } else if c == '/' && cur.peek(1) == Some('/') {
+            while cur.peek(0).is_some_and(|c| c != '\n') {
+                cur.bump();
+            }
+            out.push(Token {
+                kind: TokenKind::Comment,
+                text: cur.text_from(start),
+                line,
+            });
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur);
+            out.push(Token {
+                kind: TokenKind::Comment,
+                text: cur.text_from(start),
+                line,
+            });
+        } else if c == '"' {
+            lex_plain_string(&mut cur);
+            out.push(Token {
+                kind: TokenKind::Str,
+                text: cur.text_from(start),
+                line,
+            });
+        } else if c == '\'' {
+            let kind = lex_quote(&mut cur);
+            out.push(Token {
+                kind,
+                text: cur.text_from(start),
+                line,
+            });
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            out.push(Token {
+                kind: TokenKind::Number,
+                text: cur.text_from(start),
+                line,
+            });
+        } else if is_ident_start(c) {
+            let kind = lex_ident_or_prefixed(&mut cur);
+            out.push(Token {
+                kind,
+                text: cur.text_from(start),
+                line,
+            });
+        } else {
+            cur.bump();
+            out.push(Token {
+                kind: TokenKind::Punct,
+                text: cur.text_from(start),
+                line,
+            });
+        }
+    }
+    out
+}
+
+/// `/* … */` with nesting; unterminated comments run to end-of-file.
+fn lex_block_comment(cur: &mut Cursor) {
+    cur.bump_n(2);
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                cur.bump_n(2);
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.bump_n(2);
+            }
+            (Some(_), _) => cur.bump(),
+            (None, _) => break,
+        }
+    }
+}
+
+/// A `"…"` string with `\` escapes; unterminated runs to end-of-file.
+fn lex_plain_string(cur: &mut Cursor) {
+    cur.bump();
+    loop {
+        match cur.peek(0) {
+            Some('\\') => cur.bump_n(2),
+            Some('"') => {
+                cur.bump();
+                break;
+            }
+            Some(_) => cur.bump(),
+            None => break,
+        }
+    }
+}
+
+/// A raw string starting at `r`'s hashes: `#…#"…"#…#` with `hashes`
+/// already counted. The cursor sits on the opening quote.
+fn lex_raw_string(cur: &mut Cursor, hashes: usize) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek(0) {
+            Some('"') if (1..=hashes).all(|k| cur.peek(k) == Some('#')) => {
+                cur.bump_n(1 + hashes);
+                break;
+            }
+            Some(_) => cur.bump(),
+            None => break,
+        }
+    }
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime). The cursor sits on
+/// the opening quote.
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    match cur.peek(1) {
+        // Escaped char literal: quote, backslash, the escaped char
+        // itself (so `'\''` cannot close early), then scan to the
+        // closing quote (covers multi-char escapes like `'\u{1F600}'`).
+        Some('\\') => {
+            cur.bump_n(3);
+            loop {
+                match cur.peek(0) {
+                    Some('\\') => cur.bump_n(2),
+                    Some('\'') => {
+                        cur.bump();
+                        break;
+                    }
+                    Some('\n') | None => break,
+                    Some(_) => cur.bump(),
+                }
+            }
+            TokenKind::Char
+        }
+        Some(c) if is_ident_continue(c) => {
+            // Scan the identifier-shaped run after the quote; a closing
+            // quote right after makes it a char literal, otherwise it is
+            // a lifetime.
+            let mut k = 1;
+            while cur.peek(k).is_some_and(is_ident_continue) {
+                k += 1;
+            }
+            if cur.peek(k) == Some('\'') {
+                cur.bump_n(k + 1);
+                TokenKind::Char
+            } else {
+                cur.bump_n(k);
+                TokenKind::Lifetime
+            }
+        }
+        // Non-identifier char literal such as '(' or '\u{...}' handled
+        // above; ''' and a lone trailing quote degrade to punctuation.
+        Some(c) if c != '\'' && cur.peek(2) == Some('\'') => {
+            cur.bump_n(3);
+            TokenKind::Char
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Numbers: enough structure to never split `1.5`/`0x1f`/`1_000` and
+/// never swallow `..` (so `0..10` lexes as number, punct, punct,
+/// number). Suffixes and exponents ride along as alphanumerics.
+fn lex_number(cur: &mut Cursor) {
+    cur.bump();
+    loop {
+        match cur.peek(0) {
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' => cur.bump(),
+            Some('.') if cur.peek(1).is_some_and(|c| c.is_ascii_digit()) => cur.bump(),
+            _ => break,
+        }
+    }
+}
+
+/// An identifier, or a string-prefix identifier (`r`, `b`, `br`, `c`,
+/// `cr`) fused with the literal it prefixes, or a raw identifier.
+fn lex_ident_or_prefixed(cur: &mut Cursor) -> TokenKind {
+    let start = cur.pos;
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    let ident = cur.text_from(start);
+    let is_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "c" | "cr");
+    match cur.peek(0) {
+        // r"…" / b"…" / …
+        Some('"') if is_prefix => {
+            if ident.starts_with('r') || ident.ends_with('r') {
+                lex_raw_string(cur, 0);
+            } else {
+                lex_plain_string(cur);
+            }
+            TokenKind::Str
+        }
+        // r#"…"# (any hash depth) — or a raw identifier r#foo.
+        Some('#') if is_prefix => {
+            let mut hashes = 0;
+            while cur.peek(hashes).is_some_and(|c| c == '#') {
+                hashes += 1;
+            }
+            match cur.peek(hashes) {
+                Some('"') => {
+                    cur.bump_n(hashes);
+                    lex_raw_string(cur, hashes);
+                    TokenKind::Str
+                }
+                Some(c) if ident == "r" && hashes == 1 && is_ident_start(c) => {
+                    cur.bump(); // the '#'
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    TokenKind::Ident
+                }
+                _ => TokenKind::Ident,
+            }
+        }
+        // b'x' byte-char literal.
+        Some('\'') if ident == "b" => {
+            let kind = lex_quote(cur);
+            if kind == TokenKind::Char {
+                TokenKind::Char
+            } else {
+                // `b` followed by a lifetime — keep them separate; the
+                // quote token was already consumed as part of this one,
+                // which is fine for rule purposes.
+                TokenKind::Ident
+            }
+        }
+        _ => TokenKind::Ident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = y.unwrap();");
+        assert_eq!(
+            toks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Punct,
+                TokenKind::Punct,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"a "HashMap::unwrap() // not a comment" b"#);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert!(toks[0].1 == "a" && toks[2].1 == "b");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"x r#"inner " quote"# y"##);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[2].1, "y");
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = kinds("code // SAFETY: fine\nmore /* block\nstill */ done");
+        assert_eq!(toks[1].0, TokenKind::Comment);
+        assert!(toks[1].1.contains("SAFETY"));
+        assert_eq!(toks[3].0, TokenKind::Comment);
+        assert_eq!(toks[4].1, "done");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still-outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::Comment);
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lex("fn f<'a>(x: &'a str) {}")
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let toks = kinds("let c = '\\u{1F600}'; done");
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("done"));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix() {
+        let toks = kinds("mod x; r#mod y");
+        // `r#mod` must not produce a bare `mod` ident token.
+        let mods: Vec<_> = toks.iter().filter(|(_, t)| t == "mod").collect();
+        assert_eq!(mods.len(), 1);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#mod"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("0..10 1.5 0x1f 1_000u64");
+        let numbers: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(numbers, vec!["0", "10", "1.5", "0x1f", "1_000u64"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = lex("a\n\"two\nline string\"\nb /* c\nd */ e");
+        let by_text: Vec<(u32, &str)> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.text.as_str()))
+            .collect();
+        assert_eq!(by_text, vec![(1, "a"), (4, "b"), (5, "e")]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in [
+            "\"never closed",
+            "/* never closed",
+            "r#\"nope",
+            "'",
+            "b'",
+            "1.",
+            "'\\",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! `tifl-lint` — workspace determinism & robustness static analysis.
+//!
+//! The TiFL reproduction's load-bearing invariants — bit-for-bit
+//! determinism across backends and thread counts, content-hash run
+//! dedup, byte-deterministic artifacts — are easy to break with one
+//! innocent-looking `HashMap` iteration or `Instant::now()`. This
+//! crate is a machine-checked gate for those invariants: a
+//! comment/string/char-literal-aware Rust lexer ([`lexer`]) feeding a
+//! token-stream rule engine ([`rules`]) with module-path and
+//! `#[cfg(test)]` scope tracking, run over every workspace source file
+//! ([`workspace`]) by the CLI ([`cli`]).
+//!
+//! Six rules ship (see `RULES.md` for examples and waiver syntax):
+//! `nondet-iteration`, `wall-clock-in-core`, `unseeded-rng`,
+//! `panic-in-library`, `unsafe-needs-safety-comment` and
+//! `float-reduce-order`. Findings are suppressible only by an inline
+//! `// tifl-lint: allow(<rule>) — <justification>` annotation.
+//!
+//! Run as `tifl lint --deny` (facade subcommand) or
+//! `cargo run -p tifl-lint -- --deny --format json` (CI).
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{lint_source, FileContext, FileLint, Finding, RULE_NAMES};
+pub use workspace::{find_workspace_root, lint_workspace, Report};

@@ -1,0 +1,8 @@
+//! `tifl-lint` standalone binary (CI entry point).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(tifl_lint::cli::run(&args))
+}

@@ -1,0 +1,755 @@
+//! The rule engine: scope tracking, waiver handling, and the six
+//! determinism & robustness rules.
+//!
+//! Rules operate on the token stream from [`crate::lexer`], annotated
+//! with two pieces of scope: the inline **module path** (`mod simd {`
+//! nesting) and whether the token sits inside **test code** (an item
+//! under `#[cfg(test)]` or `#[test]`). Test code is exempt from every
+//! rule — tests may hash, panic and measure as they please.
+//!
+//! Findings are suppressed only by an inline waiver:
+//!
+//! ```text
+//! // tifl-lint: allow(<rule>[, <rule>…]) — <justification>
+//! ```
+//!
+//! placed on the offending line (trailing) or the line above (leading).
+//! A waiver with an unknown rule name or without a justification is
+//! itself a finding (`waiver-syntax`), so every suppression stays a
+//! reviewed, self-documenting decision.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use serde::Serialize;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Names of the six lintable rules, in severity-neutral rule order.
+pub const RULE_NAMES: [&str; 6] = [
+    "nondet-iteration",
+    "wall-clock-in-core",
+    "unseeded-rng",
+    "panic-in-library",
+    "unsafe-needs-safety-comment",
+    "float-reduce-order",
+];
+
+/// Rule name reported for malformed waiver annotations (not waivable).
+pub const WAIVER_SYNTAX: &str = "waiver-syntax";
+
+/// Crates whose state must be iteration-order deterministic
+/// (`nondet-iteration` scope): the engine, the FL substrate, the
+/// comm subsystem, the simulator and the tensor kernels.
+const DETERMINISM_CRATES: [&str; 5] = ["comm", "core", "fl", "sim", "tensor"];
+
+/// The one crate allowed to read the host wall clock (its whole point
+/// is measuring it) and to panic freely (bench harness code).
+const BENCH_CRATE: &str = "bench";
+
+/// The one crate allowed to contain `unsafe` — and only under a
+/// `// SAFETY:` contract.
+const UNSAFE_CRATE: &str = "tensor";
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may
+/// sit (the comment usually annotates the statement, not the keyword).
+const SAFETY_WINDOW: u32 = 5;
+
+/// Where a linted file lives — everything rule scoping needs.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Crate directory name (`core`, `fl`, …; the facade is `tifl`).
+    pub crate_name: String,
+    /// Workspace-relative path, used verbatim in diagnostics.
+    pub rel_path: String,
+    /// True for binary targets (`src/bin/**`, `main.rs`): bins own
+    /// their process and may panic on bad input.
+    pub is_bin: bool,
+}
+
+/// One diagnostic: a rule violated at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Rule name (one of [`RULE_NAMES`] or [`WAIVER_SYNTAX`]).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Inline module path at the finding (`""` at file top level).
+    pub module: String,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// The result of linting one file.
+#[derive(Debug, Clone)]
+pub struct FileLint {
+    /// Unwaived findings, ordered by line then rule.
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by valid waivers.
+    pub waived: usize,
+}
+
+/// Lint one file's source under the given context.
+#[must_use]
+pub fn lint_source(src: &str, ctx: &FileContext) -> FileLint {
+    let tokens = lex(src);
+    let (waivers, mut waiver_findings) = collect_waivers(&tokens, ctx);
+    let safety_lines = safety_comment_lines(&tokens);
+    let annotated = annotate_scopes(&tokens);
+    let raw = run_rules(&tokens, &annotated, ctx, &safety_lines);
+
+    let mut findings = Vec::new();
+    let mut waived = 0usize;
+    let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+    for f in raw {
+        if !seen.insert((f.line, f.rule.clone())) {
+            continue; // one diagnostic per rule per line
+        }
+        if waivers.get(&f.line).is_some_and(|rs| rs.contains(&f.rule)) {
+            waived += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    findings.append(&mut waiver_findings);
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    FileLint { findings, waived }
+}
+
+// -- scope tracking ---------------------------------------------------------
+
+/// Scope annotation for one non-comment token.
+struct Scoped {
+    /// Index into the full token vec.
+    tok: usize,
+    /// Inside `#[cfg(test)]` / `#[test]` code.
+    in_test: bool,
+    /// Inline module path (`"simd"`, `"a::b"`, `""` at top level).
+    module: Rc<str>,
+}
+
+/// Walk the token stream tracking brace scopes, inline `mod` names and
+/// test attributes. `#[cfg(test)]`/`#[test]` (or any `cfg` mentioning
+/// `test`) marks the next braced item as test scope; `;` before the
+/// brace cancels the mark (`mod tests;` spills into a file this pass
+/// cannot see — out-of-line test modules are not supported and should
+/// stay inline, as the workspace's are).
+fn annotate_scopes(tokens: &[Token]) -> Vec<Scoped> {
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind != TokenKind::Comment)
+        .collect();
+
+    // (is_test, owns_module_name) per open brace.
+    let mut frames: Vec<(bool, bool)> = Vec::new();
+    let mut mod_stack: Vec<String> = Vec::new();
+    let mut cur_path: Rc<str> = Rc::from("");
+    let mut pending_test = false;
+    let mut pending_mod: Option<String> = None;
+    let mut out = Vec::with_capacity(code.len());
+
+    let mut k = 0;
+    while k < code.len() {
+        let i = code[k];
+        let t = &tokens[i];
+        let in_test = frames.iter().any(|f| f.0);
+
+        // Attributes: scan `#[…]` / `#![…]` as one unit so their
+        // bracket tokens cannot disturb scope state.
+        if t.is_punct('#') {
+            let mut j = k + 1;
+            let inner = code.get(j).is_some_and(|&ci| tokens[ci].is_punct('!'));
+            if inner {
+                j += 1;
+            }
+            if code.get(j).is_some_and(|&ci| tokens[ci].is_punct('[')) {
+                let (end, idents) = scan_attr(tokens, &code, j);
+                if !inner && is_test_attr(&idents) {
+                    pending_test = true;
+                }
+                for &ci in code.get(k..=end).unwrap_or_default() {
+                    out.push(Scoped {
+                        tok: ci,
+                        in_test,
+                        module: Rc::clone(&cur_path),
+                    });
+                }
+                k = end + 1;
+                continue;
+            }
+        }
+
+        if t.is_ident("mod") {
+            if let Some(&ni) = code.get(k + 1) {
+                if tokens[ni].kind == TokenKind::Ident {
+                    pending_mod = Some(tokens[ni].text.clone());
+                }
+            }
+        } else if t.is_punct('{') {
+            let test = in_test || pending_test;
+            let named = pending_mod.is_some();
+            if let Some(m) = pending_mod.take() {
+                mod_stack.push(m);
+                cur_path = Rc::from(mod_stack.join("::"));
+            }
+            frames.push((test, named));
+            pending_test = false;
+        } else if t.is_punct('}') {
+            if let Some((_, named)) = frames.pop() {
+                if named {
+                    mod_stack.pop();
+                    cur_path = Rc::from(mod_stack.join("::"));
+                }
+            }
+        } else if t.is_punct(';') {
+            pending_test = false;
+            pending_mod = None;
+        }
+
+        out.push(Scoped {
+            tok: i,
+            in_test: frames.iter().any(|f| f.0),
+            module: Rc::clone(&cur_path),
+        });
+        k += 1;
+    }
+    out
+}
+
+/// Scan an attribute's bracketed body starting at the `[` code index;
+/// returns the code index of the matching `]` (or the last token) and
+/// the identifiers inside.
+fn scan_attr(tokens: &[Token], code: &[usize], open: usize) -> (usize, Vec<String>) {
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    let mut j = open;
+    while let Some(&ci) = code.get(j) {
+        let t = &tokens[ci];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return (j, idents);
+            }
+        } else if t.kind == TokenKind::Ident {
+            idents.push(t.text.clone());
+        }
+        j += 1;
+    }
+    (code.len().saturating_sub(1), idents)
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]` — but not
+/// `#[cfg_attr(test, …)]`, which does not gate compilation to tests.
+fn is_test_attr(idents: &[String]) -> bool {
+    match idents.first().map(String::as_str) {
+        Some("test") => idents.len() == 1,
+        Some("cfg") => idents.iter().any(|i| i == "test"),
+        _ => false,
+    }
+}
+
+// -- waivers ----------------------------------------------------------------
+
+/// Parse every `tifl-lint:` comment. Returns the per-line waived-rule
+/// map plus findings for malformed annotations.
+fn collect_waivers(
+    tokens: &[Token],
+    ctx: &FileContext,
+) -> (BTreeMap<u32, BTreeSet<String>>, Vec<Finding>) {
+    // Line of the next non-comment token at-or-after each index, for
+    // targeting leading waiver comments.
+    let mut next_code_line = vec![0u32; tokens.len() + 1];
+    for i in (0..tokens.len()).rev() {
+        next_code_line[i] = if tokens[i].kind == TokenKind::Comment {
+            next_code_line[i + 1]
+        } else {
+            tokens[i].line
+        };
+    }
+
+    let mut waivers: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    let mut findings = Vec::new();
+    let mut last_code_line = 0u32;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Comment {
+            last_code_line = t.line;
+            continue;
+        }
+        if !t.text.contains("tifl-lint") || is_doc_comment(&t.text) {
+            // Doc comments *describe* the waiver syntax (as this
+            // crate's own docs do); only plain comments waive.
+            continue;
+        }
+        let target = if t.line == last_code_line {
+            t.line // trailing comment waives its own line
+        } else if next_code_line[i + 1] > 0 {
+            next_code_line[i + 1] // leading comment waives the next code line
+        } else {
+            t.line
+        };
+        match parse_waiver(&t.text) {
+            Ok(rules) => {
+                waivers.entry(target).or_default().extend(rules);
+            }
+            Err(why) => findings.push(Finding {
+                rule: WAIVER_SYNTAX.into(),
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                module: String::new(),
+                message: why,
+            }),
+        }
+    }
+    (waivers, findings)
+}
+
+/// `///`, `//!`, `/**`, `/*!` — but not `////` (a plain comment to
+/// rustdoc) or `/**/` (empty block).
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && text.len() > 4)
+        || text.starts_with("/*!")
+}
+
+/// Parse one waiver comment body. Grammar:
+/// `tifl-lint: allow(<rule>[, <rule>…]) — <justification>`.
+fn parse_waiver(comment: &str) -> Result<Vec<String>, String> {
+    let after = comment
+        .split_once("tifl-lint")
+        .map(|(_, rest)| rest)
+        .unwrap_or_default()
+        .trim_start_matches([':', ' ', '\t']);
+    let body = after.strip_prefix("allow").ok_or_else(|| {
+        "malformed waiver: expected `tifl-lint: allow(<rule>) — <justification>`".to_string()
+    })?;
+    let body = body.trim_start();
+    let inner = body
+        .strip_prefix('(')
+        .and_then(|b| b.split_once(')'))
+        .ok_or_else(|| "malformed waiver: missing `(<rule>)` list".to_string())?;
+    let (rule_list, rest) = inner;
+    let mut rules = Vec::new();
+    for rule in rule_list.split(',') {
+        let rule = rule.trim();
+        if !RULE_NAMES.contains(&rule) {
+            return Err(format!(
+                "unknown rule `{rule}` in waiver (known: {})",
+                RULE_NAMES.join(", ")
+            ));
+        }
+        rules.push(rule.to_string());
+    }
+    let justification: String = rest
+        .trim_start_matches(['—', '-', ':', '.', ' ', '\t'])
+        .trim_end_matches("*/")
+        .trim()
+        .to_string();
+    if justification
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .count()
+        < 3
+    {
+        return Err(
+            "waiver without justification: every suppression must say why it is sound".to_string(),
+        );
+    }
+    Ok(rules)
+}
+
+/// Lines covered by comments containing a `SAFETY:` contract.
+fn safety_comment_lines(tokens: &[Token]) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    for t in tokens {
+        if t.kind == TokenKind::Comment && t.text.contains("SAFETY:") {
+            let span = t.text.matches('\n').count() as u32;
+            for l in t.line..=t.line + span {
+                lines.insert(l);
+            }
+        }
+    }
+    lines
+}
+
+// -- the rules --------------------------------------------------------------
+
+/// Pattern-match the six rules over the scope-annotated code tokens.
+fn run_rules(
+    tokens: &[Token],
+    code: &[Scoped],
+    ctx: &FileContext,
+    safety_lines: &BTreeSet<u32>,
+) -> Vec<Finding> {
+    let det_critical = DETERMINISM_CRATES.contains(&ctx.crate_name.as_str());
+    let is_bench = ctx.crate_name == BENCH_CRATE;
+    let library_code = !ctx.is_bin && !is_bench;
+    let wall_clock_scope = !is_bench;
+    let float_scope = library_code && ctx.crate_name != UNSAFE_CRATE;
+
+    let tok = |k: usize| code.get(k).map(|c| &tokens[c.tok]);
+    let is_p = |k: usize, c: char| tok(k).is_some_and(|t| t.is_punct(c));
+
+    let mut out = Vec::new();
+    let mut push = |k: usize, rule: &str, message: String| {
+        if let Some(c) = code.get(k) {
+            out.push(Finding {
+                rule: rule.into(),
+                file: ctx.rel_path.clone(),
+                line: tokens[c.tok].line,
+                module: c.module.to_string(),
+                message,
+            });
+        }
+    };
+
+    for (k, sc) in code.iter().enumerate() {
+        if sc.in_test {
+            continue; // test code is exempt from every rule
+        }
+        let t = &tokens[sc.tok];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            name @ ("HashMap" | "HashSet") if det_critical => {
+                let ordered = if name == "HashMap" {
+                    "BTreeMap"
+                } else {
+                    "BTreeSet"
+                };
+                push(
+                    k,
+                    "nondet-iteration",
+                    format!(
+                        "`{name}` in determinism-critical crate `{}`: iteration order varies \
+                         across processes and versions; use `{ordered}`, or waive with a proof \
+                         of order-insensitivity",
+                        ctx.crate_name
+                    ),
+                );
+            }
+            "Instant"
+                if wall_clock_scope
+                    && is_p(k + 1, ':')
+                    && is_p(k + 2, ':')
+                    && tok(k + 3).is_some_and(|t| t.is_ident("now")) =>
+            {
+                push(
+                    k,
+                    "wall-clock-in-core",
+                    "`Instant::now()` reads the host wall clock: simulated components \
+                     must use virtual time; wall-clock belongs in `bench` (or waive a \
+                     genuine throughput measurement)"
+                        .into(),
+                );
+            }
+            "SystemTime" if wall_clock_scope => {
+                push(
+                    k,
+                    "wall-clock-in-core",
+                    "`SystemTime` reads the host clock: results would differ run-to-run; \
+                     derive times from the virtual clock or the experiment seed"
+                        .into(),
+                );
+            }
+            name @ ("thread_rng" | "from_entropy" | "OsRng") => {
+                push(
+                    k,
+                    "unseeded-rng",
+                    format!(
+                        "`{name}` draws OS entropy: every RNG must derive from the experiment \
+                         seed (see `tifl_tensor::rng::split_seed`) or runs are unreproducible"
+                    ),
+                );
+            }
+            "unwrap"
+                if library_code
+                    && is_p(k.wrapping_sub(1), '.')
+                    && is_p(k + 1, '(')
+                    && is_p(k + 2, ')') =>
+            {
+                push(
+                    k,
+                    "panic-in-library",
+                    "`.unwrap()` in library code panics without context: return a \
+                     `Result`, or use `.expect(\"why this cannot fail\")`"
+                        .into(),
+                );
+            }
+            "expect" if library_code && is_p(k.wrapping_sub(1), '.') => {
+                let empty_msg = is_p(k + 1, '(')
+                    && (is_p(k + 2, ')')
+                        || (tok(k + 2)
+                            .is_some_and(|t| t.kind == TokenKind::Str && str_is_empty(&t.text))
+                            && is_p(k + 3, ')')));
+                if empty_msg {
+                    push(
+                        k,
+                        "panic-in-library",
+                        "`.expect(\"\")` carries no context: state the invariant that makes \
+                         the failure impossible"
+                            .into(),
+                    );
+                }
+            }
+            name @ ("panic" | "unreachable" | "todo" | "unimplemented")
+                if library_code && is_p(k + 1, '!') =>
+            {
+                push(
+                    k,
+                    "panic-in-library",
+                    format!(
+                        "`{name}!` in library code aborts the caller: return a `Result`, or \
+                         waive a documented precondition/invariant panic"
+                    ),
+                );
+            }
+            "unsafe" => {
+                if ctx.crate_name != UNSAFE_CRATE {
+                    push(
+                        k,
+                        "unsafe-needs-safety-comment",
+                        format!(
+                            "`unsafe` outside the `{UNSAFE_CRATE}` kernels: all other crates \
+                             are `#![forbid(unsafe_code)]`; move the kernel into \
+                             `{UNSAFE_CRATE}` or find a safe formulation"
+                        ),
+                    );
+                } else {
+                    let l = t.line;
+                    let covered = safety_lines
+                        .range(l.saturating_sub(SAFETY_WINDOW)..=l)
+                        .next()
+                        .is_some();
+                    if !covered {
+                        push(
+                            k,
+                            "unsafe-needs-safety-comment",
+                            format!(
+                                "`unsafe` without a `// SAFETY:` contract in the preceding \
+                                 {SAFETY_WINDOW} lines: state why every invariant holds"
+                            ),
+                        );
+                    }
+                }
+            }
+            name @ ("sum" | "product") if float_scope && is_p(k.wrapping_sub(1), '.') => {
+                let float_turbofish = is_p(k + 1, ':')
+                    && is_p(k + 2, ':')
+                    && is_p(k + 3, '<')
+                    && tok(k + 4).is_some_and(|t| t.is_ident("f32") || t.is_ident("f64"));
+                if float_turbofish {
+                    push(
+                        k,
+                        "float-reduce-order",
+                        format!(
+                            "float `.{name}::<_>()` outside the pinned `tensor` kernels: \
+                             reduction order is part of the bit-for-bit contract; use a \
+                             `tensor` kernel, or waive a provably fixed-order fold"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// True when a string literal carries no characters (`""`, `r""`,
+/// `r#""#`, `b""`, …).
+fn str_is_empty(text: &str) -> bool {
+    text.trim_start_matches(['r', 'b', 'c'])
+        .trim_matches('#')
+        .trim_matches('"')
+        .is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(crate_name: &str) -> FileContext {
+        FileContext {
+            crate_name: crate_name.into(),
+            rel_path: format!("crates/{crate_name}/src/x.rs"),
+            is_bin: false,
+        }
+    }
+
+    fn rules_at(src: &str, c: &FileContext) -> Vec<(String, u32)> {
+        lint_source(src, c)
+            .findings
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_critical_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_at(src, &ctx("core")),
+            vec![("nondet-iteration".into(), 1)]
+        );
+        assert_eq!(rules_at(src, &ctx("sweep")), vec![]);
+    }
+
+    #[test]
+    fn cfg_test_scope_is_exempt() {
+        let src = "\
+pub fn f() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn g(x: Option<u32>) -> u32 { x.unwrap() }
+}
+";
+        assert_eq!(rules_at(src, &ctx("core")), vec![]);
+    }
+
+    #[test]
+    fn test_scope_ends_with_its_brace() {
+        let src = "\
+#[cfg(test)]
+mod tests { }
+pub fn f(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        assert_eq!(
+            rules_at(src, &ctx("core")),
+            vec![("panic-in-library".into(), 3)]
+        );
+    }
+
+    #[test]
+    fn strings_comments_chars_never_leak() {
+        let src = "\
+// A HashMap in a comment, plus unwrap() and panic!.
+pub fn f() -> &'static str { \"HashMap::unwrap() panic! Instant::now()\" }
+pub const H: char = 'H';
+";
+        assert_eq!(rules_at(src, &ctx("core")), vec![]);
+    }
+
+    #[test]
+    fn expect_with_context_is_sanctioned() {
+        let src = "\
+pub fn f(x: Option<u32>) -> u32 { x.expect(\"set by new()\") }
+pub fn g(x: Option<u32>) -> u32 { x.expect(\"\") }
+";
+        assert_eq!(
+            rules_at(src, &ctx("fl")),
+            vec![("panic-in-library".into(), 2)]
+        );
+    }
+
+    #[test]
+    fn bins_and_bench_may_panic_and_time() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { let _t = Instant::now(); x.unwrap() }\n";
+        let bin = FileContext {
+            crate_name: "core".into(),
+            rel_path: "crates/core/src/bin/tool.rs".into(),
+            is_bin: true,
+        };
+        // Bins may panic but still may not read the wall clock.
+        assert_eq!(rules_at(src, &bin), vec![("wall-clock-in-core".into(), 1)]);
+        assert_eq!(rules_at(src, &ctx("bench")), vec![]);
+    }
+
+    #[test]
+    fn trailing_and_leading_waivers() {
+        let src = "\
+use std::collections::HashMap; // tifl-lint: allow(nondet-iteration) — dedup only, never iterated
+// tifl-lint: allow(nondet-iteration) — membership checks only
+use std::collections::HashSet;
+";
+        let lint = lint_source(src, &ctx("core"));
+        assert_eq!(lint.findings, vec![]);
+        assert_eq!(lint.waived, 2);
+    }
+
+    #[test]
+    fn waiver_without_justification_is_a_finding() {
+        let src = "// tifl-lint: allow(nondet-iteration)\nuse std::collections::HashMap;\n";
+        let got = rules_at(src, &ctx("core"));
+        assert!(got.contains(&("nondet-iteration".into(), 2)), "{got:?}");
+        assert!(got.contains(&(WAIVER_SYNTAX.into(), 1)), "{got:?}");
+    }
+
+    #[test]
+    fn doc_comments_never_waive_or_misparse() {
+        let src = "\
+/// Use `// tifl-lint: allow(panic-in-library) — why` to waive.
+pub fn f(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        // The doc comment is neither a waiver-syntax finding nor a
+        // suppression of the unwrap on the next line.
+        assert_eq!(
+            rules_at(src, &ctx("fl")),
+            vec![("panic-in-library".into(), 2)]
+        );
+    }
+
+    #[test]
+    fn waiver_with_unknown_rule_is_a_finding() {
+        let src = "// tifl-lint: allow(no-such-rule) — because\npub fn f() {}\n";
+        assert_eq!(rules_at(src, &ctx("core")), vec![(WAIVER_SYNTAX.into(), 1)]);
+    }
+
+    #[test]
+    fn unsafe_needs_safety_in_tensor_and_is_banned_elsewhere() {
+        let with = "pub fn f(p: *const f32) {\n    // SAFETY: p is valid by contract.\n    unsafe { p.read(); }\n}\n";
+        let without = "pub fn f(p: *const f32) {\n    unsafe { p.read(); }\n}\n";
+        assert_eq!(rules_at(with, &ctx("tensor")), vec![]);
+        assert_eq!(
+            rules_at(without, &ctx("tensor")),
+            vec![("unsafe-needs-safety-comment".into(), 2)]
+        );
+        assert_eq!(
+            rules_at(with, &ctx("fl")),
+            vec![("unsafe-needs-safety-comment".into(), 3)]
+        );
+    }
+
+    #[test]
+    fn module_path_is_tracked() {
+        let src = "mod simd {\n    mod inner {\n        use std::collections::HashMap;\n    }\n}\n";
+        let lint = lint_source(src, &ctx("core"));
+        assert_eq!(lint.findings.len(), 1);
+        assert_eq!(lint.findings[0].module, "simd::inner");
+    }
+
+    #[test]
+    fn float_turbofish_reductions() {
+        let src = "\
+pub fn s(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }
+pub fn ok(xs: &[f32]) -> f32 { xs.iter().fold(0.0, |a, &b| a + b) }
+";
+        assert_eq!(
+            rules_at(src, &ctx("fl")),
+            vec![("float-reduce-order".into(), 1)]
+        );
+        assert_eq!(rules_at(src, &ctx("tensor")), vec![]);
+    }
+
+    #[test]
+    fn wall_clock_and_rng() {
+        let src = "\
+pub fn a() { let _ = Instant::now(); }
+pub fn b() { let _ = std::time::SystemTime::now(); }
+pub fn c() { let mut r = rand::thread_rng(); }
+";
+        assert_eq!(
+            rules_at(src, &ctx("sim")),
+            vec![
+                ("wall-clock-in-core".into(), 1),
+                ("wall-clock-in-core".into(), 2),
+                ("unseeded-rng".into(), 3),
+            ]
+        );
+    }
+}

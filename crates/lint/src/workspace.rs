@@ -1,0 +1,172 @@
+//! Workspace discovery and the whole-repo lint driver.
+//!
+//! The scan covers the facade's `src/` plus every `crates/*/src/`
+//! tree, in sorted (byte-order) path order so diagnostics — and the
+//! JSON report CI archives — are byte-deterministic. Vendored shims
+//! (`vendor/`), fixtures, integration tests and build output are
+//! deliberately outside the walk: the rules encode contracts for the
+//! library code this workspace owns.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::rules::{lint_source, FileContext, Finding};
+
+/// Aggregated result of linting the whole workspace.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Unwaived findings across all files, in (file, line, rule) order.
+    pub findings: Vec<Finding>,
+    /// Total findings suppressed by valid inline waivers.
+    pub waived: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when no unwaived finding remains.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Walk upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Every workspace-owned `.rs` source file, workspace-relative and
+/// sorted for deterministic output.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut src_dirs = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        src_dirs.extend(members.into_iter().map(|m| m.join("src")));
+    }
+
+    let mut files = Vec::new();
+    for dir in src_dirs {
+        if dir.is_dir() {
+            walk_rs(&dir, &mut files)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .filter_map(|f| f.strip_prefix(root).ok().map(Path::to_path_buf))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Derive a file's lint context from its workspace-relative path.
+#[must_use]
+pub fn context_for(rel: &Path) -> FileContext {
+    let rel_str = rel_string(rel);
+    let crate_name = match rel.components().nth(1) {
+        Some(c) if rel_str.starts_with("crates/") => c.as_os_str().to_string_lossy().into_owned(),
+        _ => "tifl".to_string(), // the facade's own src/
+    };
+    let is_bin = rel_str.contains("/bin/") || rel_str.ends_with("main.rs");
+    FileContext {
+        crate_name,
+        rel_path: rel_str,
+        is_bin,
+    }
+}
+
+/// Forward-slashed path string (diagnostics stay stable across hosts).
+fn rel_string(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint every workspace source file under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let sources = collect_sources(root)?;
+    let mut findings = Vec::new();
+    let mut waived = 0usize;
+    let files_scanned = sources.len();
+    for rel in sources {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let ctx = context_for(&rel);
+        let mut lint = lint_source(&src, &ctx);
+        findings.append(&mut lint.findings);
+        waived += lint.waived;
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(Report {
+        findings,
+        waived,
+        files_scanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_for_crate_and_facade_paths() {
+        let c = context_for(Path::new("crates/core/src/exec/engine.rs"));
+        assert_eq!(c.crate_name, "core");
+        assert!(!c.is_bin);
+
+        let f = context_for(Path::new("src/lib.rs"));
+        assert_eq!(f.crate_name, "tifl");
+        assert!(!f.is_bin);
+
+        let b = context_for(Path::new("src/bin/tifl.rs"));
+        assert_eq!(b.crate_name, "tifl");
+        assert!(b.is_bin);
+    }
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("lint crate lives inside the workspace");
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates/lint").is_dir());
+    }
+}

@@ -1,0 +1,162 @@
+//! Fixture tests: each known-bad snippet under `tests/fixtures/` must
+//! produce exactly the expected (rule, line) diagnostics — no more, no
+//! fewer — under the crate context named in the fixture's header.
+
+use std::fs;
+use std::path::Path;
+
+use tifl_lint::{lint_source, FileContext, FileLint};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading fixture {name}: {e}"))
+}
+
+fn lint_as(name: &str, crate_name: &str) -> FileLint {
+    let ctx = FileContext {
+        crate_name: crate_name.to_string(),
+        rel_path: format!("crates/{crate_name}/src/{name}"),
+        is_bin: false,
+    };
+    lint_source(&fixture(name), &ctx)
+}
+
+fn rule_lines(lint: &FileLint) -> Vec<(&str, u32)> {
+    lint.findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.line))
+        .collect()
+}
+
+#[test]
+fn nondet_fixture_exact_diagnostics() {
+    let lint = lint_as("nondet.rs", "core");
+    assert_eq!(
+        rule_lines(&lint),
+        vec![
+            ("nondet-iteration", 2),
+            ("nondet-iteration", 3),
+            ("nondet-iteration", 6),
+        ]
+    );
+    assert_eq!(lint.waived, 1, "the annotated HashSet is waived");
+}
+
+#[test]
+fn nondet_fixture_is_clean_outside_critical_crates() {
+    let lint = lint_as("nondet.rs", "sweep");
+    assert_eq!(rule_lines(&lint), vec![]);
+}
+
+#[test]
+fn wall_clock_fixture_exact_diagnostics() {
+    let lint = lint_as("wall_clock.rs", "sim");
+    assert_eq!(
+        rule_lines(&lint),
+        vec![("wall-clock-in-core", 5), ("wall-clock-in-core", 10)]
+    );
+}
+
+#[test]
+fn wall_clock_fixture_is_clean_in_bench() {
+    let lint = lint_as("wall_clock.rs", "bench");
+    assert_eq!(rule_lines(&lint), vec![]);
+}
+
+#[test]
+fn rng_fixture_exact_diagnostics() {
+    let lint = lint_as("rng.rs", "fl");
+    assert_eq!(
+        rule_lines(&lint),
+        vec![
+            ("unseeded-rng", 3),
+            ("unseeded-rng", 8),
+            ("unseeded-rng", 12),
+        ]
+    );
+}
+
+#[test]
+fn panics_fixture_exact_diagnostics() {
+    let lint = lint_as("panics.rs", "fl");
+    assert_eq!(
+        rule_lines(&lint),
+        vec![
+            ("panic-in-library", 3),
+            ("panic-in-library", 7),
+            ("panic-in-library", 15),
+            ("panic-in-library", 19),
+            ("panic-in-library", 28),
+        ]
+    );
+    assert_eq!(lint.waived, 1, "the annotated unwrap is waived");
+}
+
+#[test]
+fn unsafe_fixture_requires_safety_contracts_in_tensor() {
+    let lint = lint_as("unsafe_simd.rs", "tensor");
+    assert_eq!(
+        rule_lines(&lint),
+        vec![
+            ("unsafe-needs-safety-comment", 11),
+            ("unsafe-needs-safety-comment", 21),
+        ],
+        "covered block passes; naked and out-of-window blocks fail"
+    );
+}
+
+#[test]
+fn unsafe_fixture_is_always_flagged_outside_tensor() {
+    let lint = lint_as("unsafe_simd.rs", "fl");
+    assert_eq!(
+        rule_lines(&lint),
+        vec![
+            ("unsafe-needs-safety-comment", 7),
+            ("unsafe-needs-safety-comment", 11),
+            ("unsafe-needs-safety-comment", 21),
+        ]
+    );
+}
+
+#[test]
+fn float_fixture_exact_diagnostics() {
+    let lint = lint_as("float_reduce.rs", "fl");
+    assert_eq!(
+        rule_lines(&lint),
+        vec![
+            ("float-reduce-order", 3),
+            ("float-reduce-order", 7),
+            ("float-reduce-order", 11),
+        ],
+        "integer sums and explicit folds stay clean"
+    );
+}
+
+#[test]
+fn waivers_fixture_exact_diagnostics() {
+    let lint = lint_as("waivers.rs", "core");
+    assert_eq!(
+        rule_lines(&lint),
+        vec![
+            ("waiver-syntax", 7),
+            ("nondet-iteration", 8),
+            ("waiver-syntax", 10),
+            ("waiver-syntax", 13),
+        ],
+        "bad waivers are findings and do not suppress anything"
+    );
+    assert_eq!(lint.waived, 2, "the two well-formed waivers count");
+}
+
+#[test]
+fn scopes_fixture_exact_diagnostics() {
+    let lint = lint_as("scopes.rs", "core");
+    assert_eq!(
+        rule_lines(&lint),
+        vec![("nondet-iteration", 27)],
+        "strings, comments, char literals and test modules are inert"
+    );
+    assert_eq!(lint.findings[0].module, "inner::deep");
+}

@@ -1,0 +1,20 @@
+// Known-bad fixture for `float-reduce-order` (linted as crate `fl`).
+pub fn mean(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() / xs.len() as f32 // line 3: finding
+}
+
+pub fn norm2(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum::<f64>().sqrt() // line 7: finding
+}
+
+pub fn geo(xs: &[f32]) -> f32 {
+    xs.iter().product::<f32>() // line 11: finding
+}
+
+pub fn count(xs: &[u32]) -> u32 {
+    xs.iter().sum::<u32>() // integer sums are order-exact: fine
+}
+
+pub fn ordered(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0, |acc, &x| acc + x) // explicit fixed-order fold: fine
+}

@@ -1,0 +1,19 @@
+// Known-bad fixture for `nondet-iteration` (linted as crate `core`).
+use std::collections::HashMap; // line 2: finding
+use std::collections::HashSet; // line 3: finding
+
+pub struct State {
+    pending: HashMap<u64, u32>, // line 6: finding
+}
+
+// tifl-lint: allow(nondet-iteration) — membership-only set, never iterated
+pub struct Seen(HashSet<u64>); // line 10: waived
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // test scope: exempt
+
+    fn scratch() -> HashMap<u32, u32> {
+        HashMap::new()
+    }
+}

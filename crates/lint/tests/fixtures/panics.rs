@@ -1,0 +1,29 @@
+// Known-bad fixture for `panic-in-library` (linted as crate `fl`).
+pub fn bare(x: Option<u32>) -> u32 {
+    x.unwrap() // line 3: finding
+}
+
+pub fn empty(x: Option<u32>) -> u32 {
+    x.expect("") // line 7: finding (no context)
+}
+
+pub fn contextual(x: Option<u32>) -> u32 {
+    x.expect("set by the constructor") // sanctioned: self-documenting
+}
+
+pub fn boom() {
+    panic!("kaboom") // line 15: finding
+}
+
+pub fn never() {
+    unreachable!() // line 19: finding
+}
+
+pub fn waived(x: Option<u32>) -> u32 {
+    // tifl-lint: allow(panic-in-library) — invariant: x is Some by construction here
+    x.unwrap() // line 24: waived
+}
+
+pub fn todo_stub() {
+    todo!() // line 28: finding
+}

@@ -1,0 +1,17 @@
+// Known-bad fixture for `unseeded-rng` (linted as crate `fl`).
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng(); // line 3: finding
+    rng.gen()
+}
+
+pub fn fresh() -> StdRng {
+    StdRng::from_entropy() // line 8: finding
+}
+
+pub fn os_random(buf: &mut [u8]) {
+    OsRng.fill_bytes(buf); // line 12: finding
+}
+
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed) // derived from the experiment seed: fine
+}

@@ -1,0 +1,29 @@
+// Fixture for scope tracking and lexical hygiene (linted as crate `core`).
+pub fn strings_do_not_leak() -> &'static str {
+    "HashMap::new() unwrap() panic! Instant::now() thread_rng unsafe"
+}
+
+// A comment mentioning HashMap, unwrap() and panic! is not code.
+pub const H: char = 'H'; // neither is a char literal
+
+pub fn raw() -> &'static str {
+    r#"SystemTime inside a raw string with "quotes" and HashSet"#
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let mut m = HashMap::new();
+        m.insert(1u32, std::time::Instant::now());
+        let _ = m.get(&1).unwrap();
+    }
+}
+
+pub mod inner {
+    pub mod deep {
+        use std::collections::HashMap; // line 27: finding, module `inner::deep`
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture for `unsafe-needs-safety-comment` (linted as crate `tensor`,
+// and re-linted as crate `fl` where any `unsafe` is a finding).
+pub mod simd {
+    pub fn covered(p: *const f32) -> f32 {
+        // SAFETY: p points into a live, aligned slice; the caller
+        // guarantees at least one readable element.
+        unsafe { p.read() } // line 7: covered by the contract above
+    }
+
+    pub fn naked(p: *const f32) -> f32 {
+        unsafe { p.read() } // line 11: finding (no SAFETY comment)
+    }
+
+    pub fn stale(p: *const f32) -> f32 {
+        // SAFETY: too far away to count.
+        let a = 1;
+        let b = 2;
+        let c = 3;
+        let d = 4;
+        let e = a + b + c + d;
+        unsafe { p.add(e as usize).read() } // line 21: finding (outside window)
+    }
+}

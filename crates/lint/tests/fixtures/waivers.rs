@@ -1,0 +1,14 @@
+// Fixture for waiver parsing (linted as crate `core`).
+use std::collections::HashMap; // tifl-lint: allow(nondet-iteration) — trailing waiver, dedup-only map
+
+// tifl-lint: allow(nondet-iteration) — leading waiver, membership-only set
+use std::collections::HashSet;
+
+// tifl-lint: allow(nondet-iteration)
+use std::collections::HashMap as NoJustification; // line 8: finding survives, waiver-syntax on line 7
+
+// tifl-lint: allow(no-such-rule) — typo in the rule name
+pub fn unknown_rule() {} // waiver-syntax finding on line 10
+
+// tifl-lint: deny(nondet-iteration) — wrong verb
+pub fn malformed() {} // waiver-syntax finding on line 13

@@ -1,0 +1,14 @@
+// Known-bad fixture for `wall-clock-in-core` (linted as crate `sim`).
+use std::time::Instant; // import alone is fine: only `::now` is flagged
+
+pub fn elapsed() -> f64 {
+    let start = Instant::now(); // line 5: finding
+    start.elapsed().as_secs_f64()
+}
+
+pub fn epoch_ms() -> u128 {
+    std::time::SystemTime::now() // line 10: finding (any SystemTime use)
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}

@@ -1,0 +1,139 @@
+//! Property tests for the lexer: total on arbitrary input (never
+//! panics), and literal/comment contents never leak into the code
+//! token stream.
+
+use proptest::prelude::*;
+
+use tifl_lint::lexer::{lex, TokenKind};
+
+/// Characters the generators draw from — biased toward everything the
+/// lexer treats specially.
+const ALPHABET: &[char] = &[
+    'a', 'H', 'M', 'z', '_', '0', '7', ' ', '\t', '"', '\'', '\\', '/', '*', '#', 'r', 'b', 'c',
+    '{', '}', '(', ')', '[', ']', '.', ':', ';', '!', '<', '>', '=', '&', '\n', 'é', '中', '\u{0}',
+];
+
+fn chars_from(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| ALPHABET[i % ALPHABET.len()])
+        .collect()
+}
+
+/// Idents that must never surface from inside a literal or comment.
+const SENTINELS: &[&str] = &[
+    "HashMap",
+    "unwrap",
+    "panic",
+    "unsafe",
+    "Instant",
+    "thread_rng",
+];
+
+proptest! {
+    /// Total on byte soup: arbitrary bytes (via lossy UTF-8) lex
+    /// without panicking, with sane, nondecreasing line numbers.
+    #[test]
+    fn lex_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..400),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&src);
+        let max_line = src.lines().count().max(1) as u32;
+        let mut prev = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= prev, "line numbers must be nondecreasing");
+            prop_assert!(t.line <= max_line + 1, "line {} past end {}", t.line, max_line);
+            prev = t.line;
+        }
+    }
+
+    /// Total on tricky-char soup (quote/backslash/comment-heavy input
+    /// that byte soup rarely hits), including truncation at an
+    /// arbitrary point — unterminated literals must not panic either.
+    #[test]
+    fn lex_never_panics_on_tricky_soup(
+        indices in prop::collection::vec(0usize..ALPHABET.len(), 0..200),
+        cut in 0usize..200,
+    ) {
+        let src = chars_from(&indices);
+        let _ = lex(&src);
+        let cut_src: String = src.chars().take(cut).collect();
+        let _ = lex(&cut_src);
+    }
+
+    /// A plain string literal is one `Str` token: its contents never
+    /// appear as idents, however lint-triggering they look.
+    #[test]
+    fn string_literals_never_leak_tokens(
+        indices in prop::collection::vec(0usize..ALPHABET.len(), 0..80),
+        sentinel in 0usize..6,
+    ) {
+        let inner: String = chars_from(&indices)
+            .chars()
+            .filter(|c| !matches!(c, '"' | '\\' | '\n'))
+            .collect();
+        let src = format!("let s = \"{}{}\";", inner, SENTINELS[sentinel]);
+        let tokens = lex(&src);
+        prop_assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+        for t in &tokens {
+            if t.kind == TokenKind::Ident {
+                prop_assert!(
+                    !SENTINELS.contains(&t.text.as_str()),
+                    "`{}` leaked out of a string literal",
+                    t.text
+                );
+            }
+        }
+    }
+
+    /// Same property for raw strings and line comments.
+    #[test]
+    fn raw_strings_and_comments_never_leak_tokens(
+        indices in prop::collection::vec(0usize..ALPHABET.len(), 0..80),
+        sentinel in 0usize..6,
+    ) {
+        let payload: String = chars_from(&indices)
+            .chars()
+            .filter(|c| !matches!(c, '"' | '\n'))
+            .collect();
+        let raw = format!("let s = r#\"{}{}\"#;", payload, SENTINELS[sentinel]);
+        let comment = format!("// {}{}\nlet x = 1;", payload, SENTINELS[sentinel]);
+        for src in [raw, comment] {
+            for t in lex(&src) {
+                if t.kind == TokenKind::Ident {
+                    prop_assert!(
+                        !SENTINELS.contains(&t.text.as_str()),
+                        "`{}` leaked in {:?}",
+                        t.text,
+                        src
+                    );
+                }
+            }
+        }
+    }
+
+    /// Char literals hide their contents (and stay distinct from
+    /// lifetimes).
+    #[test]
+    fn char_literals_never_leak_tokens(
+        c in 0usize..ALPHABET.len(),
+    ) {
+        let ch = ALPHABET[c];
+        let src = if matches!(ch, '\'' | '\\') {
+            format!("let c = '\\{ch}';")
+        } else {
+            format!("let c = '{ch}';")
+        };
+        let tokens = lex(&src);
+        prop_assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::Char).count(),
+            1,
+            "exactly one char literal in {:?}",
+            src
+        );
+    }
+}

@@ -13,8 +13,8 @@
 //! O(log n) discrete-event technique.
 
 use std::cmp::Ordering;
+use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// An event scheduled at a virtual time.
 #[derive(Debug, Clone)]
@@ -63,8 +63,8 @@ pub struct EventQueue<T> {
     next_seq: u64,
     /// Seqs scheduled and neither popped nor cancelled — O(1) validity
     /// checks for [`EventQueue::cancel`].
-    live: HashSet<u64>,
-    cancelled: HashSet<u64>,
+    live: BTreeSet<u64>,
+    cancelled: BTreeSet<u64>,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -72,8 +72,8 @@ impl<T> Default for EventQueue<T> {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            live: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
         }
     }
 }

@@ -14,6 +14,8 @@
 //! the round engine and available for richer simulations (staggered
 //! arrivals, mid-round dropouts).
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod cluster;
 pub mod drift;

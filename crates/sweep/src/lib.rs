@@ -41,6 +41,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod manifest;
 pub mod scheduler;
 pub mod store;
@@ -201,6 +203,7 @@ impl SweepBuilder {
     pub fn run(&self) -> SweepReport {
         let store = self.out.as_ref().map(|dir| {
             RunStore::open(dir)
+                // tifl-lint: allow(panic-in-library) — an unopenable artifact store is unrecoverable for a sweep; aborting with the path is the right surface
                 .unwrap_or_else(|e| panic!("opening run store {}: {e}", dir.display()))
         });
         SweepScheduler::new(self.workers).run(&self.manifest, store.as_ref(), self.resume)

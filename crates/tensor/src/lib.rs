@@ -8,6 +8,12 @@
 //!
 //! Everything is deterministic given a seed: there is no global RNG and
 //! no use of system entropy anywhere in the workspace.
+//!
+//! This is the only workspace crate allowed to contain `unsafe` (the
+//! SSE2 SIMD lanes in [`ops`] and [`codec`]); every block carries a
+//! `// SAFETY:` contract, enforced by `tifl-lint`.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod codec;
 pub mod init;

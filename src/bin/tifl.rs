@@ -13,6 +13,7 @@
 //! tifl run --spec run.json --out r.json# … writing the full report JSON
 //! tifl sweep sweep.json --workers 4    # execute a whole run matrix
 //! tifl sweep sweep.json --resume       # … skipping completed run keys
+//! tifl lint --deny                     # determinism static analysis
 //! ```
 //!
 //! Configs are JSON-serialised `ExperimentConfig`s; run requests are
@@ -34,7 +35,8 @@ fn usage() -> ExitCode {
          tifl estimate <config.json>\n  tifl run <config.json> \
          <vanilla|slow|uniform|random|fast|fast1|fast2|fast3|adaptive>\n  \
          tifl run --spec <run.json> [--threads N] [--out <report.json>]\n  \
-         tifl sweep <sweep.json> [--workers N] [--out DIR] [--resume]"
+         tifl sweep <sweep.json> [--workers N] [--out DIR] [--resume]\n  \
+         tifl lint [--deny] [--format human|json] [path]"
     );
     ExitCode::FAILURE
 }
@@ -287,6 +289,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
+        [cmd, rest @ ..] if cmd == "lint" => ExitCode::from(tifl::lint::cli::run(rest)),
         [cmd, path, policy] if cmd == "run" => {
             let cfg: ExperimentConfig = read_json(path);
             let mut runner = cfg.runner();

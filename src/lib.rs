@@ -52,12 +52,23 @@
 //!     .run();
 //! println!("{}: {:.3}", report.policy, report.final_accuracy());
 //! ```
+//!
+//! ## Static analysis
+//!
+//! The workspace ships its own determinism linter, [`lint`]
+//! (`tifl lint --deny`): six token-level rules guarding the
+//! bit-for-bit invariants (no `HashMap` iteration in critical crates,
+//! no wall-clock or OS entropy in simulated code, no unannotated
+//! panics/`unsafe`/float reductions). See `crates/lint/RULES.md`.
+
+#![forbid(unsafe_code)]
 
 pub use tifl_comm as comm;
 pub use tifl_core as core;
 pub use tifl_data as data;
 pub use tifl_fl as fl;
 pub use tifl_leaf as leaf;
+pub use tifl_lint as lint;
 pub use tifl_nn as nn;
 pub use tifl_sim as sim;
 pub use tifl_sweep as sweep;

@@ -1,5 +1,6 @@
 //! Property tests for the execution engine's determinism contract:
-//! `EventDriven{1}`, `EventDriven{4}` and `Lockstep` must produce
+//! `EventDriven{1}`, `EventDriven{4}`, `EventDriven{8}` and `Lockstep`
+//! must produce
 //! identical round timelines (the full per-round report series: times,
 //! latencies, selections, aggregations, accuracies) and identical final
 //! global weights, on randomly drawn small `cifar10_resource_het`
@@ -63,7 +64,7 @@ proptest! {
 
         let (lockstep, lockstep_session) =
             Runner::with_spec(&cfg, spec.clone()).run_with_session();
-        for threads in [1usize, 4] {
+        for threads in [1usize, 4, 8] {
             let event_spec = RunSpec {
                 backend: ExecBackend::EventDriven { threads },
                 ..spec.clone()
@@ -105,7 +106,9 @@ proptest! {
         };
         let one = run(1);
         let four = run(4);
+        let eight = run(8);
         prop_assert_eq!(&one, &four, "seed {} staleness {}", seed, max_staleness);
+        prop_assert_eq!(&one, &eight, "seed {} staleness {} (8 threads)", seed, max_staleness);
         prop_assert_eq!(one.rounds.len() as u64, steps);
         // Every aggregation step folds at most one update, and a large
         // staleness bound discards nothing.
