@@ -11,7 +11,7 @@
 //! # Equivalence contract
 //!
 //! For the synchronous aggregation modes (`WaitAll`, `FirstK`) the
-//! engine consumes the *same* [`RoundPlan`]s, trains the *same*
+//! engine consumes the *same* [`RoundPlan`](tifl_fl::session::RoundPlan)s, trains the *same*
 //! contributors with the *same* per-client RNG streams, and folds the
 //! weighted mean in the *same* canonical order as the lockstep loop —
 //! so its [`TrainingReport`]s and final weights are bit-for-bit equal
@@ -25,7 +25,7 @@
 //!   pending completion events of every in-flight straggler at that
 //!   virtual deadline ([`EventQueue::cancel`]) and never trains them.
 //!   The recorded [`RoundTimeline`]s show them as
-//!   [`TimelineEvent::Cancelled`].
+//!   [`tifl_fl::timeline::TimelineEvent::Cancelled`].
 //! * **Asynchronous aggregation** — [`AggregationMode::Async`] keeps
 //!   `|C|` clients in flight with no round barrier at all: each arrival
 //!   folds into the global model damped by its staleness, and a
@@ -38,9 +38,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use tifl_fl::selector::ClientSelector;
-use tifl_fl::session::{AggregationMode, RoundPlan};
-use tifl_fl::timeline::{RoundTimeline, TimelineEvent};
+use tifl_fl::session::AggregationMode;
+use tifl_fl::timeline::RoundTimeline;
 use tifl_fl::{RoundReport, Session, StreamingFold, TrainingReport};
+use tifl_obs::TraceEvent;
 use tifl_sim::event::EventQueue;
 
 /// Base mixing rate of the asynchronous fold: a fresh update moves the
@@ -143,9 +144,11 @@ impl EventEngine {
             for _ in 0..rounds {
                 let plan = session.plan_round(selector);
                 if self.record_timelines {
-                    timelines.push(sync_trace(
+                    let first_k =
+                        matches!(session.config().aggregation, AggregationMode::FirstK { .. });
+                    timelines.push(RoundTimeline::from_plan(
                         &plan,
-                        session.config().aggregation,
+                        first_k,
                         session.config().tmax_sec,
                     ));
                 }
@@ -333,6 +336,7 @@ impl EventEngine {
                 match event.payload {
                     AsyncEvent::Timeout => {
                         // Replace the dead client; no aggregation step.
+                        session.trace_event(event.time, TraceEvent::AsyncTimeout);
                         consecutive_timeouts += 1;
                         assert!(
                             consecutive_timeouts <= 10 * in_flight_target,
@@ -351,6 +355,14 @@ impl EventEngine {
                         consecutive_timeouts = 0;
                         let staleness = version - dispatched_version;
                         let fresh = staleness <= max_staleness;
+                        session.trace_event(
+                            event.time,
+                            TraceEvent::AsyncArrival {
+                                client: client as u32,
+                                staleness,
+                                fresh,
+                            },
+                        );
                         if fresh {
                             let update = take_update(
                                 seq,
@@ -502,116 +514,5 @@ fn take_update(
                 eval_patches.push((report_index, accuracy, loss));
             }
         }
-    }
-}
-
-/// Replay a planned synchronous round as a virtual-time event trace:
-/// dispatches at the round start, completions at each response latency,
-/// timeouts at `tmax`, and — under over-selection — cancellation of
-/// every in-flight straggler at the round's deadline (the `|C|`-th
-/// completion).
-fn sync_trace(plan: &RoundPlan, mode: AggregationMode, tmax: f64) -> RoundTimeline {
-    let mut queue = EventQueue::new();
-    let first_k = matches!(mode, AggregationMode::FirstK { .. });
-    for &(client, _) in &plan.responses {
-        queue.schedule(0.0, TimelineEvent::Dispatch { client });
-    }
-    let mut completions = Vec::new();
-    for &(client, latency) in &plan.responses {
-        match latency {
-            Some(l) => {
-                let handle = queue.schedule(l, TimelineEvent::Complete { client });
-                completions.push((client, handle));
-            }
-            None if first_k => {
-                // Never completed; the round ends without it — cut it
-                // loose at the deadline.
-                queue.schedule(plan.latency, TimelineEvent::Cancelled { client });
-            }
-            None => {
-                queue.schedule(tmax, TimelineEvent::TimedOut { client });
-            }
-        }
-    }
-    if first_k {
-        // Stragglers beyond the first |C| responders: cancel their
-        // completion at the virtual deadline.
-        for (client, handle) in completions {
-            if !plan.contributors.contains(&client) {
-                queue.cancel(handle);
-                queue.schedule(plan.latency, TimelineEvent::Cancelled { client });
-            }
-        }
-    }
-    queue.schedule(plan.latency, TimelineEvent::RoundEnd);
-    let mut events = Vec::with_capacity(queue.len());
-    while let Some(e) = queue.pop() {
-        events.push((e.time, e.payload));
-    }
-    RoundTimeline { events }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn plan(
-        responses: Vec<(usize, Option<f64>)>,
-        contributors: Vec<usize>,
-        latency: f64,
-    ) -> RoundPlan {
-        RoundPlan {
-            round: 0,
-            selected: responses.iter().map(|&(c, _)| c).collect(),
-            responses,
-            contributors,
-            latency,
-        }
-    }
-
-    #[test]
-    fn wait_all_trace_matches_timeline_shape() {
-        let p = plan(vec![(0, Some(2.0)), (1, None)], vec![0], 50.0);
-        let t = sync_trace(&p, AggregationMode::WaitAll, 50.0);
-        assert!(t
-            .events
-            .iter()
-            .any(|(time, e)| *time == 50.0 && matches!(e, TimelineEvent::TimedOut { client: 1 })));
-        assert_eq!(t.round_end(), 50.0);
-    }
-
-    #[test]
-    fn first_k_trace_cancels_stragglers_at_the_deadline() {
-        // Three responders, two contribute: the slowest is cancelled at
-        // the 2nd-fastest completion time and its Complete never fires.
-        let p = plan(
-            vec![(0, Some(1.0)), (1, Some(9.0)), (2, Some(2.0))],
-            vec![0, 2],
-            2.0,
-        );
-        let t = sync_trace(&p, AggregationMode::FirstK { factor: 1.5 }, 100.0);
-        assert!(t
-            .events
-            .iter()
-            .any(|(time, e)| *time == 2.0 && matches!(e, TimelineEvent::Cancelled { client: 1 })));
-        assert!(
-            !t.events
-                .iter()
-                .any(|(_, e)| matches!(e, TimelineEvent::Complete { client: 1 })),
-            "cancelled straggler must not complete: {:?}",
-            t.events
-        );
-        assert_eq!(t.round_end(), 2.0);
-    }
-
-    #[test]
-    fn first_k_trace_cancels_non_responders_too() {
-        let p = plan(vec![(0, Some(1.0)), (1, None)], vec![0], 1.0);
-        let t = sync_trace(&p, AggregationMode::FirstK { factor: 2.0 }, 100.0);
-        assert!(t
-            .events
-            .iter()
-            .any(|(time, e)| *time == 1.0 && matches!(e, TimelineEvent::Cancelled { client: 1 })));
-        assert_eq!(t.round_end(), 1.0);
     }
 }

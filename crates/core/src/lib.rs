@@ -42,6 +42,8 @@ pub mod tiering;
 pub use exec::{EventEngine, ExecBackend};
 pub use policy::Policy;
 pub use profiler::{Profiler, ProfilerConfig};
-pub use runner::{Experiment, LocalTraining, RunRequest, RunSpec, Runner, SelectionStrategy};
+pub use runner::{
+    Experiment, LocalTraining, ObservedRun, RunRequest, RunSpec, Runner, SelectionStrategy,
+};
 pub use scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
 pub use tiering::{TierAssignment, TieringConfig};

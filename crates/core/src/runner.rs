@@ -44,6 +44,7 @@ use tifl_comm::{CodecSpec, CommSpec, HierarchySpec, LinkModel};
 use tifl_fl::selector::{ClientSelector, RandomSelector};
 use tifl_fl::session::{AggregationMode, Session, SessionOverrides};
 use tifl_fl::TrainingReport;
+use tifl_obs::{MetricsSnapshot, RunObserver, TraceEvent, TraceRecord};
 use tifl_tensor::split_seed;
 
 /// Which client-selection strategy drives the run (the rows of the
@@ -598,6 +599,53 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
     pub fn run_with_session(&mut self) -> (TrainingReport, Session) {
         let overrides = self.spec.session_overrides();
         let mut session = self.exp.build_session(&overrides);
+        let report = self.execute(&mut session);
+        (report, session)
+    }
+
+    /// As [`Runner::run`] but observed: the session carries a
+    /// [`RunObserver`] whose ring buffer holds up to `ring_capacity`
+    /// trace records (0 = collect metrics only, store no trace). The
+    /// report is bit-for-bit the one [`Runner::run`] produces —
+    /// observation derives everything from the round plans and the
+    /// virtual clock and feeds nothing back — and the virtual-time
+    /// trace itself is identical across execution backends and thread
+    /// counts.
+    pub fn run_observed(&mut self, ring_capacity: usize) -> ObservedRun {
+        let overrides = self.spec.session_overrides();
+        let mut session = self.exp.build_session(&overrides);
+        session.attach_observer(RunObserver::new(ring_capacity));
+        if self.spec.selection.needs_profile() && self.spec.reprofile_every.is_none() {
+            // The up-front §4.2 profiling pass, emitted at t = 0 so the
+            // trace records where the tiers came from. A shared-profile
+            // runner emits the same values: the measurement is the
+            // same, only who computed it differs.
+            let clients = self.exp.num_clients() as u32;
+            let profile = self.shared_profile();
+            session.trace_event(
+                0.0,
+                TraceEvent::ProfilePass {
+                    clients,
+                    dropouts: profile.1.dropouts().len() as u32,
+                    profiling_sec: profile.1.profiling_time,
+                },
+            );
+        }
+        let report = self.execute(&mut session);
+        let (records, metrics) = session
+            .take_observer()
+            .expect("observer attached above")
+            .finish();
+        ObservedRun {
+            report,
+            records,
+            metrics,
+        }
+    }
+
+    /// Drive the spec against an already-built session (the shared
+    /// tail of [`Runner::run_with_session`] / [`Runner::run_observed`]).
+    fn execute(&mut self, session: &mut Session) -> TrainingReport {
         let mut report = match self.spec.reprofile_every {
             None => {
                 let seed = split_seed(self.exp.seed(), 0x5E1EC7);
@@ -605,14 +653,14 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
                 match self.spec.backend {
                     ExecBackend::Lockstep => session.run(selector.as_mut()),
                     ExecBackend::EventDriven { threads } => {
-                        EventEngine::new(threads).run(&mut session, selector.as_mut())
+                        EventEngine::new(threads).run(session, selector.as_mut())
                     }
                 }
             }
-            Some(every) => self.run_segmented(&mut session, every),
+            Some(every) => self.run_segmented(session, every),
         };
         report.policy = self.spec.display_label();
-        (report, session)
+        report
     }
 
     /// Build the spec's selector from the (cached) profile.
@@ -658,6 +706,15 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
         let mut done = 0u64;
         while done < rounds_total {
             let profile = profiler.profile_at(session.cluster(), |c| session.task_for(c), done);
+            let now = session.now();
+            session.trace_event(
+                now,
+                TraceEvent::ProfilePass {
+                    clients: self.exp.num_clients() as u32,
+                    dropouts: profile.dropouts().len() as u32,
+                    profiling_sec: profile.profiling_time,
+                },
+            );
             let seed = split_seed(self.exp.seed(), split_seed(0x5E1EC7, done));
             let mut selector: Box<dyn ClientSelector> =
                 match &self.spec.selection {
@@ -702,6 +759,21 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
             rounds,
         }
     }
+}
+
+/// The result of [`Runner::run_observed`]: the training report plus
+/// the virtual-time trace and the metrics snapshot collected alongside
+/// it. `report` is bit-for-bit what the unobserved run produces.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The training report, identical to [`Runner::run`]'s.
+    pub report: TrainingReport,
+    /// The virtual-time trace, oldest first (empty if the ring
+    /// capacity was 0; earliest records dropped if it overflowed).
+    pub records: Vec<TraceRecord>,
+    /// Counters, gauges and histograms folded from the full event
+    /// stream (never dropped, regardless of ring capacity).
+    pub metrics: MetricsSnapshot,
 }
 
 /// A fully self-contained run description for `tifl run --spec`: an
@@ -757,6 +829,16 @@ impl RunRequest {
         let exp = self.experiment();
         let mut runner = Runner::with_spec(&exp, self.spec.clone());
         runner.run()
+    }
+
+    /// Execute the request observed: same report, plus the
+    /// virtual-time trace (up to `ring_capacity` records) and a
+    /// metrics snapshot. See [`Runner::run_observed`].
+    #[must_use]
+    pub fn run_observed(&self, ring_capacity: usize) -> ObservedRun {
+        let exp = self.experiment();
+        let mut runner = Runner::with_spec(&exp, self.spec.clone());
+        runner.run_observed(ring_capacity)
     }
 }
 

@@ -5,6 +5,7 @@ use crate::client::{self, ClientConfig};
 use crate::hierarchy::AggregationTree;
 use crate::report::{RoundReport, TrainingReport};
 use crate::selector::ClientSelector;
+use crate::timeline::{schedule_plan_events, TimelineEvent};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -12,6 +13,7 @@ use tifl_comm::{CodecSpec, CommSpec, EncodeScratch, ErrorFeedback};
 use tifl_data::FederatedDataset;
 use tifl_nn::model::EvalResult;
 use tifl_nn::models::ModelSpec;
+use tifl_obs::{RunObserver, TraceEvent, TraceSink};
 use tifl_sim::latency::TrainingTask;
 use tifl_sim::{Cluster, VirtualClock};
 use tifl_tensor::{split_seed, ParamVec};
@@ -164,6 +166,12 @@ pub struct Session {
     feedback: ErrorFeedback,
     /// Reusable per-round aggregation-weight buffer.
     fold_weights: Vec<f32>,
+    /// Optional tracing/metrics sink (attached by
+    /// `tifl_core::runner::Runner::run_observed`). `None` is the free
+    /// path: one branch per round.
+    observer: Option<RunObserver>,
+    /// Reusable scratch for the canonical per-round trace schedule.
+    trace_scratch: Vec<(f64, u32, TimelineEvent)>,
 }
 
 impl Session {
@@ -218,7 +226,108 @@ impl Session {
             codec_scratch: EncodeScratch::new(),
             feedback: ErrorFeedback::new(),
             fold_weights: Vec::new(),
+            observer: None,
+            trace_scratch: Vec::new(),
         }
+    }
+
+    /// Attach a tracing/metrics observer. Every subsequent round emits
+    /// the canonical virtual-time event stream (see
+    /// [`schedule_plan_events`]) into it; both execution backends
+    /// derive the stream from the round plans alone, so it is
+    /// bit-for-bit identical across backends and thread counts.
+    pub fn attach_observer(&mut self, observer: RunObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Detach the observer (to harvest its trace and metrics).
+    pub fn take_observer(&mut self) -> Option<RunObserver> {
+        self.observer.take()
+    }
+
+    /// Record a single event at virtual time `vt` (no-op without an
+    /// observer). Hook for emission sites outside the round loop: the
+    /// profiler pass and the asynchronous engine's arrival stream.
+    pub fn trace_event(&mut self, vt: f64, event: TraceEvent) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.record(vt, event);
+        }
+    }
+
+    /// Emit the canonical trace of a planned round, anchored at the
+    /// current virtual time (called from [`Session::finish_round`]
+    /// *before* the clock advances). Allocation-free at steady state:
+    /// the schedule builds in the session's reusable scratch and every
+    /// event is `Copy`.
+    fn trace_round(&mut self, plan: &RoundPlan) {
+        if self.observer.is_none() {
+            return;
+        }
+        let first_k = matches!(self.config.aggregation, AggregationMode::FirstK { .. });
+        let tmax = self.config.tmax_sec;
+        let eval = self.is_eval_round(plan.round);
+        let wire_bytes = self.upload_wire_bytes();
+        let bytes_down = self.update_bytes * plan.selected.len() as u64;
+        let t0 = self.clock.now();
+        schedule_plan_events(plan, first_k, tmax, &mut self.trace_scratch);
+        let Some(observer) = self.observer.as_mut() else {
+            return;
+        };
+        observer.record(
+            t0,
+            TraceEvent::RoundStart {
+                round: plan.round,
+                selected: plan.selected.len() as u32,
+            },
+        );
+        for &(t, _, event) in &self.trace_scratch {
+            let mapped = match event {
+                TimelineEvent::Dispatch { client } => TraceEvent::Dispatch {
+                    round: plan.round,
+                    client: client as u32,
+                },
+                TimelineEvent::Complete { client } => TraceEvent::Complete {
+                    round: plan.round,
+                    client: client as u32,
+                },
+                TimelineEvent::TimedOut { client } => TraceEvent::TimedOut {
+                    round: plan.round,
+                    client: client as u32,
+                },
+                TimelineEvent::Cancelled { client } => TraceEvent::Cancelled {
+                    round: plan.round,
+                    client: client as u32,
+                },
+                TimelineEvent::RoundEnd => continue,
+            };
+            observer.record(t0 + t, mapped);
+        }
+        for &c in &plan.contributors {
+            observer.record(
+                t0 + plan.latency,
+                TraceEvent::Fold {
+                    round: plan.round,
+                    client: c as u32,
+                    wire_bytes,
+                },
+            );
+        }
+        // Evaluation is traced whenever the round is an eval round,
+        // whether the backend evaluates inline or defers it onto a
+        // worker — the *virtual* schedule is the same either way.
+        if eval {
+            observer.record(t0 + plan.latency, TraceEvent::Eval { round: plan.round });
+        }
+        observer.record(
+            t0 + plan.latency,
+            TraceEvent::RoundEnd {
+                round: plan.round,
+                latency: plan.latency,
+                contributors: plan.contributors.len() as u32,
+                bytes_up: wire_bytes * plan.contributors.len() as u64,
+                bytes_down,
+            },
+        );
     }
 
     /// The federated dataset.
@@ -502,6 +611,7 @@ impl Session {
         selector: &mut dyn ClientSelector,
         eval_inline: bool,
     ) -> RoundReport {
+        self.trace_round(&plan);
         let RoundPlan {
             round,
             selected,

@@ -2,17 +2,23 @@
 //!
 //! The round engine only needs `max_i L_i` (Eq. 1), but understanding
 //! *why* a round is slow — who straggled, how long the aggregator sat
-//! idle — needs the full event order. [`RoundTimeline::build`] replays a
-//! round through the simulator's event queue and returns the ordered
-//! trace: dispatches at `t = 0`, completions at each client's response
-//! latency, aggregation after the last contributor.
+//! idle — needs the full event order. There is exactly one source of
+//! that order: [`schedule_plan_events`], the canonical virtual-time
+//! schedule of a planned round (dispatches at `t = 0`, completions at
+//! each response latency, timeouts at `tmax`, cancellations at the
+//! over-selection deadline). [`RoundTimeline::from_plan`] is its thin
+//! per-round view, the live engine trace maps it onto
+//! `tifl_obs::TraceEvent`s, and [`RoundTimeline::build`] remains for
+//! hypothetical what-if replays from raw response lists (it reproduces
+//! the same ordering through the simulator's event queue).
 
 use crate::hierarchy::AggregationTree;
+use crate::session::RoundPlan;
 use serde::{Deserialize, Serialize};
 use tifl_sim::event::EventQueue;
 
 /// One entry in a round's event trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TimelineEvent {
     /// The aggregator dispatched the training task to a client.
     Dispatch {
@@ -40,6 +46,67 @@ pub enum TimelineEvent {
     RoundEnd,
 }
 
+/// Populate `out` with the canonical event schedule of a planned
+/// synchronous round: `(round-relative time, tiebreak seq, event)`
+/// triples sorted by `(time, seq)`.
+///
+/// This is the single source of event ordering for everything trace-
+/// shaped in the workspace — [`RoundTimeline::from_plan`], the live
+/// engine trace, and (historically) the event-queue replay — so the
+/// ordering rules live here, once:
+///
+/// * every selected client's `Dispatch` fires at `t = 0`, in
+///   selection order;
+/// * a responder's `Complete` fires at its response latency — unless
+///   over-selection (`first_k`) closed the round without it, in which
+///   case it is `Cancelled` at the round deadline (`plan.latency`)
+///   instead and its `Complete` never fires;
+/// * a non-responder is `TimedOut` at `tmax` (`WaitAll`) or
+///   `Cancelled` at the deadline (`first_k`);
+/// * `RoundEnd` fires at `plan.latency`, after every same-time event.
+///
+/// Reuses `out`'s capacity across calls (it is cleared, filled, and
+/// sorted in place with no intermediate allocation), so a warm caller
+/// traces rounds allocation-free.
+pub fn schedule_plan_events(
+    plan: &RoundPlan,
+    first_k: bool,
+    tmax: f64,
+    out: &mut Vec<(f64, u32, TimelineEvent)>,
+) {
+    out.clear();
+    for &(client, _) in &plan.responses {
+        let seq = out.len() as u32;
+        out.push((0.0, seq, TimelineEvent::Dispatch { client }));
+    }
+    for &(client, latency) in &plan.responses {
+        let seq = out.len() as u32;
+        match latency {
+            Some(l) if !first_k || plan.contributors.contains(&client) => {
+                out.push((l, seq, TimelineEvent::Complete { client }));
+            }
+            // An over-selection straggler: its completion is cancelled
+            // below, in deadline order after the in-schedule events.
+            Some(_) => {}
+            None if first_k => {
+                out.push((plan.latency, seq, TimelineEvent::Cancelled { client }));
+            }
+            None => out.push((tmax, seq, TimelineEvent::TimedOut { client })),
+        }
+    }
+    if first_k {
+        for &(client, latency) in &plan.responses {
+            if latency.is_some() && !plan.contributors.contains(&client) {
+                let seq = out.len() as u32;
+                out.push((plan.latency, seq, TimelineEvent::Cancelled { client }));
+            }
+        }
+    }
+    let seq = out.len() as u32;
+    out.push((plan.latency, seq, TimelineEvent::RoundEnd));
+    out.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+}
+
 /// A fully ordered trace of one round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundTimeline {
@@ -48,6 +115,19 @@ pub struct RoundTimeline {
 }
 
 impl RoundTimeline {
+    /// The timeline of a planned round, derived from the same
+    /// canonical schedule the live engine trace emits
+    /// ([`schedule_plan_events`]). `first_k` selects the
+    /// over-selection semantics (stragglers cancelled at the
+    /// deadline); under `WaitAll` pass `false`.
+    #[must_use]
+    pub fn from_plan(plan: &RoundPlan, first_k: bool, tmax: f64) -> Self {
+        let mut scratch = Vec::new();
+        schedule_plan_events(plan, first_k, tmax, &mut scratch);
+        Self {
+            events: scratch.into_iter().map(|(t, _, e)| (t, e)).collect(),
+        }
+    }
     /// Replay a round. `responses[i] = (client, Some(latency) | None)`;
     /// non-responders are charged `tmax`. If `tree` is given, the
     /// aggregation cost of the hierarchical design is appended after the
@@ -175,6 +255,80 @@ mod tests {
         );
         let expected = 2.0 + tree.aggregation_latency(2, 1_000_000);
         assert!((t.round_end() - expected).abs() < 1e-12);
+    }
+
+    fn plan(
+        responses: Vec<(usize, Option<f64>)>,
+        contributors: Vec<usize>,
+        latency: f64,
+    ) -> RoundPlan {
+        RoundPlan {
+            round: 0,
+            selected: responses.iter().map(|&(c, _)| c).collect(),
+            responses,
+            contributors,
+            latency,
+        }
+    }
+
+    #[test]
+    fn wait_all_trace_matches_timeline_shape() {
+        let p = plan(vec![(0, Some(2.0)), (1, None)], vec![0], 50.0);
+        let t = RoundTimeline::from_plan(&p, false, 50.0);
+        assert!(t
+            .events
+            .iter()
+            .any(|(time, e)| *time == 50.0 && matches!(e, TimelineEvent::TimedOut { client: 1 })));
+        assert_eq!(t.round_end(), 50.0);
+    }
+
+    #[test]
+    fn first_k_trace_cancels_stragglers_at_the_deadline() {
+        // Three responders, two contribute: the slowest is cancelled at
+        // the 2nd-fastest completion time and its Complete never fires.
+        let p = plan(
+            vec![(0, Some(1.0)), (1, Some(9.0)), (2, Some(2.0))],
+            vec![0, 2],
+            2.0,
+        );
+        let t = RoundTimeline::from_plan(&p, true, 100.0);
+        assert!(t
+            .events
+            .iter()
+            .any(|(time, e)| *time == 2.0 && matches!(e, TimelineEvent::Cancelled { client: 1 })));
+        assert!(
+            !t.events
+                .iter()
+                .any(|(_, e)| matches!(e, TimelineEvent::Complete { client: 1 })),
+            "cancelled straggler must not complete: {:?}",
+            t.events
+        );
+        assert_eq!(t.round_end(), 2.0);
+    }
+
+    #[test]
+    fn first_k_trace_cancels_non_responders_too() {
+        let p = plan(vec![(0, Some(1.0)), (1, None)], vec![0], 1.0);
+        let t = RoundTimeline::from_plan(&p, true, 100.0);
+        assert!(t
+            .events
+            .iter()
+            .any(|(time, e)| *time == 1.0 && matches!(e, TimelineEvent::Cancelled { client: 1 })));
+        assert_eq!(t.round_end(), 1.0);
+    }
+
+    #[test]
+    fn from_plan_matches_the_event_queue_builder_under_wait_all() {
+        // The what-if builder replays responses through the simulator's
+        // event queue; the plan-derived view must order identically,
+        // RoundEnd included (`plan.latency` = max response-or-tmax).
+        let responses = vec![(3, Some(4.0)), (1, Some(1.5)), (4, None), (2, Some(1.5))];
+        let tmax = 20.0;
+        let p = plan(responses.clone(), vec![3, 1, 2], 20.0);
+        assert_eq!(
+            RoundTimeline::from_plan(&p, false, tmax),
+            RoundTimeline::build(&responses, tmax, None)
+        );
     }
 
     #[test]

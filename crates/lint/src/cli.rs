@@ -1,7 +1,14 @@
 //! Command-line driver shared by the `tifl-lint` binary and the
 //! `tifl lint` facade subcommand.
+//!
+//! All output goes through caller-supplied [`std::io::Write`] sinks
+//! ([`run_with`]); [`run`] is the thin process-facing wrapper that
+//! binds them to stdout/stderr. That keeps this library clean under
+//! its own `print-in-library` rule and makes the driver testable
+//! without capturing process stdio.
 
 use std::env;
+use std::io::Write;
 use std::path::PathBuf;
 
 use crate::workspace::{find_workspace_root, lint_workspace, Report};
@@ -22,11 +29,24 @@ enum Format {
     Json,
 }
 
-/// Run the linter with CLI-style `args` (without the program name).
-/// Returns the process exit code: 0 clean (or findings without
-/// `--deny`), 1 findings under `--deny`, 2 usage or I/O error.
+/// Run the linter with CLI-style `args` (without the program name),
+/// writing to the process's stdout/stderr. Returns the process exit
+/// code: 0 clean (or findings without `--deny`), 1 findings under
+/// `--deny`, 2 usage or I/O error.
 #[must_use]
 pub fn run(args: &[String]) -> u8 {
+    run_with(
+        args,
+        &mut std::io::stdout().lock(),
+        &mut std::io::stderr().lock(),
+    )
+}
+
+/// [`run`] against explicit output sinks: diagnostics and reports to
+/// `out`, usage and driver errors to `err`. Sink write failures are
+/// ignored (a closed pipe must not turn a lint verdict into a panic).
+#[must_use]
+pub fn run_with(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> u8 {
     let mut deny = false;
     let mut format = Format::Human;
     let mut root_arg: Option<PathBuf> = None;
@@ -39,21 +59,21 @@ pub fn run(args: &[String]) -> u8 {
                 Some("human") => format = Format::Human,
                 Some("json") => format = Format::Json,
                 other => {
-                    eprintln!("tifl-lint: bad --format {other:?}\n{USAGE}");
+                    let _ = writeln!(err, "tifl-lint: bad --format {other:?}\n{USAGE}");
                     return 2;
                 }
             },
             "--help" | "-h" => {
-                println!("{USAGE}");
+                let _ = writeln!(out, "{USAGE}");
                 return 0;
             }
             _ if arg.starts_with('-') => {
-                eprintln!("tifl-lint: unknown flag `{arg}`\n{USAGE}");
+                let _ = writeln!(err, "tifl-lint: unknown flag `{arg}`\n{USAGE}");
                 return 2;
             }
             path => {
                 if root_arg.replace(PathBuf::from(path)).is_some() {
-                    eprintln!("tifl-lint: more than one path given\n{USAGE}");
+                    let _ = writeln!(err, "tifl-lint: more than one path given\n{USAGE}");
                     return 2;
                 }
             }
@@ -66,14 +86,15 @@ pub fn run(args: &[String]) -> u8 {
             let cwd = match env::current_dir() {
                 Ok(d) => d,
                 Err(e) => {
-                    eprintln!("tifl-lint: cannot determine cwd: {e}");
+                    let _ = writeln!(err, "tifl-lint: cannot determine cwd: {e}");
                     return 2;
                 }
             };
             match find_workspace_root(&cwd) {
                 Some(r) => r,
                 None => {
-                    eprintln!(
+                    let _ = writeln!(
+                        err,
                         "tifl-lint: no `[workspace]` Cargo.toml above {}",
                         cwd.display()
                     );
@@ -86,17 +107,19 @@ pub fn run(args: &[String]) -> u8 {
     let report = match lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("tifl-lint: failed to scan {}: {e}", root.display());
+            let _ = writeln!(err, "tifl-lint: failed to scan {}: {e}", root.display());
             return 2;
         }
     };
 
     match format {
-        Format::Human => print_human(&report),
+        Format::Human => write_human(&report, out),
         Format::Json => match serde_json::to_string_pretty(&report) {
-            Ok(json) => println!("{json}"),
+            Ok(json) => {
+                let _ = writeln!(out, "{json}");
+            }
             Err(e) => {
-                eprintln!("tifl-lint: cannot serialize report: {e}");
+                let _ = writeln!(err, "tifl-lint: cannot serialize report: {e}");
                 return 2;
             }
         },
@@ -109,15 +132,70 @@ pub fn run(args: &[String]) -> u8 {
     }
 }
 
-fn print_human(report: &Report) {
+fn write_human(report: &Report, out: &mut dyn Write) {
     for f in &report.findings {
-        println!("{}:{}: {}: {}", f.file, f.line, f.rule, f.message);
+        let _ = writeln!(out, "{}:{}: {}: {}", f.file, f.line, f.rule, f.message);
     }
     let status = if report.is_clean() { "clean" } else { "FAILED" };
-    println!(
+    let _ = writeln!(
+        out,
         "tifl-lint: {status} — {} finding(s), {} waived, {} files scanned",
         report.findings.len(),
         report.waived,
         report.files_scanned
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> (u8, String, String) {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run_with(&args, &mut out, &mut err);
+        (
+            code,
+            String::from_utf8(out).expect("utf-8 out"),
+            String::from_utf8(err).expect("utf-8 err"),
+        )
+    }
+
+    #[test]
+    fn help_prints_usage_to_out() {
+        let (code, out, err) = run_str(&["--help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("usage: tifl-lint"));
+        assert!(err.is_empty());
+    }
+
+    #[test]
+    fn bad_flags_report_to_err_with_code_2() {
+        let (code, out, err) = run_str(&["--nope"]);
+        assert_eq!(code, 2);
+        assert!(out.is_empty());
+        assert!(err.contains("unknown flag"));
+        let (code, _, err) = run_str(&["--format", "xml"]);
+        assert_eq!(code, 2);
+        assert!(err.contains("bad --format"));
+        let (code, _, err) = run_str(&["a", "b"]);
+        assert_eq!(code, 2);
+        assert!(err.contains("more than one path"));
+    }
+
+    #[test]
+    fn empty_root_reports_clean_through_the_out_sink() {
+        let dir = std::env::temp_dir().join(format!("tifl-lint-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let root = dir.to_str().expect("utf-8 path");
+        let (code, out, err) = run_str(&[root, "--deny"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("clean — 0 finding(s)"), "{out}");
+        assert!(err.is_empty());
+        let (code, out, _) = run_str(&[root, "--format", "json"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("\"files_scanned\": 0"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

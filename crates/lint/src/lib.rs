@@ -10,10 +10,11 @@
 //! `#[cfg(test)]` scope tracking, run over every workspace source file
 //! ([`workspace`]) by the CLI ([`cli`]).
 //!
-//! Six rules ship (see `RULES.md` for examples and waiver syntax):
+//! Seven rules ship (see `RULES.md` for examples and waiver syntax):
 //! `nondet-iteration`, `wall-clock-in-core`, `unseeded-rng`,
-//! `panic-in-library`, `unsafe-needs-safety-comment` and
-//! `float-reduce-order`. Findings are suppressible only by an inline
+//! `panic-in-library`, `print-in-library`,
+//! `unsafe-needs-safety-comment` and `float-reduce-order`. Findings
+//! are suppressible only by an inline
 //! `// tifl-lint: allow(<rule>) — <justification>` annotation.
 //!
 //! Run as `tifl lint --deny` (facade subcommand) or

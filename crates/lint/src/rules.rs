@@ -1,4 +1,4 @@
-//! The rule engine: scope tracking, waiver handling, and the six
+//! The rule engine: scope tracking, waiver handling, and the seven
 //! determinism & robustness rules.
 //!
 //! Rules operate on the token stream from [`crate::lexer`], annotated
@@ -25,12 +25,13 @@ use serde::Serialize;
 
 use crate::lexer::{lex, Token, TokenKind};
 
-/// Names of the six lintable rules, in severity-neutral rule order.
-pub const RULE_NAMES: [&str; 6] = [
+/// Names of the seven lintable rules, in severity-neutral rule order.
+pub const RULE_NAMES: [&str; 7] = [
     "nondet-iteration",
     "wall-clock-in-core",
     "unseeded-rng",
     "panic-in-library",
+    "print-in-library",
     "unsafe-needs-safety-comment",
     "float-reduce-order",
 ];
@@ -377,7 +378,7 @@ fn safety_comment_lines(tokens: &[Token]) -> BTreeSet<u32> {
 
 // -- the rules --------------------------------------------------------------
 
-/// Pattern-match the six rules over the scope-annotated code tokens.
+/// Pattern-match the seven rules over the scope-annotated code tokens.
 fn run_rules(
     tokens: &[Token],
     code: &[Scoped],
@@ -505,6 +506,20 @@ fn run_rules(
                     format!(
                         "`{name}!` in library code aborts the caller: return a `Result`, or \
                          waive a documented precondition/invariant panic"
+                    ),
+                );
+            }
+            name @ ("println" | "eprintln" | "print" | "eprint")
+                if library_code && is_p(k + 1, '!') =>
+            {
+                push(
+                    k,
+                    "print-in-library",
+                    format!(
+                        "`{name}!` in library code writes straight to the process stdio, \
+                         invisible to callers and unusable under a harness: return data, \
+                         write into a caller-supplied `std::io::Write`, or waive a \
+                         deliberate operator-facing progress line"
                     ),
                 );
             }
@@ -734,6 +749,30 @@ pub fn ok(xs: &[f32]) -> f32 { xs.iter().fold(0.0, |a, &b| a + b) }
             vec![("float-reduce-order".into(), 1)]
         );
         assert_eq!(rules_at(src, &ctx("tensor")), vec![]);
+    }
+
+    #[test]
+    fn prints_flagged_in_library_code_only() {
+        let src = "\
+pub fn a() { println!(\"hi\"); }
+pub fn b() { eprintln!(\"progress\"); }
+pub fn ok(w: &mut dyn std::io::Write) { let _ = writeln!(w, \"hi\"); }
+";
+        assert_eq!(
+            rules_at(src, &ctx("sweep")),
+            vec![
+                ("print-in-library".into(), 1),
+                ("print-in-library".into(), 2),
+            ]
+        );
+        // Bins own their stdio; bench harness output is its product.
+        let bin = FileContext {
+            crate_name: "core".into(),
+            rel_path: "crates/core/src/bin/tool.rs".into(),
+            is_bin: true,
+        };
+        assert_eq!(rules_at(src, &bin), vec![]);
+        assert_eq!(rules_at(src, &ctx("bench")), vec![]);
     }
 
     #[test]

@@ -95,6 +95,35 @@ fn panics_fixture_exact_diagnostics() {
 }
 
 #[test]
+fn prints_fixture_exact_diagnostics() {
+    let lint = lint_as("prints.rs", "fl");
+    assert_eq!(
+        rule_lines(&lint),
+        vec![
+            ("print-in-library", 3),
+            ("print-in-library", 7),
+            ("print-in-library", 11),
+            ("print-in-library", 12),
+        ],
+        "writeln! into a caller sink, waived and test prints stay clean"
+    );
+    assert_eq!(lint.waived, 1, "the annotated eprintln is waived");
+}
+
+#[test]
+fn prints_fixture_is_clean_in_bins_and_bench() {
+    let ctx = FileContext {
+        crate_name: "core".to_string(),
+        rel_path: "crates/core/src/bin/tool.rs".to_string(),
+        is_bin: true,
+    };
+    let lint = lint_source(&fixture("prints.rs"), &ctx);
+    assert_eq!(rule_lines(&lint), vec![], "bins own their stdio");
+    let lint = lint_as("prints.rs", "bench");
+    assert_eq!(rule_lines(&lint), vec![], "bench output is its product");
+}
+
+#[test]
 fn unsafe_fixture_requires_safety_contracts_in_tensor() {
     let lint = lint_as("unsafe_simd.rs", "tensor");
     assert_eq!(

@@ -1,0 +1,30 @@
+// Known-bad fixture for `print-in-library` (linted as crate `fl`).
+pub fn noisy() {
+    println!("progress: 50%") // line 3: finding
+}
+
+pub fn noisier(e: &str) {
+    eprintln!("warning: {e}") // line 7: finding
+}
+
+pub fn partial() {
+    print!("no newline"); // line 11: finding
+    eprint!("also bare"); // line 12: finding
+}
+
+pub fn sanctioned(w: &mut dyn std::io::Write) {
+    let _ = writeln!(w, "caller-directed output"); // clean: caller chose the sink
+}
+
+pub fn waived() {
+    // tifl-lint: allow(print-in-library) — operator-facing progress line, stderr only
+    eprintln!("[fl] 3/10 rounds done") // line 20: waived
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debug output in tests is fine"); // clean: test scope
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic observability: tracing and metrics for TiFL runs.
+//!
+//! The paper's core claims are *temporal* — tiered selection cuts round
+//! latency because stragglers stop gating `max_i L_i` (Eq. 1) — so a
+//! reproduction needs more than final accuracy curves: it needs to show
+//! *when* every dispatch, completion, cancellation, fold and eval
+//! happened inside the simulated clock. This crate provides that
+//! surface without compromising the workspace's bit-for-bit
+//! determinism contract:
+//!
+//! - [`trace`] — the [`TraceEvent`] vocabulary, the [`TraceSink`]
+//!   trait, and a preallocated ring-buffer recorder
+//!   ([`RingRecorder`]). Events are `Copy`, scalar-only payloads
+//!   stamped with **virtual time**; recording never allocates once the
+//!   ring exists, and a disabled sink costs one branch.
+//! - [`observer`] — [`RunObserver`], the sink a `Runner` attaches to a
+//!   session: ring recorder + pre-registered metrics, folded from the
+//!   same event stream.
+//! - [`metrics`] — a fixed-bucket [`MetricsRegistry`]
+//!   (counters/gauges/histograms behind index handles) whose
+//!   [`MetricsSnapshot`] serializes into run artifacts
+//!   byte-deterministically.
+//! - [`chrome`] — export a trace as Chrome trace-event JSON, loadable
+//!   in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//! - [`table`] — per-round text/JSON tables derived from a trace.
+//! - [`pivot`] — the row type and text renderer for `tifl report`'s
+//!   policy × scenario pivot (populated by `tifl-sweep` from a
+//!   `RunStore`).
+//!
+//! # Determinism contract
+//!
+//! Everything recorded here is derived from the virtual clock and the
+//! round plans, never from wall time, iteration order of hash maps, or
+//! thread scheduling. The same run therefore yields the same trace —
+//! record for record — on `Lockstep` and `EventDriven{n}` backends for
+//! any `n`, and two runs of the same spec yield byte-identical
+//! [`MetricsSnapshot`] JSON. The root `tests/obs.rs` suite pins both
+//! properties.
+
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod observer;
+pub mod pivot;
+pub mod table;
+pub mod trace;
+
+pub use chrome::{chrome_trace, ChromeEvent};
+pub use metrics::{
+    CounterId, CounterSnap, GaugeId, GaugeSnap, HistId, HistSnap, MetricsRegistry, MetricsSnapshot,
+};
+pub use observer::RunObserver;
+pub use pivot::{render_pivot, PivotRow};
+pub use table::{render_rounds, round_rows, RoundRow};
+pub use trace::{NoopSink, RingRecorder, TraceEvent, TraceRecord, TraceSink};

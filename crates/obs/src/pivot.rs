@@ -1,0 +1,118 @@
+//! Row type and text renderer for the `tifl report` store pivot.
+//!
+//! `tifl-sweep`'s report module folds every artifact in a `RunStore`
+//! into one [`PivotRow`] per run — the paper's fig. 3/fig. 5 summary
+//! axes (rounds, virtual wall-clock, final/best accuracy, wire
+//! traffic, optional time-to-target-accuracy) keyed by the run label
+//! — and [`render_pivot`] lays them out as an aligned policy ×
+//! scenario table. The row type lives here, dependency-free, so the
+//! renderer is testable without a store on disk.
+
+use serde::{Deserialize, Serialize};
+
+/// One run's summary line in the pivot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PivotRow {
+    /// Run label (policy × axes, e.g. `uniform5/fedprox`).
+    pub label: String,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total virtual wall-clock seconds (Eq. 6 axis).
+    pub virtual_sec: f64,
+    /// Accuracy after the last round.
+    pub final_accuracy: f64,
+    /// Best accuracy over the run.
+    pub best_accuracy: f64,
+    /// Total uplink bytes (wire-encoded).
+    pub bytes_up: u64,
+    /// Total downlink bytes.
+    pub bytes_down: u64,
+    /// Virtual seconds until the target accuracy was first reached
+    /// (`None` when no target was requested or never reached).
+    pub time_to_target_sec: Option<f64>,
+}
+
+/// Render rows as an aligned text table; the time-to-target column
+/// appears only when a target accuracy was requested.
+#[must_use]
+pub fn render_pivot(rows: &[PivotRow], target: Option<f64>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let width = rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(3);
+    let _ = write!(
+        out,
+        "{:<width$} {:>6} {:>7} {:>12} {:>7} {:>7} {:>9} {:>9}",
+        "run", "seed", "rounds", "virtual [s]", "final", "best", "up [MB]", "down [MB]"
+    );
+    if let Some(t) = target {
+        let _ = write!(out, " {:>14}", format!("t@{t:.2} [s]"));
+    }
+    let _ = writeln!(out);
+    for r in rows {
+        let _ = write!(
+            out,
+            "{:<width$} {:>6} {:>7} {:>12.0} {:>7.3} {:>7.3} {:>9.2} {:>9.2}",
+            r.label,
+            r.seed,
+            r.rounds,
+            r.virtual_sec,
+            r.final_accuracy,
+            r.best_accuracy,
+            r.bytes_up as f64 / 1e6,
+            r.bytes_down as f64 / 1e6
+        );
+        if target.is_some() {
+            match r.time_to_target_sec {
+                Some(t) => {
+                    let _ = write!(out, " {t:>14.0}");
+                }
+                None => {
+                    let _ = write!(out, " {:>14}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str, seed: u64) -> PivotRow {
+        PivotRow {
+            label: label.to_string(),
+            seed,
+            rounds: 10,
+            virtual_sec: 1234.0,
+            final_accuracy: 0.51,
+            best_accuracy: 0.53,
+            bytes_up: 2_000_000,
+            bytes_down: 4_000_000,
+            time_to_target_sec: Some(600.0),
+        }
+    }
+
+    #[test]
+    fn table_aligns_and_gates_the_target_column() {
+        let rows = vec![row("vanilla", 42), row("uniform5", 42)];
+        let plain = render_pivot(&rows, None);
+        assert!(plain.contains("vanilla"));
+        assert!(!plain.contains("t@"));
+        let with_target = render_pivot(&rows, Some(0.5));
+        assert!(with_target.contains("t@0.50 [s]"));
+        assert!(with_target.contains("600"));
+        assert_eq!(with_target.lines().count(), 3);
+    }
+
+    #[test]
+    fn unreached_targets_render_as_a_dash() {
+        let mut r = row("slow", 7);
+        r.time_to_target_sec = None;
+        let s = render_pivot(&[r], Some(0.9));
+        assert!(s.lines().nth(1).unwrap().trim_end().ends_with('-'));
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-round metrics tables derived from a recorded trace.
+//!
+//! Pairs each `RoundStart`/`RoundEnd` in the stream into a
+//! [`RoundRow`]: when the round started and closed on the virtual
+//! clock, how many clients were selected vs. actually aggregated, and
+//! the round's wire traffic. Rows serialize to JSON directly and
+//! [`render_rounds`] formats them as an aligned text table for the
+//! `tifl trace` CLI.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{TraceEvent, TraceRecord};
+
+/// One training round, summarized from the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRow {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Virtual time the round started.
+    pub start_sec: f64,
+    /// Round latency `max_i L_i` in virtual seconds.
+    pub latency_sec: f64,
+    /// Clients selected at the start of the round.
+    pub selected: u32,
+    /// Clients whose updates were aggregated.
+    pub contributors: u32,
+    /// Uplink bytes (wire-encoded) this round.
+    pub bytes_up: u64,
+    /// Downlink bytes this round.
+    pub bytes_down: u64,
+}
+
+/// Fold a trace into per-round rows, in round order of appearance.
+///
+/// A `RoundEnd` whose `RoundStart` was rotated out of the ring still
+/// produces a row (with `start_sec` back-computed from the latency
+/// and `selected` 0, since the selection count was lost).
+#[must_use]
+pub fn round_rows(records: &[TraceRecord]) -> Vec<RoundRow> {
+    let mut rows = Vec::new();
+    let mut open: Vec<(u64, f64, u32)> = Vec::new(); // (round, start, selected)
+    for rec in records {
+        match rec.event {
+            TraceEvent::RoundStart { round, selected } => {
+                open.push((round, rec.vt, selected));
+            }
+            TraceEvent::RoundEnd {
+                round,
+                latency,
+                contributors,
+                bytes_up,
+                bytes_down,
+            } => {
+                let (start_sec, selected) = match open.iter().position(|&(r, _, _)| r == round) {
+                    Some(i) => {
+                        let (_, start, selected) = open.swap_remove(i);
+                        (start, selected)
+                    }
+                    None => (rec.vt - latency, 0),
+                };
+                rows.push(RoundRow {
+                    round,
+                    start_sec,
+                    latency_sec: latency,
+                    selected,
+                    contributors,
+                    bytes_up,
+                    bytes_down,
+                });
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Render rows as an aligned text table.
+#[must_use]
+pub fn render_rounds(rows: &[RoundRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>12} {:>9} {:>13} {:>12} {:>12}",
+        "round", "start [s]", "latency [s]", "selected", "contributors", "up [B]", "down [B]"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12.1} {:>12.1} {:>9} {:>13} {:>12} {:>12}",
+            r.round,
+            r.start_sec,
+            r.latency_sec,
+            r.selected,
+            r.contributors,
+            r.bytes_up,
+            r.bytes_down
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_pair_round_start_and_end() {
+        let records = vec![
+            TraceRecord {
+                seq: 0,
+                vt: 10.0,
+                event: TraceEvent::RoundStart {
+                    round: 1,
+                    selected: 5,
+                },
+            },
+            TraceRecord {
+                seq: 1,
+                vt: 14.0,
+                event: TraceEvent::RoundEnd {
+                    round: 1,
+                    latency: 4.0,
+                    contributors: 4,
+                    bytes_up: 400,
+                    bytes_down: 500,
+                },
+            },
+        ];
+        let rows = round_rows(&records);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].round, 1);
+        assert!((rows[0].start_sec - 10.0).abs() < 1e-12);
+        assert_eq!(rows[0].selected, 5);
+        assert_eq!(rows[0].contributors, 4);
+        let table = render_rounds(&rows);
+        assert!(table.contains("latency"));
+        assert!(table.lines().count() == 2);
+    }
+
+    #[test]
+    fn orphan_round_end_back_computes_its_start() {
+        let records = vec![TraceRecord {
+            seq: 9,
+            vt: 30.0,
+            event: TraceEvent::RoundEnd {
+                round: 3,
+                latency: 4.0,
+                contributors: 2,
+                bytes_up: 1,
+                bytes_down: 2,
+            },
+        }];
+        let rows = round_rows(&records);
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].start_sec - 26.0).abs() < 1e-12);
+        assert_eq!(rows[0].selected, 0);
+    }
+}

@@ -19,7 +19,10 @@
 //! * [`store`] — a [`RunStore`] persists every completed run as a
 //!   deterministic JSON artifact named by its key; a re-invoked sweep
 //!   **resumes** by validating and skipping keys whose artifacts
-//!   already exist.
+//!   already exist;
+//! * [`report`] — [`pivot_rows`] pivots a store into the paper's
+//!   policy × scenario comparison table (`tifl report`) without
+//!   re-running anything.
 //!
 //! The fluent entry point is [`SweepBuilder`]:
 //!
@@ -44,10 +47,12 @@
 #![forbid(unsafe_code)]
 
 pub mod manifest;
+pub mod report;
 pub mod scheduler;
 pub mod store;
 
 pub use manifest::{KeyedRun, RunKey, SweepAxes, SweepManifest};
+pub use report::pivot_rows;
 pub use scheduler::{ProfileCache, RunOutcome, SweepReport, SweepScheduler};
 pub use store::{RunArtifact, RunStore, SweepSummary};
 

@@ -23,6 +23,7 @@ use tifl_core::experiment::ExperimentConfig;
 use tifl_core::runner::{Experiment, RunRequest, Runner, SharedProfile};
 use tifl_fl::session::SessionOverrides;
 use tifl_fl::TrainingReport;
+use tifl_obs::MetricsSnapshot;
 
 /// The cross-run profile-cache key: a content hash of the resolved
 /// experiment and the spec's comm axis — the same two inputs
@@ -42,6 +43,7 @@ pub fn profile_key(experiment: &ExperimentConfig, comm: Option<CommSpec>) -> u12
 pub struct ProfileCache {
     slots: Mutex<HashMap<u128, Arc<Mutex<Option<SharedProfile>>>>>,
     computed: AtomicUsize,
+    hits: AtomicUsize,
 }
 
 impl ProfileCache {
@@ -56,6 +58,13 @@ impl ProfileCache {
     #[must_use]
     pub fn computed(&self) -> usize {
         self.computed.load(Ordering::SeqCst)
+    }
+
+    /// How many requests were answered from the cache — the work the
+    /// sharing saved (`hits + computed == requests`).
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::SeqCst)
     }
 
     /// The profile under `key`, computing it with `compute` on first
@@ -85,6 +94,7 @@ impl ProfileCache {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(profile) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::SeqCst);
             return Arc::clone(profile);
         }
         let profile = compute();
@@ -206,6 +216,8 @@ pub struct SweepReport {
     pub workers: usize,
     /// Profiling passes actually executed (see [`ProfileCache`]).
     pub profiles_computed: usize,
+    /// Profile requests answered from the shared cache.
+    pub profile_cache_hits: usize,
     /// Total wall-clock seconds.
     pub wall_clock_sec: f64,
 }
@@ -284,6 +296,19 @@ impl SweepReport {
             .collect()
     }
 
+    /// Summed per-run wall-clock over completed runs — how busy the
+    /// pool was, for the occupancy ratio in the summary sidecar.
+    #[must_use]
+    pub fn worker_busy_sec(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| match o {
+                RunOutcome::Completed { wall_clock_sec, .. } => *wall_clock_sec,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
     /// The summary sidecar for this execution.
     #[must_use]
     pub fn summary(&self, name: Option<String>) -> SweepSummary {
@@ -292,6 +317,9 @@ impl SweepReport {
             workers: self.workers,
             host_parallelism: host_parallelism(),
             profiles_computed: self.profiles_computed,
+            profile_cache_hits: self.profile_cache_hits,
+            resume_skips: self.skipped(),
+            worker_busy_sec: self.worker_busy_sec(),
             wall_clock_sec: self.wall_clock_sec,
             runs: self.outcomes.iter().map(RunOutcome::summary_line).collect(),
         }
@@ -336,6 +364,7 @@ impl SweepScheduler {
         let report = self.execute(&runs, store, resume);
         if let Some(store) = store {
             if let Err(e) = store.write_summary(&report.summary(manifest.name.clone())) {
+                // tifl-lint: allow(print-in-library) — operator-facing warning: a lost sidecar must be visible even though the sweep result stands
                 eprintln!("[sweep] warning: writing sweep summary failed: {e}");
             }
         }
@@ -374,6 +403,7 @@ impl SweepScheduler {
                         RunOutcome::Skipped { .. } => "skipped (artifact exists)".into(),
                         RunOutcome::Failed { message, .. } => format!("FAILED: {message}"),
                     };
+                    // tifl-lint: allow(print-in-library) — operator-facing progress line for long sweeps; stderr only, never part of results
                     eprintln!(
                         "[sweep] {}/{total} {} ({}): {tag}",
                         i + 1,
@@ -397,6 +427,7 @@ impl SweepScheduler {
             outcomes,
             workers,
             profiles_computed: cache.computed(),
+            profile_cache_hits: cache.hits(),
             wall_clock_sec: started.elapsed().as_secs_f64(),
         }
     }
@@ -417,8 +448,9 @@ fn execute_one(
     // tifl-lint: allow(wall-clock-in-core) — per-run wall time is an operator-facing metric, excluded from RunKey hashing and artifacts
     let started = Instant::now();
     match std::panic::catch_unwind(AssertUnwindSafe(|| run_one(&run.request, cache))) {
-        Ok(report) => {
-            let artifact = RunArtifact::new(run.key, run.request.clone(), report);
+        Ok((report, metrics)) => {
+            let mut artifact = RunArtifact::new(run.key, run.request.clone(), report);
+            artifact.metrics = Some(metrics);
             if let Some(store) = store {
                 if let Err(e) = store.write(&artifact) {
                     return RunOutcome::Failed {
@@ -442,26 +474,30 @@ fn execute_one(
 }
 
 /// Execute one request, sourcing the profiling pass from the shared
-/// cache. Bit-for-bit equivalent to `request.run()`: the cache hands
-/// the runner exactly the measurement it would have taken itself
-/// (re-profiling runs measure per segment inside the run and bypass the
-/// cache, like an unshared runner).
-fn run_one(request: &RunRequest, cache: &ProfileCache) -> TrainingReport {
+/// cache. The report is bit-for-bit equivalent to `request.run()`: the
+/// cache hands the runner exactly the measurement it would have taken
+/// itself (re-profiling runs measure per segment inside the run and
+/// bypass the cache, like an unshared runner). Runs observed with a
+/// zero-capacity ring — the deterministic metrics snapshot rides into
+/// the artifact, no trace is stored.
+fn run_one(request: &RunRequest, cache: &ProfileCache) -> (TrainingReport, MetricsSnapshot) {
     let experiment = request.experiment();
     let spec = request.spec.clone();
     let wants_shared = spec.selection.needs_profile() && spec.reprofile_every.is_none();
-    if !wants_shared {
-        return Runner::with_spec(&experiment, spec).run();
-    }
-    let comm = spec.profile_axis();
-    let profile = cache.get_or_compute(profile_key(&experiment, comm), || {
-        let overrides = SessionOverrides {
-            comm,
-            ..SessionOverrides::default()
-        };
-        Arc::new(experiment.profile_and_tier_with(&overrides))
-    });
-    Runner::with_shared_profile(&experiment, spec, profile).run()
+    let observed = if wants_shared {
+        let comm = spec.profile_axis();
+        let profile = cache.get_or_compute(profile_key(&experiment, comm), || {
+            let overrides = SessionOverrides {
+                comm,
+                ..SessionOverrides::default()
+            };
+            Arc::new(experiment.profile_and_tier_with(&overrides))
+        });
+        Runner::with_shared_profile(&experiment, spec, profile).run_observed(0)
+    } else {
+        Runner::with_spec(&experiment, spec).run_observed(0)
+    };
+    (observed.report, observed.metrics)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -16,6 +16,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use tifl_core::runner::RunRequest;
 use tifl_fl::{ReportSummary, TrainingReport};
+use tifl_obs::MetricsSnapshot;
 
 /// The one JSON serializer every artifact path shares (the sweep store
 /// and the `tifl run --spec --out` single-run path): pretty-printed
@@ -52,10 +53,16 @@ pub struct RunArtifact {
     pub request: RunRequest,
     /// The full training report.
     pub report: TrainingReport,
+    /// Deterministic run metrics (counters, gauges, histograms) folded
+    /// from the virtual-time trace. Optional so artifacts written
+    /// before the observability layer existed still load and validate.
+    #[serde(default)]
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunArtifact {
-    /// Package a completed run.
+    /// Package a completed run (without metrics; set
+    /// [`RunArtifact::metrics`] afterwards for observed runs).
     #[must_use]
     pub fn new(key: RunKey, request: RunRequest, report: TrainingReport) -> Self {
         Self {
@@ -64,6 +71,7 @@ impl RunArtifact {
             host_parallelism: host_parallelism(),
             request,
             report,
+            metrics: None,
         }
     }
 }
@@ -97,6 +105,17 @@ pub struct SweepSummary {
     /// Profiling passes actually executed (the shared-cache observable:
     /// one per distinct experiment × comm topology, not one per run).
     pub profiles_computed: usize,
+    /// Profile-cache hits: runs that reused a pass another run paid
+    /// for. Defaults for sidecars written before this field existed.
+    #[serde(default)]
+    pub profile_cache_hits: usize,
+    /// Runs skipped by resume (a valid artifact already existed).
+    #[serde(default)]
+    pub resume_skips: usize,
+    /// Summed per-run wall-clock over completed runs — the occupancy
+    /// numerator (`worker_busy_sec / (workers * wall_clock_sec)`).
+    #[serde(default)]
+    pub worker_busy_sec: f64,
     /// Total sweep wall-clock in seconds.
     pub wall_clock_sec: f64,
     /// Per-run lines, in canonical manifest order.

@@ -13,6 +13,8 @@
 //! tifl run --spec run.json --out r.json# … writing the full report JSON
 //! tifl sweep sweep.json --workers 4    # execute a whole run matrix
 //! tifl sweep sweep.json --resume       # … skipping completed run keys
+//! tifl trace run.json --out trace.json # re-run traced, export Chrome JSON
+//! tifl report artifacts/ --target 0.5  # pivot a store into a table
 //! tifl lint --deny                     # determinism static analysis
 //! ```
 //!
@@ -36,6 +38,8 @@ fn usage() -> ExitCode {
          <vanilla|slow|uniform|random|fast|fast1|fast2|fast3|adaptive>\n  \
          tifl run --spec <run.json> [--threads N] [--out <report.json>]\n  \
          tifl sweep <sweep.json> [--workers N] [--out DIR] [--resume]\n  \
+         tifl trace <run.json|artifact.json> [--out <trace.json>]\n  \
+         tifl report <store-dir> [--format human|json] [--target ACC]\n  \
          tifl lint [--deny] [--format human|json] [path]"
     );
     ExitCode::FAILURE
@@ -288,6 +292,85 @@ fn main() -> ExitCode {
             } else {
                 ExitCode::SUCCESS
             }
+        }
+        [cmd, path, rest @ ..] if cmd == "trace" => {
+            let mut out = None;
+            let mut args = rest.iter();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--out" => {
+                        let Some(p) = args.next() else { return usage() };
+                        out = Some(p.clone());
+                    }
+                    _ => return usage(),
+                }
+            }
+            // Accept either a run request or a stored artifact — an
+            // artifact carries its request, and re-running it is
+            // deterministic, so the trace it never stored can be
+            // regenerated bit-for-bit.
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+            let request = match serde_json::from_str::<RunArtifact>(&text) {
+                Ok(artifact) => artifact.request,
+                Err(_) => serde_json::from_str::<RunRequest>(&text)
+                    .unwrap_or_else(|e| panic!("parsing {path} as RunRequest: {e}")),
+            };
+            eprintln!(
+                "[tifl] tracing {} / {} ...",
+                request.experiment.name,
+                request.spec.display_label()
+            );
+            let observed = request.run_observed(1 << 18);
+            let rows = tifl::obs::round_rows(&observed.records);
+            print!("{}", tifl::obs::render_rounds(&rows));
+            print!("{}", observed.metrics.render_text());
+            if let Some(out) = out {
+                let events = tifl::obs::chrome_trace(&observed.records);
+                tifl::sweep::store::write_json(std::path::Path::new(&out), &events)
+                    .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+                println!(
+                    "wrote {} Chrome trace events to {out} (chrome://tracing, Perfetto)",
+                    events.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        [cmd, dir, rest @ ..] if cmd == "report" => {
+            let mut format = "human".to_string();
+            let mut target = None;
+            let mut args = rest.iter();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--format" => {
+                        let Some(f) = args.next() else { return usage() };
+                        format = f.clone();
+                    }
+                    "--target" => {
+                        let t = args.next().map(|t| t.parse::<f64>());
+                        let Some(Ok(t)) = t else { return usage() };
+                        target = Some(t);
+                    }
+                    _ => return usage(),
+                }
+            }
+            let store = RunStore::open(dir).unwrap_or_else(|e| panic!("opening {dir}: {e}"));
+            let rows = tifl::sweep::pivot_rows(&store, target);
+            if rows.is_empty() {
+                eprintln!("[tifl] no run artifacts found in {dir}");
+                return ExitCode::FAILURE;
+            }
+            match format.as_str() {
+                "human" => print!("{}", tifl::obs::render_pivot(&rows, target)),
+                "json" => {
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&rows).expect("pivot rows serialize")
+                    );
+                }
+                _ => return usage(),
+            }
+            ExitCode::SUCCESS
         }
         [cmd, rest @ ..] if cmd == "lint" => ExitCode::from(tifl::lint::cli::run(rest)),
         [cmd, path, policy] if cmd == "run" => {

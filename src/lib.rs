@@ -14,12 +14,17 @@
 //!   transfer-cost accounting and update codecs (int8 quantization,
 //!   top-k sparsification);
 //! * [`fl`] — the FL substrate: clients, FedAvg aggregator, round engine;
+//! * [`obs`] — deterministic observability: virtual-time tracing
+//!   (ring-buffer recorder, Chrome trace-event export) and a
+//!   fixed-bucket metrics registry whose snapshots ride in run
+//!   artifacts;
 //! * [`core`] — the paper's contribution: profiler, tiering, static and
 //!   adaptive tier schedulers, training-time estimator, privacy
 //!   accounting, and the composable `RunSpec`/`Runner` execution API;
 //! * [`sweep`] — multi-run orchestration: declarative sweep manifests,
-//!   a worker-pool scheduler with a shared profile cache, and a
-//!   resumable keyed artifact store;
+//!   a worker-pool scheduler with a shared profile cache, a resumable
+//!   keyed artifact store, and store-backed pivot reporting
+//!   (`tifl report`);
 //! * [`leaf`] — the LEAF-like FEMNIST benchmark harness.
 //!
 //! ## Quickstart
@@ -56,10 +61,11 @@
 //! ## Static analysis
 //!
 //! The workspace ships its own determinism linter, [`lint`]
-//! (`tifl lint --deny`): six token-level rules guarding the
+//! (`tifl lint --deny`): seven token-level rules guarding the
 //! bit-for-bit invariants (no `HashMap` iteration in critical crates,
 //! no wall-clock or OS entropy in simulated code, no unannotated
-//! panics/`unsafe`/float reductions). See `crates/lint/RULES.md`.
+//! panics/`unsafe`/float reductions, no bare prints in library code).
+//! See `crates/lint/RULES.md`.
 
 #![forbid(unsafe_code)]
 
@@ -70,6 +76,7 @@ pub use tifl_fl as fl;
 pub use tifl_leaf as leaf;
 pub use tifl_lint as lint;
 pub use tifl_nn as nn;
+pub use tifl_obs as obs;
 pub use tifl_sim as sim;
 pub use tifl_sweep as sweep;
 pub use tifl_tensor as tensor;
@@ -83,7 +90,7 @@ pub mod prelude {
     pub use tifl_core::policy::Policy;
     pub use tifl_core::profiler::{Profiler, ProfilerConfig};
     pub use tifl_core::runner::{
-        Experiment, LocalTraining, RunRequest, RunSpec, Runner, SelectionStrategy,
+        Experiment, LocalTraining, ObservedRun, RunRequest, RunSpec, Runner, SelectionStrategy,
     };
     pub use tifl_core::scheduler::{AdaptiveConfig, AdaptiveTierSelector, StaticTierSelector};
     pub use tifl_core::tiering::{TierAssignment, TieringConfig};
@@ -101,6 +108,10 @@ pub mod prelude {
     pub use tifl_fl::timeline::{RoundTimeline, TimelineEvent};
     pub use tifl_leaf::{LeafDataConfig, LeafExperiment};
     pub use tifl_nn::models::ModelSpec;
+    pub use tifl_obs::{
+        chrome_trace, MetricsRegistry, MetricsSnapshot, RingRecorder, RunObserver, TraceEvent,
+        TraceRecord, TraceSink,
+    };
     pub use tifl_sim::cluster::{Cluster, ClusterConfig};
     pub use tifl_sim::drift::DriftModel;
     pub use tifl_sim::latency::{LatencyModel, LatencyModelConfig};

@@ -17,7 +17,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use tifl::comm::{CodecSpec, EncodeScratch, ErrorFeedback};
+use tifl::fl::session::RoundPlan;
+use tifl::fl::timeline::{schedule_plan_events, TimelineEvent};
 use tifl::fl::{ClientUpdate, StreamingFold};
+use tifl::obs::{RunObserver, TraceEvent, TraceSink};
 use tifl::tensor::ParamVec;
 
 struct CountingAlloc;
@@ -153,4 +156,91 @@ fn steady_state_fold_encode_round_is_allocation_free() {
             "{codec:?}: steady-state rounds allocated {allocs} times"
         );
     }
+
+    // Tracing-enabled variant: with an active RunObserver (warm,
+    // bounded ring) recording every event, the per-round trace
+    // derivation plus the metrics folds must also be allocation-free —
+    // observability enabled may not re-introduce hot-path allocation.
+    // Same process, same test fn: the counting allocator is global.
+    let plan = RoundPlan {
+        round: 7,
+        selected: vec![0, 1, 2, 3],
+        responses: vec![(0, Some(2.5)), (1, Some(1.0)), (2, None), (3, Some(3.0))],
+        contributors: vec![0, 1, 3],
+        latency: 3.0,
+    };
+    let mut observer = RunObserver::new(64);
+    let mut events: Vec<(f64, u32, TimelineEvent)> = Vec::new();
+    let trace_round =
+        |observer: &mut RunObserver, events: &mut Vec<(f64, u32, TimelineEvent)>, t0: f64| {
+            schedule_plan_events(&plan, false, 20.0, events);
+            observer.record(
+                t0,
+                TraceEvent::RoundStart {
+                    round: plan.round,
+                    selected: plan.selected.len() as u32,
+                },
+            );
+            for &(t, _, ev) in events.iter() {
+                let mapped = match ev {
+                    TimelineEvent::Dispatch { client } => TraceEvent::Dispatch {
+                        round: plan.round,
+                        client: client as u32,
+                    },
+                    TimelineEvent::Complete { client } => TraceEvent::Complete {
+                        round: plan.round,
+                        client: client as u32,
+                    },
+                    TimelineEvent::TimedOut { client } => TraceEvent::TimedOut {
+                        round: plan.round,
+                        client: client as u32,
+                    },
+                    TimelineEvent::Cancelled { client } => TraceEvent::Cancelled {
+                        round: plan.round,
+                        client: client as u32,
+                    },
+                    TimelineEvent::RoundEnd => continue,
+                };
+                observer.record(t0 + t, mapped);
+            }
+            for &client in &plan.contributors {
+                observer.record(
+                    t0 + plan.latency,
+                    TraceEvent::Fold {
+                        round: plan.round,
+                        client: client as u32,
+                        wire_bytes: 1024,
+                    },
+                );
+            }
+            observer.record(t0 + plan.latency, TraceEvent::Eval { round: plan.round });
+            observer.record(
+                t0 + plan.latency,
+                TraceEvent::RoundEnd {
+                    round: plan.round,
+                    latency: plan.latency,
+                    contributors: plan.contributors.len() as u32,
+                    bytes_up: 3 * 1024,
+                    bytes_down: 4 * 1024,
+                },
+            );
+        };
+
+    // Warm-up sizes the scratch vec; the ring was preallocated in
+    // `RunObserver::new`. The measured rounds then overflow the
+    // 64-record ring many times over, so the wrap path is what's pinned.
+    for i in 0..3 {
+        trace_round(&mut observer, &mut events, i as f64 * 10.0);
+    }
+    let allocs = allocations_in(|| {
+        for i in 0..32 {
+            trace_round(&mut observer, &mut events, 100.0 + i as f64 * 10.0);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "tracing-enabled rounds allocated {allocs} times with an active ring sink"
+    );
+    assert_eq!(observer.ring().len(), 64, "ring stayed at capacity");
+    assert!(observer.ring().dropped() > 0, "wrap path was exercised");
 }

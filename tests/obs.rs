@@ -1,0 +1,479 @@
+//! The observability contract:
+//!
+//! 1. the traced event stream and the metrics snapshot are **bit for
+//!    bit** invariant across execution backends and thread counts —
+//!    observability reads the same canonical round plans the engine
+//!    executes, so `Lockstep` and `EventDriven{1,4,8}` must produce
+//!    identical traces;
+//! 2. observing a run never changes it: the report of
+//!    `run_observed` equals the report of `run`;
+//! 3. metrics snapshots are byte-deterministic (identical JSON) across
+//!    repeated runs;
+//! 4. pre-observability artifacts (no `metrics` field) still load and
+//!    validate against the store's resume predicate;
+//! 5. `RoundTimeline::from_plan` — the canonical-schedule derivation
+//!    the live trace shares — reproduces the legacy event-queue
+//!    builder on real session plans.
+
+use proptest::prelude::*;
+use tifl::prelude::*;
+
+fn tiny(seed: u64) -> ExperimentConfig {
+    ExperimentConfig::tiny(seed)
+}
+
+/// The pinned scenario matrix of `tests/runspec.rs`, reused here so
+/// the trace invariance claim covers every selection × aggregation ×
+/// local-objective × re-profiling shape the engine supports.
+fn scenarios() -> Vec<(&'static str, ExperimentConfig, RunSpec)> {
+    vec![
+        (
+            "uniform-policy",
+            tiny(70),
+            RunSpec {
+                selection: SelectionStrategy::TierPolicy {
+                    policy: Policy::uniform(5),
+                },
+                ..RunSpec::default()
+            },
+        ),
+        (
+            "vanilla",
+            tiny(70),
+            RunSpec {
+                selection: SelectionStrategy::Vanilla,
+                ..RunSpec::default()
+            },
+        ),
+        (
+            "adaptive",
+            tiny(72),
+            RunSpec {
+                selection: SelectionStrategy::Adaptive { config: None },
+                ..RunSpec::default()
+            },
+        ),
+        (
+            "overselect",
+            tiny(74),
+            RunSpec {
+                aggregation: Some(AggregationMode::FirstK { factor: 1.5 }),
+                ..RunSpec::default()
+            },
+        ),
+        (
+            "fedprox",
+            tiny(75),
+            RunSpec {
+                local: LocalTraining::FedProx { mu: 0.25 },
+                ..RunSpec::default()
+            },
+        ),
+        (
+            "uniform+reprofile",
+            {
+                let mut cfg = tiny(76);
+                cfg.rounds = 16;
+                cfg
+            },
+            RunSpec {
+                selection: SelectionStrategy::TierPolicy {
+                    policy: Policy::uniform(5),
+                },
+                reprofile_every: Some(4),
+                ..RunSpec::default()
+            },
+        ),
+    ]
+}
+
+/// Ring large enough that no tiny-scenario run ever wraps: record
+/// equality below is over the *complete* stream.
+const CAP: usize = 1 << 16;
+
+// -- 1. backend & thread-count invariance ----------------------------------
+
+#[test]
+fn trace_and_metrics_are_backend_and_thread_invariant() {
+    for (name, cfg, spec) in scenarios() {
+        let lockstep = Runner::with_spec(&cfg, spec.clone()).run_observed(CAP);
+        let lockstep_metrics = serde_json::to_string(&lockstep.metrics).expect("metrics serialize");
+        assert!(
+            !lockstep.records.is_empty(),
+            "{name}: an observed run must produce a trace"
+        );
+        for threads in [1, 4, 8] {
+            let event = Runner::with_spec(
+                &cfg,
+                RunSpec {
+                    backend: ExecBackend::EventDriven { threads },
+                    ..spec.clone()
+                },
+            )
+            .run_observed(CAP);
+            assert_eq!(
+                lockstep.records, event.records,
+                "{name}: EventDriven{{{threads}}} trace diverged from Lockstep"
+            );
+            assert_eq!(
+                lockstep_metrics,
+                serde_json::to_string(&event.metrics).expect("metrics serialize"),
+                "{name}: EventDriven{{{threads}}} metrics diverged from Lockstep"
+            );
+            assert_eq!(
+                lockstep.report, event.report,
+                "{name}: observed reports diverged across backends"
+            );
+        }
+    }
+}
+
+// -- 2. observation is free ------------------------------------------------
+
+#[test]
+fn observing_a_run_does_not_change_its_report() {
+    for (name, cfg, spec) in scenarios() {
+        let plain = Runner::with_spec(&cfg, spec.clone()).run();
+        let observed = Runner::with_spec(&cfg, spec).run_observed(CAP);
+        assert_eq!(
+            plain, observed.report,
+            "{name}: attaching an observer changed the training report"
+        );
+    }
+}
+
+// -- 3. byte-deterministic snapshots ---------------------------------------
+
+#[test]
+fn repeated_observed_runs_are_byte_identical() {
+    let cfg = tiny(70);
+    let spec = RunSpec {
+        selection: SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        ..RunSpec::default()
+    };
+    let a = Runner::with_spec(&cfg, spec.clone()).run_observed(CAP);
+    let b = Runner::with_spec(&cfg, spec).run_observed(CAP);
+    assert_eq!(a.records, b.records, "trace must be run-to-run identical");
+    assert_eq!(
+        serde_json::to_string(&a.metrics).expect("metrics serialize"),
+        serde_json::to_string(&b.metrics).expect("metrics serialize"),
+        "metrics snapshots must serialize to identical bytes"
+    );
+}
+
+// -- structural sanity of the stream ---------------------------------------
+
+#[test]
+fn trace_structure_matches_the_run() {
+    let cfg = tiny(70);
+    let spec = RunSpec {
+        selection: SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        ..RunSpec::default()
+    };
+    let observed = Runner::with_spec(&cfg, spec).run_observed(CAP);
+    let records = &observed.records;
+
+    // Sequence numbers are the emission order and time never rewinds.
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "complete stream in emission order");
+    }
+    for w in records.windows(2) {
+        assert!(
+            w[1].vt >= w[0].vt,
+            "virtual time went backwards: {:?} -> {:?}",
+            w[0],
+            w[1]
+        );
+    }
+
+    let count = |f: &dyn Fn(&TraceEvent) -> bool| records.iter().filter(|r| f(&r.event)).count();
+    let rounds = cfg.rounds as usize;
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::RoundStart { .. })),
+        rounds
+    );
+    assert_eq!(count(&|e| matches!(e, TraceEvent::RoundEnd { .. })), rounds);
+
+    // A tiered run profiles exactly once, before everything else.
+    assert_eq!(count(&|e| matches!(e, TraceEvent::ProfilePass { .. })), 1);
+    assert!(
+        matches!(records[0].event, TraceEvent::ProfilePass { .. }),
+        "the shared profiling pass opens the trace"
+    );
+    assert_eq!(records[0].vt, 0.0);
+
+    // Evals fire on the session's eval cadence (plus the final round).
+    let session = cfg.build_session(&SessionOverrides::default());
+    let expected_evals = (0..cfg.rounds)
+        .filter(|&r| session.is_eval_round(r))
+        .count();
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::Eval { .. })),
+        expected_evals
+    );
+
+    // Every round's folds match its reported contributor count, and the
+    // traced bytes reconcile with the report's communication totals.
+    let folds = count(&|e| matches!(e, TraceEvent::Fold { .. }));
+    let contributors: usize = observed
+        .report
+        .rounds
+        .iter()
+        .map(|r| r.aggregated.len())
+        .sum();
+    assert_eq!(folds, contributors);
+    let traced_up: u64 = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::RoundEnd { bytes_up, .. } => Some(bytes_up),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(traced_up, observed.report.total_bytes_up());
+
+    // A vanilla run never profiles.
+    let vanilla = Runner::with_spec(&tiny(70), RunSpec::default()).run_observed(CAP);
+    assert_eq!(
+        vanilla
+            .records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::ProfilePass { .. }))
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn reprofiling_runs_trace_one_pass_per_segment() {
+    let mut cfg = tiny(76);
+    cfg.rounds = 16;
+    let spec = RunSpec {
+        selection: SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        reprofile_every: Some(4),
+        ..RunSpec::default()
+    };
+    let observed = Runner::with_spec(&cfg, spec).run_observed(CAP);
+    let passes: Vec<&TraceRecord> = observed
+        .records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::ProfilePass { .. }))
+        .collect();
+    assert_eq!(passes.len(), 4, "16 rounds / reprofile_every(4) = 4 passes");
+    assert_eq!(passes[0].vt, 0.0, "the first pass opens the run");
+    for w in passes.windows(2) {
+        assert!(w[1].vt > w[0].vt, "later passes happen mid-run");
+    }
+}
+
+// -- async mode -------------------------------------------------------------
+
+#[test]
+fn async_trace_is_thread_invariant_and_reports_staleness() {
+    let cfg = tiny(90);
+    let run = |threads| {
+        cfg.runner()
+            .vanilla()
+            .event_driven(threads)
+            .async_aggregation(0)
+            .run_observed(CAP)
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.records, b.records, "async trace must be thread invariant");
+    assert_eq!(a.report, b.report);
+    let arrivals: Vec<(u64, bool)> = a
+        .records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::AsyncArrival {
+                staleness, fresh, ..
+            } => Some((staleness, fresh)),
+            _ => None,
+        })
+        .collect();
+    assert!(!arrivals.is_empty(), "async runs trace their arrivals");
+    // max_staleness = 0 forces discards, and the trace shows them.
+    assert!(
+        arrivals.iter().any(|&(s, fresh)| s > 0 && !fresh),
+        "a zero staleness bound must trace stale discards"
+    );
+    assert!(arrivals.iter().any(|&(_, fresh)| fresh));
+}
+
+// -- 4. artifact back-compat ------------------------------------------------
+
+#[test]
+fn artifacts_without_metrics_still_load_and_validate() {
+    let request = RunRequest {
+        experiment: tiny(91),
+        rounds: Some(4),
+        seed: None,
+        clients_per_round: None,
+        spec: RunSpec::default(),
+    };
+    let observed = request.run_observed(0);
+    let key = RunKey::of(&request);
+    let mut artifact = RunArtifact::new(key, request.clone(), observed.report);
+    artifact.metrics = Some(observed.metrics);
+
+    let dir = std::env::temp_dir().join(format!("tifl-obs-compat-{}", std::process::id()));
+    let store = RunStore::open(&dir).expect("store opens");
+    store.write(&artifact).expect("artifact writes");
+    assert!(
+        store
+            .load(key)
+            .expect("fresh artifact loads")
+            .metrics
+            .is_some(),
+        "a freshly written artifact carries its metrics"
+    );
+
+    // Rewrite the file as a pre-observability artifact: no `metrics`
+    // member at all, exactly what an old store contains.
+    let text = std::fs::read_to_string(store.path_of(key)).expect("artifact readable");
+    let mut value: serde::Value = serde_json::from_str(&text).expect("artifact parses");
+    let serde::Value::Object(pairs) = &mut value else {
+        panic!("artifact is a JSON object");
+    };
+    let before = pairs.len();
+    pairs.retain(|(k, _)| k != "metrics");
+    assert_eq!(pairs.len(), before - 1, "the metrics member was present");
+    std::fs::write(
+        store.path_of(key),
+        serde_json::to_string_pretty(&value).expect("stripped artifact serializes"),
+    )
+    .expect("stripped artifact writes");
+
+    let loaded = store
+        .load_valid(key, &request)
+        .expect("a metrics-less artifact must still validate for resume");
+    assert!(loaded.metrics.is_none());
+    assert!(store.validates(key, &request));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -- 5. timeline equivalence ------------------------------------------------
+
+#[test]
+fn from_plan_matches_the_event_queue_builder_on_live_session_plans() {
+    // `RoundTimeline::build` is the legacy what-if replay: it knows
+    // nothing of over-selection, so the equivalence claim is scoped to
+    // `WaitAll` — exactly the regime where both derivations must agree
+    // on every real plan a session produces.
+    for seed in [70, 74, 82] {
+        let cfg = tiny(seed);
+        let mut session = cfg.build_session(&SessionOverrides::default());
+        let mut selector = RandomSelector::new(cfg.num_clients, seed);
+        let tmax = session.config().tmax_sec;
+        for _ in 0..cfg.rounds {
+            let plan = session.plan_round(&mut selector);
+            let derived = RoundTimeline::from_plan(&plan, false, tmax);
+            let replayed = RoundTimeline::build(&plan.responses, tmax, None);
+            assert_eq!(
+                derived, replayed,
+                "seed {seed} round {}: canonical schedule diverged from the \
+                 event-queue replay",
+                plan.round
+            );
+            let _ = session.finish_round(plan, None, &mut selector, false);
+        }
+    }
+}
+
+// -- randomised invariance --------------------------------------------------
+
+/// A shrunken resource-heterogeneity config for proptest speed (the
+/// same shape `tests/exec_backend.rs` draws from).
+fn small_resource_het(seed: u64, rounds: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
+    cfg.num_clients = 10;
+    cfg.clients_per_round = 2;
+    cfg.rounds = rounds;
+    cfg.data = DataScenario::Iid { per_client: 30 };
+    cfg.model = ModelSpec::Mlp {
+        input: 64,
+        hidden: 16,
+        classes: 10,
+    };
+    cfg.eval_every = 2;
+    cfg.profiler = ProfilerConfig {
+        sync_rounds: 2,
+        tmax_sec: 1e6,
+    };
+    cfg
+}
+
+fn spec_for(scenario: u8) -> RunSpec {
+    match scenario % 4 {
+        0 => RunSpec::default(),
+        1 => RunSpec {
+            selection: SelectionStrategy::TierPolicy {
+                policy: Policy::uniform(5),
+            },
+            ..RunSpec::default()
+        },
+        2 => RunSpec {
+            aggregation: Some(AggregationMode::FirstK { factor: 1.6 }),
+            ..RunSpec::default()
+        },
+        _ => RunSpec {
+            selection: SelectionStrategy::Adaptive { config: None },
+            local: LocalTraining::FedProx { mu: 0.05 },
+            ..RunSpec::default()
+        },
+    }
+}
+
+proptest! {
+    /// On randomly drawn configurations, the virtual-time event
+    /// sequence and the serialized metrics snapshot are identical
+    /// across `Lockstep` and any `EventDriven` thread count, and
+    /// across repeated runs.
+    #[test]
+    fn observed_stream_is_invariant_on_random_configs(
+        seed in 0u64..1_000,
+        rounds in 2u64..5,
+        scenario in 0u8..4,
+        threads in 1usize..8,
+    ) {
+        let cfg = small_resource_het(seed, rounds);
+        let spec = spec_for(scenario);
+
+        let lockstep = Runner::with_spec(&cfg, spec.clone()).run_observed(CAP);
+        let event = Runner::with_spec(
+            &cfg,
+            RunSpec {
+                backend: ExecBackend::EventDriven { threads },
+                ..spec.clone()
+            },
+        )
+        .run_observed(CAP);
+        prop_assert_eq!(
+            &lockstep.records, &event.records,
+            "trace diverged: scenario {} seed {} threads {}",
+            scenario, seed, threads
+        );
+        let lockstep_metrics =
+            serde_json::to_string(&lockstep.metrics).expect("metrics serialize");
+        prop_assert_eq!(
+            &lockstep_metrics,
+            &serde_json::to_string(&event.metrics).expect("metrics serialize"),
+            "metrics diverged: scenario {} seed {} threads {}",
+            scenario, seed, threads
+        );
+
+        // Run-to-run: the repeat is byte-identical, not merely equal.
+        let again = Runner::with_spec(&cfg, spec).run_observed(CAP);
+        prop_assert_eq!(&lockstep.records, &again.records);
+        prop_assert_eq!(
+            &lockstep_metrics,
+            &serde_json::to_string(&again.metrics).expect("metrics serialize")
+        );
+    }
+}
