@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use tifl_core::experiment::{DataScenario, ExperimentConfig};
 use tifl_core::policy::Policy;
 use tifl_nn::models::ModelSpec;
+use tifl_obs::PhaseTotals;
 use tifl_sweep::store::host_parallelism;
 use tifl_sweep::{SweepBuilder, SweepManifest, SweepReport};
 
@@ -34,6 +35,10 @@ struct Cell {
     wall_clock_sec: f64,
     runs_per_sec: f64,
     profiles_computed: usize,
+    /// Per-phase host-seconds summed over the sweep's completed runs —
+    /// where the busy time went (train vs fold vs eval vs store
+    /// writes), from the host profiler each observed run carries.
+    host_phase_sec: PhaseTotals,
 }
 
 /// The checked-in artifact.
@@ -85,6 +90,7 @@ fn measure(manifest: &SweepManifest, workers: usize) -> (Cell, SweepReport) {
         wall_clock_sec: report.wall_clock_sec,
         runs_per_sec: runs as f64 / report.wall_clock_sec,
         profiles_computed: report.profiles_computed,
+        host_phase_sec: report.host_phase_sec(),
     };
     (cell, report)
 }
@@ -122,13 +128,19 @@ fn main() {
     );
 
     println!(
-        "{:>8} {:>6} {:>12} {:>10} {:>9}",
-        "workers", "runs", "wall [s]", "runs/s", "profiles"
+        "{:>8} {:>6} {:>12} {:>10} {:>9} {:>10} {:>10}",
+        "workers", "runs", "wall [s]", "runs/s", "profiles", "train [s]", "fold [s]"
     );
     for cell in [&serial, &pooled] {
         println!(
-            "{:>8} {:>6} {:>12.3} {:>10.2} {:>9}",
-            cell.workers, cell.runs, cell.wall_clock_sec, cell.runs_per_sec, cell.profiles_computed
+            "{:>8} {:>6} {:>12.3} {:>10.2} {:>9} {:>10.3} {:>10.3}",
+            cell.workers,
+            cell.runs,
+            cell.wall_clock_sec,
+            cell.runs_per_sec,
+            cell.profiles_computed,
+            cell.host_phase_sec.train_sec,
+            cell.host_phase_sec.fold_sec
         );
     }
     let speedup = serial.wall_clock_sec / pooled.wall_clock_sec;

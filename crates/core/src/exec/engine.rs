@@ -41,7 +41,7 @@ use tifl_fl::selector::ClientSelector;
 use tifl_fl::session::AggregationMode;
 use tifl_fl::timeline::RoundTimeline;
 use tifl_fl::{RoundReport, Session, StreamingFold, TrainingReport};
-use tifl_obs::TraceEvent;
+use tifl_obs::{Phase, TraceEvent};
 use tifl_sim::event::EventQueue;
 
 /// Base mixing rate of the asynchronous fold: a fresh update moves the
@@ -142,7 +142,9 @@ impl EventEngine {
             // allocates only its dispatch snapshot.
             let mut weights: Vec<f32> = Vec::new();
             for _ in 0..rounds {
+                let t_plan = session.host_begin();
                 let plan = session.plan_round(selector);
+                session.host_end(Phase::Plan, plan.round, t_plan);
                 if self.record_timelines {
                     let first_k =
                         matches!(session.config().aggregation, AggregationMode::FirstK { .. });
@@ -160,6 +162,13 @@ impl EventEngine {
                 weights.extend(plan.contributors.iter().map(|&c| ctx.samples(c) as f32));
                 let mut fold = StreamingFold::with_acc(session.take_fold_acc(), &weights);
                 let global = Arc::new(session.global_params().clone());
+                // Host attribution mirrors the lockstep loop's span
+                // structure (Plan, Train, Fold per round); here the
+                // Train span covers dispatch through the streamed
+                // drain (training and incremental folds overlap), and
+                // the Fold span the final resolve — durations shift
+                // between the two, the span sequence does not.
+                let t_train = session.host_begin();
                 for (slot, &c) in plan.contributors.iter().enumerate() {
                     queue.submit_train(slot as u64, c, plan.round, Arc::clone(&global));
                 }
@@ -207,12 +216,16 @@ impl EventEngine {
                     }
                 }
 
+                session.host_end(Phase::Train, plan.round, t_train);
+
                 let round = plan.round;
+                let t_fold = session.host_begin();
                 let new_global = if comm.is_some() {
                     fold.finish_against(&global)
                 } else {
                     fold.finish()
                 };
+                session.host_end(Phase::Fold, round, t_fold);
                 let report = session.finish_round(plan, new_global, selector, false);
                 if session.is_eval_round(round) {
                     evals_pending += 1;
@@ -238,8 +251,14 @@ impl EventEngine {
                 }
             }
             for (i, accuracy, loss) in eval_patches {
+                // The evaluation itself ran on a pool worker; the host
+                // span marks where its deferred result lands, keeping
+                // one Eval span per eval round on every backend (the
+                // duration is the patch cost, not the worker's).
+                let t_eval = session.host_begin();
                 reports[i].accuracy = Some(accuracy);
                 reports[i].loss = Some(loss);
+                session.host_end(Phase::Eval, reports[i].round, t_eval);
             }
             (reports, timelines)
         });
@@ -364,6 +383,7 @@ impl EventEngine {
                             },
                         );
                         if fresh {
+                            let t_train = session.host_begin();
                             let update = take_update(
                                 seq,
                                 &mut stash,
@@ -372,6 +392,7 @@ impl EventEngine {
                                 &mut evals_pending,
                                 &mut eval_patches,
                             );
+                            session.host_end(Phase::Train, session.rounds_done(), t_train);
                             // With a codec active the server only ever
                             // sees the encoded upload: round-trip the
                             // update through the wire format (with
@@ -387,8 +408,10 @@ impl EventEngine {
                                 Some(spec) => session.roundtrip_through_codec(&spec.codec, &update),
                             };
                             let beta = ASYNC_BASE_MIX / (1.0 + staleness as f32);
+                            let t_fold = session.host_begin();
                             session.mix_global(beta, &params);
                             session.recycle_dense(params);
+                            session.host_end(Phase::Fold, session.rounds_done(), t_fold);
                             version += 1;
                         } else if stash.remove(&seq).is_none() {
                             // The stale update may not have been
@@ -443,8 +466,10 @@ impl EventEngine {
                 }
             }
             for (i, accuracy, loss) in eval_patches {
+                let t_eval = session.host_begin();
                 reports[i].accuracy = Some(accuracy);
                 reports[i].loss = Some(loss);
+                session.host_end(Phase::Eval, reports[i].round, t_eval);
             }
             reports
         })

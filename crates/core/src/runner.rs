@@ -44,7 +44,10 @@ use tifl_comm::{CodecSpec, CommSpec, HierarchySpec, LinkModel};
 use tifl_fl::selector::{ClientSelector, RandomSelector};
 use tifl_fl::session::{AggregationMode, Session, SessionOverrides};
 use tifl_fl::TrainingReport;
-use tifl_obs::{MetricsSnapshot, RunObserver, TraceEvent, TraceRecord};
+use tifl_obs::{
+    HostClock, HostProfiler, HostSpan, MetricsSnapshot, Phase, PhaseTotals, RealClock, RunObserver,
+    TraceEvent, TraceRecord,
+};
 use tifl_tensor::split_seed;
 
 /// Which client-selection strategy drives the run (the rows of the
@@ -311,6 +314,13 @@ pub struct Runner<'a, E: Experiment + ?Sized> {
     /// the same measurement to many runners at once.
     profile: Option<(Option<CommSpec>, SharedProfile)>,
     profile_runs: usize,
+    /// Host clock for the observed-run phase profiler; `None` means a
+    /// fresh [`RealClock`] per observed run. Tests (and the sweep
+    /// scheduler) inject a shared clock here — a [`FrozenClock`] pins
+    /// span structure.
+    ///
+    /// [`FrozenClock`]: tifl_obs::FrozenClock
+    host_clock: Option<Arc<dyn HostClock>>,
 }
 
 impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
@@ -329,6 +339,7 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
             spec,
             profile: None,
             profile_runs: 0,
+            host_clock: None,
         }
     }
 
@@ -516,6 +527,15 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
         self
     }
 
+    /// Inject the host clock observed runs stamp their phase spans
+    /// with (default: a fresh [`RealClock`] per observed run). Host
+    /// time is operator-facing only; swapping the clock can never
+    /// change a report.
+    pub fn host_clock(&mut self, clock: Arc<dyn HostClock>) -> &mut Self {
+        self.host_clock = Some(clock);
+        self
+    }
+
     // -- profiling cache --------------------------------------------------
 
     /// The profiling outcome for this experiment, computed on first use
@@ -615,13 +635,27 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
         let overrides = self.spec.session_overrides();
         let mut session = self.exp.build_session(&overrides);
         session.attach_observer(RunObserver::new(ring_capacity));
+        // The host profiler rides alongside the observer: its spans are
+        // operator-facing wall-clock attribution, kept strictly outside
+        // the deterministic surface. Ring capacity scales with the
+        // horizon (a handful of spans per round) and is preallocated —
+        // steady-state rounds stay allocation-free with it attached.
+        let clock = self
+            .host_clock
+            .as_ref()
+            .map_or_else(RealClock::shared, Arc::clone);
+        let span_cap = (self.exp.rounds() as usize).saturating_mul(8).min(1 << 16) + 16;
+        let mut prof = HostProfiler::with_clock(span_cap, clock);
         if self.spec.selection.needs_profile() && self.spec.reprofile_every.is_none() {
             // The up-front §4.2 profiling pass, emitted at t = 0 so the
             // trace records where the tiers came from. A shared-profile
             // runner emits the same values: the measurement is the
-            // same, only who computed it differs.
+            // same, only who computed it differs (and its Profile span
+            // then costs only a cache lookup).
             let clients = self.exp.num_clients() as u32;
+            let t_prof = prof.begin();
             let profile = self.shared_profile();
+            prof.end(Phase::Profile, 0, t_prof);
             session.trace_event(
                 0.0,
                 TraceEvent::ProfilePass {
@@ -631,7 +665,11 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
                 },
             );
         }
+        session.attach_host_profiler(prof);
         let report = self.execute(&mut session);
+        let host = session
+            .take_host_profiler()
+            .expect("host profiler attached above");
         let (records, metrics) = session
             .take_observer()
             .expect("observer attached above")
@@ -640,6 +678,8 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
             report,
             records,
             metrics,
+            host_phases: host.totals(),
+            host_spans: host.spans(),
         }
     }
 
@@ -705,7 +745,9 @@ impl<'a, E: Experiment + ?Sized> Runner<'a, E> {
         let mut rounds = Vec::with_capacity(rounds_total as usize);
         let mut done = 0u64;
         while done < rounds_total {
+            let t_prof = session.host_begin();
             let profile = profiler.profile_at(session.cluster(), |c| session.task_for(c), done);
+            session.host_end(Phase::Profile, done, t_prof);
             let now = session.now();
             session.trace_event(
                 now,
@@ -774,6 +816,13 @@ pub struct ObservedRun {
     /// Counters, gauges and histograms folded from the full event
     /// stream (never dropped, regardless of ring capacity).
     pub metrics: MetricsSnapshot,
+    /// Per-phase **host** seconds (wall-clock attribution). Best
+    /// effort and machine-dependent; never serialized into run
+    /// artifacts or hashed into `RunKey`s.
+    pub host_phases: PhaseTotals,
+    /// The host-time phase spans (ring-bounded, close order) — the
+    /// Chrome host lane of `tifl trace --host`.
+    pub host_spans: Vec<HostSpan>,
 }
 
 /// A fully self-contained run description for `tifl run --spec`: an
@@ -838,6 +887,21 @@ impl RunRequest {
     pub fn run_observed(&self, ring_capacity: usize) -> ObservedRun {
         let exp = self.experiment();
         let mut runner = Runner::with_spec(&exp, self.spec.clone());
+        runner.run_observed(ring_capacity)
+    }
+
+    /// As [`RunRequest::run_observed`] with an explicit host clock for
+    /// the phase profiler (tests inject a
+    /// [`FrozenClock`](tifl_obs::FrozenClock) to pin span structure).
+    #[must_use]
+    pub fn run_observed_with_clock(
+        &self,
+        ring_capacity: usize,
+        clock: Arc<dyn HostClock>,
+    ) -> ObservedRun {
+        let exp = self.experiment();
+        let mut runner = Runner::with_spec(&exp, self.spec.clone());
+        runner.host_clock(clock);
         runner.run_observed(ring_capacity)
     }
 }

@@ -13,7 +13,7 @@ use tifl_comm::{CodecSpec, CommSpec, EncodeScratch, ErrorFeedback};
 use tifl_data::FederatedDataset;
 use tifl_nn::model::EvalResult;
 use tifl_nn::models::ModelSpec;
-use tifl_obs::{RunObserver, TraceEvent, TraceSink};
+use tifl_obs::{HostProfiler, Phase, RunObserver, TraceEvent, TraceSink};
 use tifl_sim::latency::TrainingTask;
 use tifl_sim::{Cluster, VirtualClock};
 use tifl_tensor::{split_seed, ParamVec};
@@ -172,6 +172,10 @@ pub struct Session {
     observer: Option<RunObserver>,
     /// Reusable scratch for the canonical per-round trace schedule.
     trace_scratch: Vec<(f64, u32, TimelineEvent)>,
+    /// Optional host-time phase profiler (attached alongside the
+    /// observer). Host time is operator-facing only: it never feeds
+    /// the virtual clock, the reports, or any deterministic bytes.
+    host_prof: Option<HostProfiler>,
 }
 
 impl Session {
@@ -228,6 +232,7 @@ impl Session {
             fold_weights: Vec::new(),
             observer: None,
             trace_scratch: Vec::new(),
+            host_prof: None,
         }
     }
 
@@ -243,6 +248,37 @@ impl Session {
     /// Detach the observer (to harvest its trace and metrics).
     pub fn take_observer(&mut self) -> Option<RunObserver> {
         self.observer.take()
+    }
+
+    /// Attach a host-time phase profiler. Subsequent rounds attribute
+    /// real seconds to the canonical phases (plan, train, encode,
+    /// fold, eval). Durations come from the profiler's [`HostClock`];
+    /// nothing simulated ever reads them.
+    ///
+    /// [`HostClock`]: tifl_obs::HostClock
+    pub fn attach_host_profiler(&mut self, prof: HostProfiler) {
+        self.host_prof = Some(prof);
+    }
+
+    /// Detach the host profiler (to harvest its spans and totals).
+    pub fn take_host_profiler(&mut self) -> Option<HostProfiler> {
+        self.host_prof.take()
+    }
+
+    /// Open a host-time phase (no-op stamp without a profiler). Public
+    /// so the executors in `tifl_core::exec`, which drive the session
+    /// from outside, share the same profiler.
+    #[must_use]
+    pub fn host_begin(&self) -> f64 {
+        self.host_prof.as_ref().map_or(0.0, HostProfiler::begin)
+    }
+
+    /// Close a host-time phase opened by [`Session::host_begin`]
+    /// (no-op without a profiler).
+    pub fn host_end(&mut self, phase: Phase, round: u64, start: f64) {
+        if let Some(prof) = self.host_prof.as_mut() {
+            prof.end(phase, round, start);
+        }
     }
 
     /// Record a single event at virtual time `vt` (no-op without an
@@ -629,7 +665,9 @@ impl Session {
         }
 
         let (accuracy, loss) = if eval_inline && self.is_eval_round(round) {
+            let t_eval = self.host_begin();
             let e = self.evaluate_global();
+            self.host_end(Phase::Eval, round, t_eval);
             (Some(e.accuracy), Some(e.loss))
         } else {
             (None, None)
@@ -708,6 +746,7 @@ impl Session {
         codec: &CodecSpec,
         update: &ClientUpdate,
     ) -> ParamVec {
+        let t_enc = self.host_begin();
         let enc = self.feedback.encode(
             *codec,
             update.client,
@@ -718,6 +757,7 @@ impl Session {
         let mut out = self.codec_scratch.take_empty();
         enc.decode_into(&self.global, &mut out);
         self.codec_scratch.recycle(enc);
+        self.host_end(Phase::Encode, self.round, t_enc);
         out
     }
 
@@ -752,7 +792,9 @@ impl Session {
 
     /// Execute one global round with `selector` and return its record.
     pub fn run_round(&mut self, selector: &mut dyn ClientSelector) -> RoundReport {
+        let t_plan = self.host_begin();
         let plan = self.plan_round(selector);
+        self.host_end(Phase::Plan, plan.round, t_plan);
         // Local training in parallel across contributing clients. Each
         // client's result depends only on (seed, client, round), so rayon
         // scheduling cannot perturb the outcome. On a single-threaded
@@ -761,6 +803,10 @@ impl Session {
         // contending with this thread for the only core exactly while
         // the fold below runs — so train inline instead (same results
         // either way).
+        // Host attribution: one batch-level Train span per round from
+        // the coordinator's side (parallel workers are not individually
+        // attributed; per-worker lanes are a sweep-scheduler concept).
+        let t_train = self.host_begin();
         let updates: Vec<ClientUpdate> = if rayon::current_num_threads() > 1 {
             plan.contributors
                 .par_iter()
@@ -772,6 +818,7 @@ impl Session {
                 .map(|&c| self.train_contributor(c, plan.round))
                 .collect()
         };
+        self.host_end(Phase::Train, plan.round, t_train);
         // Synchronous aggregation over the received updates, in the
         // plan's canonical contributor order. With a comm spec the
         // server folds each update from its encoded wire form — the
@@ -779,6 +826,7 @@ impl Session {
         // Every buffer (accumulator, weights, payloads) cycles through
         // the session's scratch pools: a steady-state round allocates
         // nothing on this path.
+        let t_fold = self.host_begin();
         let new_global = if updates.is_empty() {
             None
         } else {
@@ -811,6 +859,7 @@ impl Session {
                 }
             }
         };
+        self.host_end(Phase::Fold, plan.round, t_fold);
         self.finish_round(plan, new_global, selector, true)
     }
 

@@ -791,4 +791,21 @@ pub fn c() { let mut r = rand::thread_rng(); }
             ]
         );
     }
+
+    #[test]
+    fn sweep_crate_still_fires_on_raw_wall_clock() {
+        // The scheduler's wall-clock waivers were deleted in favour of
+        // routing every host-time read through `HostClock` — this pins
+        // that a reintroduced raw read in `sweep` is still a finding,
+        // not silently grandfathered.
+        let src = "pub fn elapsed() { let _t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules_at(src, &ctx("sweep")),
+            vec![("wall-clock-in-core".into(), 1)]
+        );
+        // The sanctioned pattern — an injected clock — trips nothing:
+        // `clock.now_sec()` never mentions the banned idents.
+        let ok = "pub fn elapsed(clock: &dyn HostClock) -> f64 { clock.now_sec() }\n";
+        assert_eq!(rules_at(ok, &ctx("sweep")), vec![]);
+    }
 }

@@ -7,17 +7,21 @@
 //! simulated second reads as one millisecond-scale tick in the viewer
 //! and a whole CIFAR-10 run fits on screen.
 //!
-//! Track layout: thread 0 carries round spans, profiling passes,
-//! folds and evals; each client gets its own thread (`tid = client +
-//! 1`) carrying its per-round training span from `Dispatch` to
+//! Track layout: the virtual-time lane is process 1 — thread 0
+//! carries round spans, profiling passes, folds and evals; each
+//! client gets its own thread (`tid = client + 1`) carrying its
+//! per-round training span from `Dispatch` to
 //! `Complete`/`Cancelled`/`TimedOut`, so stragglers gating `max_i
 //! L_i` (Eq. 1) are visible as the long bars that pin the round span
-//! open.
+//! open. [`host_chrome_trace`] renders host-time phase spans as a
+//! second process (`pid = 2`) so `tifl trace --host` shows both
+//! clocks side by side — same viewer, two lanes, two epochs.
 //!
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
 use serde::Serialize;
 
+use crate::prof::HostSpan;
 use crate::trace::{TraceEvent, TraceRecord};
 
 /// One event in Chrome trace-event JSON form.
@@ -33,7 +37,7 @@ pub struct ChromeEvent {
     pub ts: f64,
     /// Span duration in microseconds (0 for instants).
     pub dur: f64,
-    /// Process id (always 1; the run is one simulated process).
+    /// Process id: 1 for the virtual-time lane, 2 for the host lane.
     pub pid: u64,
     /// Thread id: 0 for round-level events, `client + 1` for clients.
     pub tid: u64,
@@ -177,9 +181,39 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Vec<ChromeEvent> {
     out
 }
 
+/// Process id of the virtual-time lane.
+pub const VIRTUAL_PID: u64 = 1;
+/// Process id of the host-time lane.
+pub const HOST_PID: u64 = 2;
+
+/// Render host-time phase spans as a second trace process.
+///
+/// Host spans carry their own epoch (the profiler clock's), so they
+/// get their own `pid` ([`HOST_PID`]) rather than sharing the virtual
+/// lane's timeline; the viewer shows the two processes stacked. Each
+/// span becomes one `"X"` event on thread 0, named `<phase> r<round>`
+/// and categorized `host:<phase>` for filtering. Concatenate with
+/// [`chrome_trace`]'s output for the merged `tifl trace --host` file.
+#[must_use]
+pub fn host_chrome_trace(spans: &[HostSpan]) -> Vec<ChromeEvent> {
+    spans
+        .iter()
+        .map(|s| ChromeEvent {
+            name: format!("{} r{}", s.phase.name(), s.round),
+            cat: format!("host:{}", s.phase.name()),
+            ph: "X".to_string(),
+            ts: s.start * US,
+            dur: s.dur() * US,
+            pid: HOST_PID,
+            tid: 0,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prof::Phase;
 
     fn rec(seq: u64, vt: f64, event: TraceEvent) -> TraceRecord {
         TraceRecord { seq, vt, event }
@@ -266,5 +300,33 @@ mod tests {
         let events = chrome_trace(&records);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].ph, "i");
+    }
+
+    #[test]
+    fn host_lane_gets_its_own_pid() {
+        let spans = vec![
+            HostSpan {
+                phase: Phase::Plan,
+                round: 0,
+                start: 0.0,
+                end: 1.0,
+            },
+            HostSpan {
+                phase: Phase::Train,
+                round: 0,
+                start: 2.0,
+                end: 5.0,
+            },
+        ];
+        let host = host_chrome_trace(&spans);
+        assert_eq!(host.len(), 2);
+        assert!(host.iter().all(|e| e.pid == HOST_PID && e.ph == "X"));
+        assert_eq!(host[0].name, "plan r0");
+        assert_eq!(host[1].cat, "host:train");
+        assert!((host[1].dur - 3.0 * 1e6).abs() < 1e-6);
+        // Virtual-lane events keep pid 1, so a merged file has two
+        // distinct processes.
+        let virt = chrome_trace(&[rec(0, 1.0, TraceEvent::Eval { round: 0 })]);
+        assert!(virt.iter().all(|e| e.pid == VIRTUAL_PID));
     }
 }

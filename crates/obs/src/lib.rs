@@ -22,6 +22,13 @@
 //!   byte-deterministically.
 //! - [`chrome`] — export a trace as Chrome trace-event JSON, loadable
 //!   in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//! - [`prof`] — the **host-time** phase profiler: a [`HostClock`]
+//!   trait ([`RealClock`] in production, deterministic [`FrozenClock`]
+//!   in tests) behind a preallocated [`HostProfiler`] attributing real
+//!   seconds to the canonical phases (profile, plan, train, encode,
+//!   fold, eval, store write). Host time is operator-facing only — it
+//!   never feeds simulated state, `RunKey` hashing, or deterministic
+//!   artifact bytes.
 //! - [`table`] — per-round text/JSON tables derived from a trace.
 //! - [`pivot`] — the row type and text renderer for `tifl report`'s
 //!   policy × scenario pivot (populated by `tifl-sweep` from a
@@ -36,6 +43,12 @@
 //! any `n`, and two runs of the same spec yield byte-identical
 //! [`MetricsSnapshot`] JSON. The root `tests/obs.rs` suite pins both
 //! properties.
+//!
+//! The host lane is the deliberate exception: wall-clock durations
+//! genuinely vary between machines and runs, so [`prof`] spans are
+//! best-effort measurements kept strictly outside the deterministic
+//! surface. With a [`FrozenClock`] the span *structure* (which phases,
+//! which rounds, in what order) is itself pinned.
 
 #![forbid(unsafe_code)]
 
@@ -43,14 +56,16 @@ pub mod chrome;
 pub mod metrics;
 pub mod observer;
 pub mod pivot;
+pub mod prof;
 pub mod table;
 pub mod trace;
 
-pub use chrome::{chrome_trace, ChromeEvent};
+pub use chrome::{chrome_trace, host_chrome_trace, ChromeEvent};
 pub use metrics::{
     CounterId, CounterSnap, GaugeId, GaugeSnap, HistId, HistSnap, MetricsRegistry, MetricsSnapshot,
 };
 pub use observer::RunObserver;
 pub use pivot::{render_pivot, PivotRow};
+pub use prof::{FrozenClock, HostClock, HostProfiler, HostSpan, Phase, PhaseTotals, RealClock};
 pub use table::{render_rounds, round_rows, RoundRow};
 pub use trace::{NoopSink, RingRecorder, TraceEvent, TraceRecord, TraceSink};

@@ -53,8 +53,10 @@ pub mod store;
 
 pub use manifest::{KeyedRun, RunKey, SweepAxes, SweepManifest};
 pub use report::pivot_rows;
-pub use scheduler::{ProfileCache, RunOutcome, SweepReport, SweepScheduler};
-pub use store::{RunArtifact, RunStore, SweepSummary};
+pub use scheduler::{
+    ProfileCache, ProgressEvent, ProgressLog, RunOutcome, SweepReport, SweepScheduler,
+};
+pub use store::{LaneSpan, RunArtifact, RunStore, SweepSummary, WorkerLane};
 
 use std::path::PathBuf;
 use tifl_comm::{CodecSpec, LinkModel};

@@ -12,18 +12,22 @@
 //! run.
 
 use crate::manifest::{content_key, KeyedRun, RunKey, SweepManifest};
-use crate::store::{host_parallelism, RunArtifact, RunStore, RunSummaryLine, SweepSummary};
+use crate::store::{
+    host_parallelism, LaneSpan, RunArtifact, RunStore, RunSummaryLine, SweepSummary, WorkerLane,
+};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::io::Write;
 use std::panic::AssertUnwindSafe;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 use tifl_comm::CommSpec;
 use tifl_core::experiment::ExperimentConfig;
 use tifl_core::runner::{Experiment, RunRequest, Runner, SharedProfile};
 use tifl_fl::session::SessionOverrides;
 use tifl_fl::TrainingReport;
-use tifl_obs::MetricsSnapshot;
+use tifl_obs::{HostClock, MetricsSnapshot, Phase, PhaseTotals, RealClock};
 
 /// The cross-run profile-cache key: a content hash of the resolved
 /// experiment and the spec's comm axis — the same two inputs
@@ -113,6 +117,9 @@ pub enum RunOutcome {
         artifact: RunArtifact,
         /// Wall-clock seconds spent on the run.
         wall_clock_sec: f64,
+        /// Per-phase host-seconds inside the run (profile, plan, train,
+        /// encode, fold, eval) plus the artifact's store write.
+        phases: PhaseTotals,
     },
     /// A valid artifact already existed — resume skipped the run and
     /// loaded it instead.
@@ -172,11 +179,21 @@ impl RunOutcome {
         matches!(self, RunOutcome::Failed { .. })
     }
 
+    /// The run's per-phase host-seconds (zero unless completed).
+    #[must_use]
+    pub fn phases(&self) -> PhaseTotals {
+        match self {
+            RunOutcome::Completed { phases, .. } => *phases,
+            _ => PhaseTotals::default(),
+        }
+    }
+
     fn summary_line(&self) -> RunSummaryLine {
         match self {
             RunOutcome::Completed {
                 artifact,
                 wall_clock_sec,
+                ..
             } => RunSummaryLine {
                 key: artifact.key,
                 status: "completed".into(),
@@ -218,6 +235,8 @@ pub struct SweepReport {
     pub profiles_computed: usize,
     /// Profile requests answered from the shared cache.
     pub profile_cache_hits: usize,
+    /// Per-worker utilization timelines (one lane per worker).
+    pub worker_lanes: Vec<WorkerLane>,
     /// Total wall-clock seconds.
     pub wall_clock_sec: f64,
 }
@@ -309,6 +328,17 @@ impl SweepReport {
             .sum()
     }
 
+    /// Per-phase host-seconds merged over every completed run — where
+    /// the sweep's busy time actually went.
+    #[must_use]
+    pub fn host_phase_sec(&self) -> PhaseTotals {
+        let mut totals = PhaseTotals::default();
+        for outcome in &self.outcomes {
+            totals.merge(&outcome.phases());
+        }
+        totals
+    }
+
     /// The summary sidecar for this execution.
     #[must_use]
     pub fn summary(&self, name: Option<String>) -> SweepSummary {
@@ -320,16 +350,154 @@ impl SweepReport {
             profile_cache_hits: self.profile_cache_hits,
             resume_skips: self.skipped(),
             worker_busy_sec: self.worker_busy_sec(),
+            host_phase_sec: self.host_phase_sec(),
+            worker_lanes: self.worker_lanes.clone(),
             wall_clock_sec: self.wall_clock_sec,
             runs: self.outcomes.iter().map(RunOutcome::summary_line).collect(),
         }
     }
 }
 
+/// One line of the `--progress` JSONL event stream. Every event
+/// carries the same field set (inapplicable ones are `null`), so
+/// consumers parse each line with one schema and dispatch on `event`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressEvent {
+    /// `sweep_started` / `run_started` / `run_finished` /
+    /// `run_panicked` / `sweep_finished`.
+    pub event: String,
+    /// Host seconds since the sweep started.
+    pub at_sec: f64,
+    /// Total runs in the sweep.
+    pub total: usize,
+    /// Worker threads in the pool (sweep-level events only).
+    pub workers: Option<usize>,
+    /// Worker that handled the run (run-level events only).
+    pub worker: Option<usize>,
+    /// The run's canonical manifest index (run-level events only).
+    pub index: Option<usize>,
+    /// The run's key, rendered as its artifact stem.
+    pub key: Option<String>,
+    /// The run's display label.
+    pub label: Option<String>,
+    /// `completed` / `skipped` / `failed` (terminal run events only).
+    pub status: Option<String>,
+    /// Wall-clock seconds spent on the run (terminal run events only).
+    pub wall_clock_sec: Option<f64>,
+    /// Per-phase host-seconds inside the run (completed runs only).
+    pub phases: Option<PhaseTotals>,
+    /// Runs finished so far, including this one.
+    pub done: Option<usize>,
+    /// Estimated host seconds to sweep completion, extrapolated from
+    /// the rate of runs finished so far.
+    pub eta_sec: Option<f64>,
+    /// Failure message (`run_panicked` only).
+    pub message: Option<String>,
+}
+
+impl ProgressEvent {
+    fn sweep(event: &str, at_sec: f64, total: usize, workers: usize) -> Self {
+        Self {
+            event: event.to_string(),
+            at_sec,
+            total,
+            workers: Some(workers),
+            worker: None,
+            index: None,
+            key: None,
+            label: None,
+            status: None,
+            wall_clock_sec: None,
+            phases: None,
+            done: None,
+            eta_sec: None,
+            message: None,
+        }
+    }
+
+    fn run(event: &str, at_sec: f64, total: usize, worker: usize, run: &KeyedRun) -> Self {
+        Self {
+            event: event.to_string(),
+            at_sec,
+            total,
+            workers: None,
+            worker: Some(worker),
+            index: Some(run.index),
+            key: Some(run.key.to_string()),
+            label: Some(run.request.spec.display_label()),
+            status: None,
+            wall_clock_sec: None,
+            phases: None,
+            done: None,
+            eta_sec: None,
+            message: None,
+        }
+    }
+}
+
+/// A line-buffered JSONL sink for [`ProgressEvent`]s, shared by every
+/// worker of a sweep. Emission is best-effort operator telemetry: a
+/// failed write never fails the sweep.
+pub struct ProgressLog {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for ProgressLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressLog").finish_non_exhaustive()
+    }
+}
+
+impl ProgressLog {
+    /// A log writing to an arbitrary sink (tests use a shared buffer).
+    #[must_use]
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// A log appending to a file at `path` (created if missing).
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(file)))
+    }
+
+    /// Emit one event as one JSON line, flushing so a tailing consumer
+    /// sees it immediately. Write errors are swallowed (best-effort).
+    pub fn emit(&self, event: &ProgressEvent) {
+        let mut line = serde_json::to_string(event).expect("progress events serialize");
+        line.push('\n');
+        let mut out = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+}
+
 /// Multiplexes whole runs over a pool of `std::thread` workers.
-#[derive(Debug, Clone, Copy)]
+///
+/// All host-time reads go through the injected [`HostClock`]
+/// ([`RealClock`] by default, a frozen clock in tests), so the
+/// scheduler itself contains no raw wall-clock calls — timings are an
+/// operator-facing observable, never an input to run results.
+#[derive(Clone)]
 pub struct SweepScheduler {
     workers: usize,
+    clock: Arc<dyn HostClock>,
+}
+
+impl std::fmt::Debug for SweepScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepScheduler")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SweepScheduler {
@@ -341,7 +509,18 @@ impl SweepScheduler {
         } else {
             workers
         };
-        Self { workers }
+        Self {
+            workers,
+            clock: RealClock::shared(),
+        }
+    }
+
+    /// Replace the host clock (tests pin timeline structure with a
+    /// deterministic clock).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn HostClock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The worker count in effect.
@@ -360,8 +539,20 @@ impl SweepScheduler {
         store: Option<&RunStore>,
         resume: bool,
     ) -> SweepReport {
+        self.run_logged(manifest, store, resume, None)
+    }
+
+    /// [`SweepScheduler::run`] with an optional JSONL progress stream
+    /// (the `tifl sweep --progress` path).
+    pub fn run_logged(
+        &self,
+        manifest: &SweepManifest,
+        store: Option<&RunStore>,
+        resume: bool,
+        progress: Option<&ProgressLog>,
+    ) -> SweepReport {
         let runs = manifest.expand();
-        let report = self.execute(&runs, store, resume);
+        let report = self.execute_logged(&runs, store, resume, progress);
         if let Some(store) = store {
             if let Err(e) = store.write_summary(&report.summary(manifest.name.clone())) {
                 // tifl-lint: allow(print-in-library) — operator-facing warning: a lost sidecar must be visible even though the sweep result stands
@@ -380,42 +571,116 @@ impl SweepScheduler {
         store: Option<&RunStore>,
         resume: bool,
     ) -> SweepReport {
-        // tifl-lint: allow(wall-clock-in-core) — measures real sweep wall time for operator progress logs; never feeds simulated state
-        let started = Instant::now();
+        self.execute_logged(runs, store, resume, None)
+    }
+
+    /// [`SweepScheduler::execute`] with an optional JSONL progress
+    /// stream.
+    #[allow(clippy::too_many_lines)]
+    pub fn execute_logged(
+        &self,
+        runs: &[KeyedRun],
+        store: Option<&RunStore>,
+        resume: bool,
+        progress: Option<&ProgressLog>,
+    ) -> SweepReport {
+        let clock = self.clock.as_ref();
+        let t0 = clock.now_sec();
         let total = runs.len();
         let cache = ProfileCache::new();
         let next = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<RunOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
         let workers = self.workers.min(total.max(1));
+        let lane_slots: Vec<Mutex<Vec<LaneSpan>>> =
+            (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+
+        if let Some(log) = progress {
+            log.emit(&ProgressEvent::sweep("sweep_started", 0.0, total, workers));
+        }
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= total {
-                        break;
-                    }
-                    let outcome = execute_one(&runs[i], &cache, store, resume);
-                    let tag = match &outcome {
-                        RunOutcome::Completed { wall_clock_sec, .. } => {
-                            format!("done in {wall_clock_sec:.1}s")
+            let slots = &slots;
+            let cache = &cache;
+            let next = &next;
+            let finished = &finished;
+            for (w, lane_slot) in lane_slots.iter().enumerate() {
+                scope.spawn(move || {
+                    let mut lane: Vec<LaneSpan> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= total {
+                            break;
                         }
-                        RunOutcome::Skipped { .. } => "skipped (artifact exists)".into(),
-                        RunOutcome::Failed { message, .. } => format!("FAILED: {message}"),
-                    };
-                    // tifl-lint: allow(print-in-library) — operator-facing progress line for long sweeps; stderr only, never part of results
-                    eprintln!(
-                        "[sweep] {}/{total} {} ({}): {tag}",
-                        i + 1,
-                        outcome.label(),
-                        runs[i].key,
-                    );
-                    *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
+                        let run = &runs[i];
+                        let start_sec = clock.now_sec() - t0;
+                        if let Some(log) = progress {
+                            log.emit(&ProgressEvent::run("run_started", start_sec, total, w, run));
+                        }
+                        let outcome = execute_one(run, cache, store, resume, clock);
+                        let end_sec = clock.now_sec() - t0;
+                        let done = finished.fetch_add(1, Ordering::SeqCst) + 1;
+                        let tag = match &outcome {
+                            RunOutcome::Completed { wall_clock_sec, .. } => {
+                                format!("done in {wall_clock_sec:.1}s")
+                            }
+                            RunOutcome::Skipped { .. } => "skipped (artifact exists)".into(),
+                            RunOutcome::Failed { message, .. } => format!("FAILED: {message}"),
+                        };
+                        // tifl-lint: allow(print-in-library) — operator-facing progress line for long sweeps; stderr only, never part of results
+                        eprintln!(
+                            "[sweep] {done}/{total} {} ({}): {tag}",
+                            outcome.label(),
+                            run.key,
+                        );
+                        if let Some(log) = progress {
+                            let name = if outcome.is_failed() {
+                                "run_panicked"
+                            } else {
+                                "run_finished"
+                            };
+                            let mut event = ProgressEvent::run(name, end_sec, total, w, run);
+                            event.status = Some(
+                                match &outcome {
+                                    RunOutcome::Completed { .. } => "completed",
+                                    RunOutcome::Skipped { .. } => "skipped",
+                                    RunOutcome::Failed { .. } => "failed",
+                                }
+                                .to_string(),
+                            );
+                            event.wall_clock_sec = Some(end_sec - start_sec);
+                            event.done = Some(done);
+                            if let RunOutcome::Completed { phases, .. } = &outcome {
+                                event.phases = Some(*phases);
+                            }
+                            if let RunOutcome::Failed { message, .. } = &outcome {
+                                event.message = Some(message.clone());
+                            }
+                            // ETA from the completed-run rate so far:
+                            // runs-per-second over the elapsed window,
+                            // extrapolated to the remainder.
+                            if end_sec > 0.0 && done < total {
+                                let rate = done as f64 / end_sec;
+                                event.eta_sec = Some((total - done) as f64 / rate);
+                            }
+                            log.emit(&event);
+                        }
+                        lane.push(LaneSpan {
+                            index: run.index,
+                            key: run.key,
+                            label: outcome.label().to_string(),
+                            start_sec,
+                            end_sec,
+                            phases: outcome.phases(),
+                        });
+                        *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
+                    }
+                    *lane_slot.lock().expect("lane slot poisoned") = lane;
                 });
             }
         });
 
-        let outcomes = slots
+        let outcomes: Vec<RunOutcome> = slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
@@ -423,12 +688,27 @@ impl SweepScheduler {
                     .expect("every slot filled before scope exit")
             })
             .collect();
+        let worker_lanes: Vec<WorkerLane> = lane_slots
+            .into_iter()
+            .enumerate()
+            .map(|(worker, slot)| WorkerLane {
+                worker,
+                runs: slot.into_inner().expect("lane slot poisoned"),
+            })
+            .collect();
+        let wall_clock_sec = clock.now_sec() - t0;
+        if let Some(log) = progress {
+            let mut event = ProgressEvent::sweep("sweep_finished", wall_clock_sec, total, workers);
+            event.done = Some(outcomes.len());
+            log.emit(&event);
+        }
         SweepReport {
             outcomes,
             workers,
             profiles_computed: cache.computed(),
             profile_cache_hits: cache.hits(),
-            wall_clock_sec: started.elapsed().as_secs_f64(),
+            worker_lanes,
+            wall_clock_sec,
         }
     }
 }
@@ -438,6 +718,7 @@ fn execute_one(
     cache: &ProfileCache,
     store: Option<&RunStore>,
     resume: bool,
+    clock: &dyn HostClock,
 ) -> RunOutcome {
     if resume {
         if let Some(artifact) = store.and_then(|s| s.load_valid(run.key, &run.request)) {
@@ -445,14 +726,16 @@ fn execute_one(
         }
     }
     let label = run.request.spec.display_label();
-    // tifl-lint: allow(wall-clock-in-core) — per-run wall time is an operator-facing metric, excluded from RunKey hashing and artifacts
-    let started = Instant::now();
+    let started = clock.now_sec();
     match std::panic::catch_unwind(AssertUnwindSafe(|| run_one(&run.request, cache))) {
-        Ok((report, metrics)) => {
+        Ok((report, metrics, mut phases)) => {
             let mut artifact = RunArtifact::new(run.key, run.request.clone(), report);
             artifact.metrics = Some(metrics);
             if let Some(store) = store {
-                if let Err(e) = store.write(&artifact) {
+                let t_write = clock.now_sec();
+                let wrote = store.write(&artifact);
+                phases.add(Phase::StoreWrite, clock.now_sec() - t_write);
+                if let Err(e) = wrote {
                     return RunOutcome::Failed {
                         key: run.key,
                         label,
@@ -462,7 +745,8 @@ fn execute_one(
             }
             RunOutcome::Completed {
                 artifact,
-                wall_clock_sec: started.elapsed().as_secs_f64(),
+                wall_clock_sec: clock.now_sec() - started,
+                phases,
             }
         }
         Err(payload) => RunOutcome::Failed {
@@ -479,8 +763,12 @@ fn execute_one(
 /// itself (re-profiling runs measure per segment inside the run and
 /// bypass the cache, like an unshared runner). Runs observed with a
 /// zero-capacity ring — the deterministic metrics snapshot rides into
-/// the artifact, no trace is stored.
-fn run_one(request: &RunRequest, cache: &ProfileCache) -> (TrainingReport, MetricsSnapshot) {
+/// the artifact, no trace is stored — and the run's per-phase
+/// host-seconds come back alongside for the sweep's utilization lanes.
+fn run_one(
+    request: &RunRequest,
+    cache: &ProfileCache,
+) -> (TrainingReport, MetricsSnapshot, PhaseTotals) {
     let experiment = request.experiment();
     let spec = request.spec.clone();
     let wants_shared = spec.selection.needs_profile() && spec.reprofile_every.is_none();
@@ -497,7 +785,7 @@ fn run_one(request: &RunRequest, cache: &ProfileCache) -> (TrainingReport, Metri
     } else {
         Runner::with_spec(&experiment, spec).run_observed(0)
     };
-    (observed.report, observed.metrics)
+    (observed.report, observed.metrics, observed.host_phases)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -619,5 +907,136 @@ mod tests {
     fn scheduler_defaults_workers_to_host_parallelism() {
         assert_eq!(SweepScheduler::new(0).workers(), host_parallelism());
         assert_eq!(SweepScheduler::new(3).workers(), 3);
+    }
+
+    #[test]
+    fn completed_runs_carry_phase_totals_and_lanes() {
+        let manifest = tiny_manifest(&[Policy::uniform(5), Policy::fast(5)]);
+        let report = SweepScheduler::new(2).run(&manifest, None, false);
+        assert_eq!(report.completed(), 2);
+        for outcome in &report.outcomes {
+            let phases = outcome.phases();
+            assert!(
+                phases.train_sec >= 0.0 && phases.fold_sec >= 0.0,
+                "phase totals must be populated: {phases:?}"
+            );
+        }
+        // Every run appears on exactly one worker lane.
+        assert_eq!(report.worker_lanes.len(), report.workers);
+        let lane_runs: usize = report.worker_lanes.iter().map(|l| l.runs.len()).sum();
+        assert_eq!(lane_runs, 2);
+        // The merged phase totals land in the summary sidecar shape.
+        let summary = report.summary(None);
+        assert_eq!(summary.worker_lanes, report.worker_lanes);
+        assert!((summary.host_phase_sec.total() - report.host_phase_sec().total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frozen_clock_pins_sweep_timeline_structure() {
+        use tifl_obs::FrozenClock;
+        // Serial sweep on a frozen clock: every clock read ticks once,
+        // so the lane timeline is fully deterministic — monotone,
+        // non-overlapping spans in pick-up order.
+        let manifest = tiny_manifest(&[Policy::uniform(5), Policy::fast(5)]);
+        let report = SweepScheduler::new(1)
+            .with_clock(FrozenClock::shared())
+            .run(&manifest, None, false);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.worker_lanes.len(), 1);
+        let lane = &report.worker_lanes[0];
+        assert_eq!(lane.runs.len(), 2);
+        let mut last_end = 0.0;
+        for span in &lane.runs {
+            assert!(span.start_sec >= last_end, "lane spans must not overlap");
+            assert!(span.end_sec > span.start_sec);
+            last_end = span.end_sec;
+        }
+        assert!(report.wall_clock_sec >= last_end);
+    }
+
+    #[test]
+    fn progress_log_streams_parseable_events() {
+        use std::sync::Arc as StdArc;
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(StdArc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buf").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let log = ProgressLog::to_writer(Box::new(buf.clone()));
+        let manifest = tiny_manifest(&[Policy::uniform(5), Policy::fast(5)]);
+        let runs = manifest.expand();
+        let report = SweepScheduler::new(2).execute_logged(&runs, None, false, Some(&log));
+        assert_eq!(report.completed(), 2);
+
+        let bytes = buf.0.lock().expect("buf").clone();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let events: Vec<ProgressEvent> = text
+            .lines()
+            .map(|line| serde_json::from_str(line).expect("every line parses"))
+            .collect();
+        // started + per-run (started, finished) + finished.
+        assert_eq!(events.len(), 2 + 2 * runs.len());
+        assert_eq!(events[0].event, "sweep_started");
+        assert_eq!(events[0].workers, Some(2));
+        assert_eq!(events.last().expect("nonempty").event, "sweep_finished");
+        let finished: Vec<_> = events
+            .iter()
+            .filter(|e| e.event == "run_finished")
+            .collect();
+        assert_eq!(finished.len(), runs.len());
+        assert!(finished
+            .iter()
+            .all(|e| e.status.as_deref() == Some("completed") && e.phases.is_some()));
+        // `done` counters over terminal events are a permutation of 1..=n.
+        let mut dones: Vec<usize> = finished.iter().filter_map(|e| e.done).collect();
+        dones.sort_unstable();
+        assert_eq!(dones, vec![1, 2]);
+    }
+
+    #[test]
+    fn a_panicking_run_emits_run_panicked() {
+        let mut runs = tiny_manifest(&[Policy::uniform(5)]).expand();
+        let mut bad = runs[0].request.clone();
+        bad.spec = RunSpec {
+            reprofile_every: Some(2),
+            ..RunSpec::default()
+        };
+        runs.push(KeyedRun {
+            index: 1,
+            key: RunKey::of(&bad),
+            request: bad,
+        });
+        let dir = std::env::temp_dir().join(format!("tifl-progress-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("progress.jsonl");
+        let log = ProgressLog::create(&path).expect("log opens");
+        let report = SweepScheduler::new(1).execute_logged(&runs, None, false, Some(&log));
+        assert_eq!(report.failed(), 1);
+        let text = std::fs::read_to_string(&path).expect("log readable");
+        let events: Vec<ProgressEvent> = text
+            .lines()
+            .map(|line| serde_json::from_str(line).expect("every line parses"))
+            .collect();
+        let panicked: Vec<_> = events
+            .iter()
+            .filter(|e| e.event == "run_panicked")
+            .collect();
+        assert_eq!(panicked.len(), 1);
+        assert!(panicked[0]
+            .message
+            .as_deref()
+            .expect("message present")
+            .contains("re-profiling requires a tiered policy"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

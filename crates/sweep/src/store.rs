@@ -16,7 +16,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use tifl_core::runner::RunRequest;
 use tifl_fl::{ReportSummary, TrainingReport};
-use tifl_obs::MetricsSnapshot;
+use tifl_obs::{MetricsSnapshot, PhaseTotals};
 
 /// The one JSON serializer every artifact path shares (the sweep store
 /// and the `tifl run --spec --out` single-run path): pretty-printed
@@ -91,6 +91,53 @@ pub struct RunSummaryLine {
     pub error: Option<String>,
 }
 
+/// One run on a worker's utilization timeline: when (in host seconds
+/// since the sweep started) the worker picked the run up, when it put
+/// it down, and where inside the run the time went.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneSpan {
+    /// The run's canonical manifest index.
+    pub index: usize,
+    /// The run's key.
+    pub key: RunKey,
+    /// The run's display label.
+    pub label: String,
+    /// Host seconds (since sweep start) when the worker started it.
+    pub start_sec: f64,
+    /// Host seconds (since sweep start) when the worker finished it.
+    pub end_sec: f64,
+    /// Per-phase host-seconds inside the run (zero for skipped/failed).
+    pub phases: PhaseTotals,
+}
+
+impl LaneSpan {
+    /// The span's duration in host seconds.
+    #[must_use]
+    pub fn dur(&self) -> f64 {
+        self.end_sec - self.start_sec
+    }
+}
+
+/// One worker's utilization timeline: every run it executed, in the
+/// order it picked them up. Replaces the single `worker_busy_sec`
+/// scalar as the sweep's occupancy observable (the scalar survives as
+/// a derived sum for older consumers).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerLane {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// The runs this worker handled, in pick-up order.
+    pub runs: Vec<LaneSpan>,
+}
+
+impl WorkerLane {
+    /// Host seconds this worker spent inside runs.
+    #[must_use]
+    pub fn busy_sec(&self) -> f64 {
+        self.runs.iter().map(LaneSpan::dur).sum()
+    }
+}
+
 /// The sweep-level sidecar (`sweep_summary.json`): run statuses and
 /// timings. Unlike the artifacts this is *not* byte-stable across
 /// re-executions — wall-clock lives here on purpose.
@@ -116,6 +163,15 @@ pub struct SweepSummary {
     /// numerator (`worker_busy_sec / (workers * wall_clock_sec)`).
     #[serde(default)]
     pub worker_busy_sec: f64,
+    /// Per-phase host-seconds summed over completed runs (plus store
+    /// writes) — where the sweep's wall time actually went. Defaults
+    /// for sidecars written before host profiling existed.
+    #[serde(default)]
+    pub host_phase_sec: PhaseTotals,
+    /// Per-worker utilization timelines. Defaults (empty) for sidecars
+    /// written before host profiling existed.
+    #[serde(default)]
+    pub worker_lanes: Vec<WorkerLane>,
     /// Total sweep wall-clock in seconds.
     pub wall_clock_sec: f64,
     /// Per-run lines, in canonical manifest order.

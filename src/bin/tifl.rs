@@ -13,7 +13,9 @@
 //! tifl run --spec run.json --out r.json# … writing the full report JSON
 //! tifl sweep sweep.json --workers 4    # execute a whole run matrix
 //! tifl sweep sweep.json --resume       # … skipping completed run keys
+//! tifl sweep sweep.json --progress p.jsonl # … streaming a JSONL event log
 //! tifl trace run.json --out trace.json # re-run traced, export Chrome JSON
+//! tifl trace run.json --out t.json --host # … with the host-time lane too
 //! tifl report artifacts/ --target 0.5  # pivot a store into a table
 //! tifl lint --deny                     # determinism static analysis
 //! ```
@@ -37,8 +39,8 @@ fn usage() -> ExitCode {
          tifl estimate <config.json>\n  tifl run <config.json> \
          <vanilla|slow|uniform|random|fast|fast1|fast2|fast3|adaptive>\n  \
          tifl run --spec <run.json> [--threads N] [--out <report.json>]\n  \
-         tifl sweep <sweep.json> [--workers N] [--out DIR] [--resume]\n  \
-         tifl trace <run.json|artifact.json> [--out <trace.json>]\n  \
+         tifl sweep <sweep.json> [--workers N] [--out DIR] [--resume] [--progress <log.jsonl>]\n  \
+         tifl trace <run.json|artifact.json> [--out <trace.json>] [--host]\n  \
          tifl report <store-dir> [--format human|json] [--target ACC]\n  \
          tifl lint [--deny] [--format human|json] [path]"
     );
@@ -220,6 +222,7 @@ fn main() -> ExitCode {
             let mut workers = 0usize;
             let mut out = "sweep-artifacts".to_string();
             let mut resume = false;
+            let mut progress_path = None;
             let mut args = rest.iter();
             while let Some(a) = args.next() {
                 match a.as_str() {
@@ -233,6 +236,10 @@ fn main() -> ExitCode {
                         out = p.clone();
                     }
                     "--resume" => resume = true,
+                    "--progress" => {
+                        let Some(p) = args.next() else { return usage() };
+                        progress_path = Some(p.clone());
+                    }
                     _ => return usage(),
                 }
             }
@@ -247,7 +254,11 @@ fn main() -> ExitCode {
                 scheduler.workers(),
                 store.dir().display()
             );
-            let sweep = scheduler.execute(&runs, Some(&store), resume);
+            let progress = progress_path.as_ref().map(|p| {
+                tifl::sweep::ProgressLog::create(std::path::Path::new(p))
+                    .unwrap_or_else(|e| panic!("opening progress log {p}: {e}"))
+            });
+            let sweep = scheduler.execute_logged(&runs, Some(&store), resume, progress.as_ref());
             if let Err(e) = store.write_summary(&sweep.summary(manifest.name.clone())) {
                 eprintln!("[tifl] warning: writing sweep summary failed: {e}");
             }
@@ -284,6 +295,15 @@ fn main() -> ExitCode {
                 sweep.profiles_computed,
                 sweep.wall_clock_sec
             );
+            let phases = sweep.host_phase_sec();
+            if phases.total() > 0.0 {
+                let breakdown = tifl::obs::Phase::ALL
+                    .iter()
+                    .map(|p| format!("{} {:.2}s", p.name(), phases.get(*p)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                println!("host phases: {breakdown}");
+            }
             for (key, label, message) in sweep.failures() {
                 eprintln!("[tifl] FAILED {label} ({key}): {message}");
             }
@@ -295,6 +315,7 @@ fn main() -> ExitCode {
         }
         [cmd, path, rest @ ..] if cmd == "trace" => {
             let mut out = None;
+            let mut host = false;
             let mut args = rest.iter();
             while let Some(a) = args.next() {
                 match a.as_str() {
@@ -302,6 +323,7 @@ fn main() -> ExitCode {
                         let Some(p) = args.next() else { return usage() };
                         out = Some(p.clone());
                     }
+                    "--host" => host = true,
                     _ => return usage(),
                 }
             }
@@ -326,12 +348,20 @@ fn main() -> ExitCode {
             print!("{}", tifl::obs::render_rounds(&rows));
             print!("{}", observed.metrics.render_text());
             if let Some(out) = out {
-                let events = tifl::obs::chrome_trace(&observed.records);
+                let mut events = tifl::obs::chrome_trace(&observed.records);
+                if host {
+                    // The host lane rides alongside as a second process
+                    // (pid 2): same viewer, two clocks. Host timings are
+                    // best-effort — only the virtual lane is
+                    // byte-deterministic.
+                    events.extend(tifl::obs::host_chrome_trace(&observed.host_spans));
+                }
                 tifl::sweep::store::write_json(std::path::Path::new(&out), &events)
                     .unwrap_or_else(|e| panic!("writing {out}: {e}"));
                 println!(
-                    "wrote {} Chrome trace events to {out} (chrome://tracing, Perfetto)",
-                    events.len()
+                    "wrote {} Chrome trace events to {out} (chrome://tracing, Perfetto{})",
+                    events.len(),
+                    if host { "; virtual + host lanes" } else { "" }
                 );
             }
             ExitCode::SUCCESS

@@ -14,10 +14,10 @@
 //!   transfer-cost accounting and update codecs (int8 quantization,
 //!   top-k sparsification);
 //! * [`fl`] — the FL substrate: clients, FedAvg aggregator, round engine;
-//! * [`obs`] — deterministic observability: virtual-time tracing
-//!   (ring-buffer recorder, Chrome trace-event export) and a
-//!   fixed-bucket metrics registry whose snapshots ride in run
-//!   artifacts;
+//! * [`obs`] — observability: virtual-time tracing (ring-buffer
+//!   recorder, Chrome trace-event export), a fixed-bucket metrics
+//!   registry whose snapshots ride in run artifacts, and a host-time
+//!   phase profiler behind a pluggable [`prelude::HostClock`];
 //! * [`core`] — the paper's contribution: profiler, tiering, static and
 //!   adaptive tier schedulers, training-time estimator, privacy
 //!   accounting, and the composable `RunSpec`/`Runner` execution API;
@@ -109,15 +109,16 @@ pub mod prelude {
     pub use tifl_leaf::{LeafDataConfig, LeafExperiment};
     pub use tifl_nn::models::ModelSpec;
     pub use tifl_obs::{
-        chrome_trace, MetricsRegistry, MetricsSnapshot, RingRecorder, RunObserver, TraceEvent,
-        TraceRecord, TraceSink,
+        chrome_trace, host_chrome_trace, FrozenClock, HostClock, HostProfiler, HostSpan,
+        MetricsRegistry, MetricsSnapshot, Phase, PhaseTotals, RealClock, RingRecorder, RunObserver,
+        TraceEvent, TraceRecord, TraceSink,
     };
     pub use tifl_sim::cluster::{Cluster, ClusterConfig};
     pub use tifl_sim::drift::DriftModel;
     pub use tifl_sim::latency::{LatencyModel, LatencyModelConfig};
     pub use tifl_sim::resource::LinkQuality;
     pub use tifl_sweep::{
-        KeyedRun, RunArtifact, RunKey, RunOutcome, RunStore, SweepAxes, SweepBuilder,
-        SweepManifest, SweepReport, SweepScheduler, SweepSummary,
+        KeyedRun, ProgressEvent, ProgressLog, RunArtifact, RunKey, RunOutcome, RunStore, SweepAxes,
+        SweepBuilder, SweepManifest, SweepReport, SweepScheduler, SweepSummary, WorkerLane,
     };
 }

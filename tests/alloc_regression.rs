@@ -243,4 +243,30 @@ fn steady_state_fold_encode_round_is_allocation_free() {
     );
     assert_eq!(observer.ring().len(), 64, "ring stayed at capacity");
     assert!(observer.ring().dropped() > 0, "wrap path was exercised");
+
+    // Profiler-attached variant: the host-time phase profiler's hot
+    // path (clock read on begin, span push + totals update on end)
+    // must also stay off the heap once its span ring is preallocated —
+    // attaching host profiling may not break the allocation gate.
+    use tifl::obs::{FrozenClock, HostProfiler, Phase};
+    let mut prof = HostProfiler::with_clock(32, FrozenClock::shared());
+    // Warm one full cycle (the ring was preallocated by the
+    // constructor; this just proves the API path before measuring).
+    for r in 0..4u64 {
+        let t = prof.begin();
+        prof.end(Phase::Train, r, t);
+    }
+    let allocs = allocations_in(|| {
+        for r in 0..64u64 {
+            for phase in [Phase::Plan, Phase::Train, Phase::Fold, Phase::Eval] {
+                let t = prof.begin();
+                prof.end(phase, r, t);
+            }
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "profiler-attached rounds allocated {allocs} times"
+    );
+    assert!(prof.dropped() > 0, "span-ring wrap path was exercised");
 }

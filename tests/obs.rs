@@ -386,6 +386,160 @@ fn from_plan_matches_the_event_queue_builder_on_live_session_plans() {
     }
 }
 
+// -- host-time phase profiling ---------------------------------------------
+
+/// The (phase, round) shape of a host-span stream, split into the
+/// deterministic part and the eval part. Backends emit Plan, Train and
+/// Fold in the same per-round order, but Eval spans close wherever
+/// eval results land on the coordinator (inline in lockstep, at
+/// deferred patch application in the event engine) — so structure
+/// comparison is: non-eval sequence exact, eval multiset equal.
+type SpanShape = Vec<(Phase, u64)>;
+
+fn span_shape(spans: &[HostSpan]) -> (SpanShape, SpanShape) {
+    let (mut evals, non_evals): (Vec<_>, Vec<_>) = spans
+        .iter()
+        .map(|s| (s.phase, s.round))
+        .partition(|(p, _)| *p == Phase::Eval);
+    evals.sort_unstable_by_key(|&(_, r)| r);
+    (non_evals, evals)
+}
+
+#[test]
+fn host_span_structure_is_pinned_across_backends() {
+    let cfg = tiny(70);
+    let spec = RunSpec {
+        selection: SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        ..RunSpec::default()
+    };
+    let request = RunRequest {
+        experiment: cfg.clone(),
+        rounds: None,
+        seed: None,
+        clients_per_round: None,
+        spec: spec.clone(),
+    };
+    let lockstep = request.run_observed_with_clock(CAP, FrozenClock::shared());
+    let (base_seq, base_evals) = span_shape(&lockstep.host_spans);
+
+    // The deterministic shape: one Profile pass, then Plan, Train,
+    // Fold for every round, with evals on the session cadence.
+    assert_eq!(base_seq[0], (Phase::Profile, 0));
+    let rounds = cfg.rounds;
+    for r in 0..rounds {
+        let at = 1 + 3 * r as usize;
+        assert_eq!(
+            &base_seq[at..at + 3],
+            &[(Phase::Plan, r), (Phase::Train, r), (Phase::Fold, r)],
+            "round {r}: host spans must cover plan, train, fold in order"
+        );
+    }
+    assert_eq!(base_seq.len(), 1 + 3 * rounds as usize);
+    let session = cfg.build_session(&SessionOverrides::default());
+    let expected_evals: Vec<(Phase, u64)> = (0..rounds)
+        .filter(|&r| session.is_eval_round(r))
+        .map(|r| (Phase::Eval, r))
+        .collect();
+    assert_eq!(base_evals, expected_evals);
+
+    for threads in [1, 4] {
+        let event_request = RunRequest {
+            spec: RunSpec {
+                backend: ExecBackend::EventDriven { threads },
+                ..spec.clone()
+            },
+            ..request.clone()
+        };
+        let event = event_request.run_observed_with_clock(CAP, FrozenClock::shared());
+        let (seq, evals) = span_shape(&event.host_spans);
+        assert_eq!(
+            seq, base_seq,
+            "EventDriven{{{threads}}}: non-eval host-span sequence diverged"
+        );
+        assert_eq!(
+            evals, base_evals,
+            "EventDriven{{{threads}}}: eval host-span multiset diverged"
+        );
+        // Per-backend invariants: spans close in monotone order on the
+        // frozen clock and every span is well-formed.
+        for w in event.host_spans.windows(2) {
+            assert!(w[1].end >= w[0].end, "spans must close in clock order");
+        }
+        for s in &event.host_spans {
+            assert!(s.end > s.start, "frozen clock ticks inside every span");
+        }
+    }
+}
+
+#[test]
+fn profiling_never_touches_the_deterministic_surface() {
+    let cfg = tiny(70);
+    let spec = RunSpec {
+        selection: SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        ..RunSpec::default()
+    };
+    let request = RunRequest {
+        experiment: cfg,
+        rounds: None,
+        seed: None,
+        clients_per_round: None,
+        spec,
+    };
+    // Swapping the host clock can never change the report, the trace,
+    // the metrics bytes, or the run's content key.
+    let real = request.run_observed(CAP);
+    let frozen = request.run_observed_with_clock(CAP, FrozenClock::shared());
+    assert_eq!(real.report, frozen.report);
+    assert_eq!(real.records, frozen.records);
+    assert_eq!(
+        serde_json::to_string(&real.metrics).expect("metrics serialize"),
+        serde_json::to_string(&frozen.metrics).expect("metrics serialize"),
+    );
+    assert_eq!(RunKey::of(&request), RunKey::of(&request.clone()));
+
+    // Host measurements stay out of the artifact bytes entirely.
+    let key = RunKey::of(&request);
+    let mut artifact = RunArtifact::new(key, request, real.report);
+    artifact.metrics = Some(real.metrics);
+    let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+    assert!(
+        !json.contains("host_phases") && !json.contains("host_spans"),
+        "host-time measurements must never reach deterministic artifact bytes"
+    );
+}
+
+#[test]
+fn host_chrome_export_adds_a_second_process_lane() {
+    let cfg = tiny(70);
+    let spec = RunSpec {
+        selection: SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        ..RunSpec::default()
+    };
+    let observed = Runner::with_spec(&cfg, spec).run_observed(CAP);
+    let mut events = chrome_trace(&observed.records);
+    let virtual_count = events.len();
+    events.extend(host_chrome_trace(&observed.host_spans));
+    assert!(virtual_count > 0 && events.len() > virtual_count);
+
+    // The merged file is valid JSON with exactly two distinct pids.
+    let json = serde_json::to_string(&events).expect("events serialize");
+    let value: serde::Value = serde_json::from_str(&json).expect("merged trace is valid JSON");
+    let serde::Value::Array(items) = &value else {
+        panic!("a Chrome trace is a JSON array");
+    };
+    assert_eq!(items.len(), events.len());
+    let mut pids: Vec<u64> = events.iter().map(|e| e.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    assert_eq!(pids, vec![1, 2], "virtual lane is pid 1, host lane pid 2");
+}
+
 // -- randomised invariance --------------------------------------------------
 
 /// A shrunken resource-heterogeneity config for proptest speed (the
