@@ -1,6 +1,9 @@
-//! Per-round and per-run training records.
+//! Per-round and per-run training records, plus their content digests
+//! (the per-round digest chain behind `tifl diff` / `tifl audit`).
 
 use serde::{Deserialize, Serialize};
+use tifl_obs::diff::{DiffReport, DiffSide, Divergence, FieldDelta};
+use tifl_obs::digest::{Digest128, DigestChain};
 
 /// What happened in one global training round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,6 +34,67 @@ pub struct RoundReport {
     /// is active).
     #[serde(default)]
     pub bytes_up: u64,
+}
+
+impl RoundReport {
+    /// The round's 128-bit content digest: FNV-1a over its canonical
+    /// JSON, covering every recorded field. Two rounds digest equal iff
+    /// they serialize equal — the unit the per-run digest chain folds.
+    #[must_use]
+    pub fn content_digest(&self) -> Digest128 {
+        Digest128::of_value(self)
+    }
+
+    /// Field-level deltas against `other` — one entry per recorded
+    /// field whose rendering differs (`tifl diff`'s per-round detail).
+    #[must_use]
+    pub fn field_deltas(&self, other: &RoundReport) -> Vec<FieldDelta> {
+        fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+            v.map_or_else(|| "-".to_string(), |v| v.to_string())
+        }
+        fn cohort(ids: &[usize]) -> String {
+            const SHOWN: usize = 8;
+            let head: Vec<String> = ids.iter().take(SHOWN).map(ToString::to_string).collect();
+            let ellipsis = if ids.len() > SHOWN { ", …" } else { "" };
+            format!("n={} [{}{ellipsis}]", ids.len(), head.join(", "))
+        }
+        let mut deltas = Vec::new();
+        let mut push = |field: &str, a: String, b: String| {
+            if a != b {
+                deltas.push(FieldDelta {
+                    field: field.to_string(),
+                    a,
+                    b,
+                });
+            }
+        };
+        push("round", self.round.to_string(), other.round.to_string());
+        push("time", self.time.to_string(), other.time.to_string());
+        push(
+            "latency",
+            self.latency.to_string(),
+            other.latency.to_string(),
+        );
+        push("selected", cohort(&self.selected), cohort(&other.selected));
+        push(
+            "aggregated",
+            cohort(&self.aggregated),
+            cohort(&other.aggregated),
+        );
+        push("accuracy", opt(self.accuracy), opt(other.accuracy));
+        push("loss", opt(self.loss), opt(other.loss));
+        push(
+            "bytes_up",
+            self.bytes_up.to_string(),
+            other.bytes_up.to_string(),
+        );
+        push(
+            "bytes_down",
+            self.bytes_down.to_string(),
+            other.bytes_down.to_string(),
+        );
+        deltas
+    }
 }
 
 /// A full training run.
@@ -194,6 +258,67 @@ impl TrainingReport {
         self.rounds.iter().map(|r| r.bytes_down).sum()
     }
 
+    /// One content digest per round, in round order (the digest-chain
+    /// input).
+    #[must_use]
+    pub fn round_digests(&self) -> Vec<Digest128> {
+        self.rounds
+            .iter()
+            .map(RoundReport::content_digest)
+            .collect()
+    }
+
+    /// The per-round chain heads: `chain_heads()[k]` commits to rounds
+    /// `0..=k` in order. Prefix-stable, so a diff walking two runs'
+    /// heads localizes the first divergent round without re-running.
+    #[must_use]
+    pub fn chain_heads(&self) -> Vec<Digest128> {
+        DigestChain::heads(self.rounds.iter().map(RoundReport::content_digest))
+    }
+
+    /// The digest-chain head over the whole run — the integrity field
+    /// sweep artifacts embed, recomputable from the report alone (so
+    /// artifacts written before the field existed still verify).
+    #[must_use]
+    pub fn digest_chain(&self) -> Digest128 {
+        DigestChain::of(self.rounds.iter().map(RoundReport::content_digest))
+    }
+
+    /// Compare against `other` via the digest chains: localize the
+    /// first divergent round (O(rounds), no re-running) and attach its
+    /// field-level deltas. `name_*` label the operands in the output
+    /// (file paths in the CLI).
+    #[must_use]
+    pub fn diff(&self, name_a: &str, other: &TrainingReport, name_b: &str) -> DiffReport {
+        let digests_a = self.round_digests();
+        let digests_b = other.round_digests();
+        let heads_a = DigestChain::heads(digests_a.iter().copied());
+        let heads_b = DigestChain::heads(digests_b.iter().copied());
+        let divergence = match tifl_obs::diff::first_divergence(&digests_a, &digests_b) {
+            Some(i) => Divergence::DivergedAt {
+                round: i as u64,
+                chain_a: heads_a[i],
+                chain_b: heads_b[i],
+                deltas: self.rounds[i].field_deltas(&other.rounds[i]),
+            },
+            None if digests_a.len() == digests_b.len() => Divergence::Identical,
+            None => Divergence::Truncated {
+                shared_rounds: digests_a.len().min(digests_b.len()) as u64,
+            },
+        };
+        let side = |name: &str, report: &TrainingReport| DiffSide {
+            name: name.to_string(),
+            policy: report.policy.clone(),
+            rounds: report.rounds.len() as u64,
+            chain_head: report.digest_chain(),
+        };
+        DiffReport {
+            a: side(name_a, self),
+            b: side(name_b, other),
+            divergence,
+        }
+    }
+
     /// Mean per-round latency in seconds.
     #[must_use]
     pub fn mean_round_latency(&self) -> f64 {
@@ -312,5 +437,55 @@ mod tests {
     fn selection_counts_accumulate() {
         let r = report();
         assert_eq!(r.selection_counts(3), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn digest_chain_commits_to_every_round_in_order() {
+        let r = report();
+        assert_eq!(r.round_digests().len(), 3);
+        assert_eq!(r.chain_heads().len(), 3);
+        assert_eq!(r.chain_heads()[2], r.digest_chain());
+        // Equal reports chain equal; any single-field edit changes the
+        // head; the chain over a prefix matches the intermediate head.
+        let same = report();
+        assert_eq!(same.digest_chain(), r.digest_chain());
+        let mut edited = report();
+        edited.rounds[1].bytes_up += 1;
+        assert_ne!(edited.digest_chain(), r.digest_chain());
+        let mut prefix = report();
+        prefix.rounds.truncate(2);
+        assert_eq!(prefix.digest_chain(), r.chain_heads()[1]);
+        // Swapping two rounds changes the head even though the digest
+        // multiset is unchanged.
+        let mut swapped = report();
+        swapped.rounds.swap(0, 2);
+        assert_ne!(swapped.digest_chain(), r.digest_chain());
+    }
+
+    #[test]
+    fn diff_localizes_the_first_divergent_round() {
+        let r = report();
+        assert!(r.diff("a", &report(), "b").identical());
+
+        let mut perturbed = report();
+        perturbed.rounds[1].accuracy = Some(0.99);
+        let d = r.diff("a", &perturbed, "b");
+        match &d.divergence {
+            Divergence::DivergedAt { round, deltas, .. } => {
+                assert_eq!(*round, 1);
+                assert_eq!(deltas.len(), 1);
+                assert_eq!(deltas[0].field, "accuracy");
+                assert_eq!(deltas[0].a, "-");
+                assert_eq!(deltas[0].b, "0.99");
+            }
+            other => panic!("expected DivergedAt, got {other:?}"),
+        }
+
+        let mut truncated = report();
+        truncated.rounds.truncate(1);
+        assert_eq!(
+            r.diff("a", &truncated, "b").divergence,
+            Divergence::Truncated { shared_rounds: 1 }
+        );
     }
 }

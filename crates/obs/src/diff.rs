@@ -1,0 +1,225 @@
+//! Run-divergence reports: where two runs stopped agreeing, and how.
+//!
+//! This module holds the *generic* half of `tifl diff`: given the
+//! per-round digest sequences of two runs (see [`crate::digest`]),
+//! [`first_divergence`] localizes the first round whose content
+//! differs, and [`DiffReport`] packages the verdict plus the
+//! field-level deltas of that round for human or JSON rendering. The
+//! round types themselves live downstream (`tifl_fl::TrainingReport`
+//! builds a `DiffReport` from two reports); keeping the algorithm and
+//! the report shape here lets every layer share one vocabulary
+//! without a dependency cycle.
+
+use crate::digest::Digest128;
+use serde::{Deserialize, Serialize};
+
+/// One side of a diff: which operand it was and the run's identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffSide {
+    /// Operand name (a file path, a store key, a label — caller's
+    /// choice).
+    pub name: String,
+    /// The run's policy label.
+    pub policy: String,
+    /// Rounds in the run.
+    pub rounds: u64,
+    /// Digest-chain head over all rounds.
+    pub chain_head: Digest128,
+}
+
+/// One diverging field of the first divergent round, rendered on both
+/// sides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldDelta {
+    /// Field name (`accuracy`, `time`, `bytes_up`, `selected`, …).
+    pub field: String,
+    /// The field's value in run A.
+    pub a: String,
+    /// The field's value in run B.
+    pub b: String,
+}
+
+/// Where (if anywhere) two runs diverge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Divergence {
+    /// Every round matches, content digest for content digest.
+    Identical,
+    /// All shared rounds match but one run has more of them — a
+    /// truncated (or longer-trained) variant of the other.
+    Truncated {
+        /// Rounds both runs share (all byte-equivalent).
+        shared_rounds: u64,
+    },
+    /// The runs agree on every round before `round` and differ at it.
+    DivergedAt {
+        /// First divergent round index (0-based, position in the
+        /// round list).
+        round: u64,
+        /// Chain head of run A at the divergent round.
+        chain_a: Digest128,
+        /// Chain head of run B at the divergent round.
+        chain_b: Digest128,
+        /// Field-level deltas of the divergent round.
+        deltas: Vec<FieldDelta>,
+    },
+}
+
+/// A complete two-run comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffReport {
+    /// Run A (first operand).
+    pub a: DiffSide,
+    /// Run B (second operand).
+    pub b: DiffSide,
+    /// The verdict.
+    pub divergence: Divergence,
+}
+
+impl DiffReport {
+    /// Whether the runs are round-for-round identical.
+    #[must_use]
+    pub fn identical(&self) -> bool {
+        matches!(self.divergence, Divergence::Identical)
+    }
+
+    /// Human-readable rendering (the `tifl diff` default output).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "A: {} ({}, {} rounds, chain {})",
+            self.a.name, self.a.policy, self.a.rounds, self.a.chain_head
+        );
+        let _ = writeln!(
+            out,
+            "B: {} ({}, {} rounds, chain {})",
+            self.b.name, self.b.policy, self.b.rounds, self.b.chain_head
+        );
+        match &self.divergence {
+            Divergence::Identical => {
+                let _ = writeln!(out, "identical: all {} rounds match", self.a.rounds);
+            }
+            Divergence::Truncated { shared_rounds } => {
+                let _ = writeln!(
+                    out,
+                    "prefix: first {shared_rounds} rounds match; {} has {} more",
+                    if self.a.rounds > self.b.rounds {
+                        "A"
+                    } else {
+                        "B"
+                    },
+                    self.a.rounds.abs_diff(self.b.rounds)
+                );
+            }
+            Divergence::DivergedAt {
+                round,
+                chain_a,
+                chain_b,
+                deltas,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "first divergent round: {round} (chain A {chain_a} != B {chain_b})"
+                );
+                let width = deltas
+                    .iter()
+                    .map(|d| d.field.len())
+                    .max()
+                    .unwrap_or(5)
+                    .max(5);
+                for d in deltas {
+                    let _ = writeln!(out, "  {:<width$}  A: {}  B: {}", d.field, d.a, d.b);
+                }
+                if deltas.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "  (no top-level field delta: divergence is inside a collection)"
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The first index at which the two digest sequences disagree, within
+/// their common prefix. `None` means the shorter sequence is a prefix
+/// of the longer (including the equal-length identical case) — the
+/// caller distinguishes `Identical` from `Truncated` by length.
+#[must_use]
+pub fn first_divergence(a: &[Digest128], b: &[Digest128]) -> Option<usize> {
+    a.iter().zip(b.iter()).position(|(da, db)| da != db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::DigestChain;
+
+    fn d(byte: u8) -> Digest128 {
+        Digest128::of_bytes(&[byte])
+    }
+
+    #[test]
+    fn first_divergence_finds_the_earliest_mismatch() {
+        let a = [d(0), d(1), d(2)];
+        let b = [d(0), d(9), d(2)];
+        assert_eq!(first_divergence(&a, &b), Some(1));
+        assert_eq!(first_divergence(&a, &a), None);
+        assert_eq!(
+            first_divergence(&a[..2], &a),
+            None,
+            "prefix is not divergence"
+        );
+        assert_eq!(first_divergence(&[], &a), None);
+    }
+
+    #[test]
+    fn report_renders_every_verdict() {
+        let side = |name: &str, rounds: u64| DiffSide {
+            name: name.into(),
+            policy: "vanilla".into(),
+            rounds,
+            chain_head: DigestChain::of([d(0)]),
+        };
+        let identical = DiffReport {
+            a: side("a.json", 3),
+            b: side("b.json", 3),
+            divergence: Divergence::Identical,
+        };
+        assert!(identical.identical());
+        assert!(identical.render_text().contains("identical"));
+
+        let truncated = DiffReport {
+            a: side("a.json", 5),
+            b: side("b.json", 3),
+            divergence: Divergence::Truncated { shared_rounds: 3 },
+        };
+        assert!(!truncated.identical());
+        assert!(truncated.render_text().contains("A has 2 more"));
+
+        let diverged = DiffReport {
+            a: side("a.json", 3),
+            b: side("b.json", 3),
+            divergence: Divergence::DivergedAt {
+                round: 1,
+                chain_a: d(1),
+                chain_b: d(2),
+                deltas: vec![FieldDelta {
+                    field: "accuracy".into(),
+                    a: "0.5".into(),
+                    b: "0.6".into(),
+                }],
+            },
+        };
+        let text = diverged.render_text();
+        assert!(text.contains("first divergent round: 1"));
+        assert!(text.contains("accuracy"));
+        // And the whole report round-trips through JSON for --format json.
+        let json = serde_json::to_string(&diverged).expect("serializes");
+        let back: DiffReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, diverged);
+    }
+}

@@ -1,0 +1,244 @@
+//! Content digests and per-round digest chains.
+//!
+//! The workspace's determinism contract says a run is a pure function
+//! of its request — so two artifacts that disagree are evidence of
+//! corruption, staleness, or a broken backend. This module provides
+//! the primitive that makes such disagreement *localizable*: a 128-bit
+//! FNV-1a content digest ([`Digest128`]) of any canonically-serialized
+//! value, and a [`DigestChain`] that folds a sequence of digests (one
+//! per training round) into a running head.
+//!
+//! Two properties make the chain useful for auditing:
+//!
+//! * **Order sensitivity** — the fold mixes the previous head into
+//!   every step, so swapping two (distinct) rounds changes the head;
+//! * **Prefix property** — the head after `k` folds depends only on
+//!   the first `k` items, so the chain over a completed run extends
+//!   the chain over any prefix of it. Comparing two runs round by
+//!   round therefore localizes the *first* divergent round in
+//!   O(rounds), without re-running anything.
+//!
+//! The hash family is the same two-pass 64+64-bit FNV-1a the sweep
+//! crate keys its artifacts with (`RunKey`), chosen for speed and
+//! freedom from external deps — it is a *content check against
+//! accident* (bit rot, truncation, nondeterminism bugs), not a
+//! cryptographic commitment against an adversary.
+
+use serde::{Deserialize, Serialize};
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// The standard FNV-1a 64-bit offset basis (lower half of the key).
+const FNV_BASIS_LO: u64 = 0xcbf2_9ce4_8422_2325;
+/// An independent basis for the upper half (the FNV-1a *128-bit*
+/// offset basis truncated to 64 bits).
+const FNV_BASIS_HI: u64 = 0x6c62_272e_07bb_0142;
+
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A 128-bit content digest: two independent 64-bit FNV-1a passes over
+/// the same bytes. Rendered (and serialized) as 32 lowercase hex
+/// digits, exactly like the sweep crate's `RunKey`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest128(pub u128);
+
+impl Digest128 {
+    /// Digest raw bytes.
+    #[must_use]
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        let lo = fnv1a64(bytes, FNV_BASIS_LO);
+        let hi = fnv1a64(bytes, FNV_BASIS_HI);
+        Digest128((u128::from(hi) << 64) | u128::from(lo))
+    }
+
+    /// Digest a canonical JSON string (the interchange form every
+    /// serializable value in the workspace renders to
+    /// deterministically).
+    #[must_use]
+    pub fn of_json(canonical_json: &str) -> Self {
+        Self::of_bytes(canonical_json.as_bytes())
+    }
+
+    /// Digest any serializable value via its compact canonical JSON.
+    ///
+    /// The vendored serializer renders object fields in declaration
+    /// order and floats in shortest-round-trip form, so equal values
+    /// always produce equal digests and distinct values are separated
+    /// by their serialized content.
+    #[must_use]
+    pub fn of_value<T: Serialize>(value: &T) -> Self {
+        let json = serde_json::to_string(value).expect("digested values serialize");
+        Self::of_json(&json)
+    }
+
+    /// Parse the 32-hex-digit rendering back into a digest.
+    #[must_use]
+    pub fn parse(hex: &str) -> Option<Self> {
+        if hex.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(hex, 16).ok().map(Digest128)
+    }
+}
+
+impl std::fmt::Display for Digest128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl Serialize for Digest128 {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for Digest128 {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::String(s) => {
+                Digest128::parse(s).ok_or_else(|| serde::Error::custom(format!("bad digest `{s}`")))
+            }
+            other => Err(serde::Error::expected("digest string", other)),
+        }
+    }
+}
+
+/// A running fold over a sequence of [`Digest128`]s: each step hashes
+/// `head ‖ item`, so the head after `k` folds commits to the first `k`
+/// items *and their order*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestChain {
+    head: Digest128,
+    len: u64,
+}
+
+impl Default for DigestChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DigestChain {
+    /// The empty chain (head = digest of the empty byte string).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            head: Digest128::of_bytes(&[]),
+            len: 0,
+        }
+    }
+
+    /// Fold one item in; returns the new head.
+    pub fn fold(&mut self, item: Digest128) -> Digest128 {
+        let mut bytes = [0u8; 32];
+        bytes[..16].copy_from_slice(&self.head.0.to_le_bytes());
+        bytes[16..].copy_from_slice(&item.0.to_le_bytes());
+        self.head = Digest128::of_bytes(&bytes);
+        self.len += 1;
+        self.head
+    }
+
+    /// The current head.
+    #[must_use]
+    pub fn head(&self) -> Digest128 {
+        self.head
+    }
+
+    /// Items folded so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether nothing has been folded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The head after folding every item of `items`, in order.
+    #[must_use]
+    pub fn of(items: impl IntoIterator<Item = Digest128>) -> Digest128 {
+        let mut chain = Self::new();
+        for item in items {
+            chain.fold(item);
+        }
+        chain.head()
+    }
+
+    /// Every intermediate head: `heads(items)[k]` is the chain head
+    /// after folding `items[..=k]` — the prefix observable a diff
+    /// walks to localize the first divergent position.
+    #[must_use]
+    pub fn heads(items: impl IntoIterator<Item = Digest128>) -> Vec<Digest128> {
+        let mut chain = Self::new();
+        items.into_iter().map(|item| chain.fold(item)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_separate_content() {
+        assert_eq!(Digest128::of_bytes(b"abc"), Digest128::of_bytes(b"abc"));
+        assert_ne!(Digest128::of_bytes(b"abc"), Digest128::of_bytes(b"abd"));
+        assert_ne!(Digest128::of_bytes(b""), Digest128::of_bytes(b"\0"));
+    }
+
+    #[test]
+    fn digests_render_parse_and_serialize_as_hex() {
+        let d = Digest128(0x0123_4567_89ab_cdef_0f0f_0f0f_0f0f_0f0f);
+        let hex = d.to_string();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Digest128::parse(&hex), Some(d));
+        assert_eq!(Digest128::parse("nope"), None);
+        let json = serde_json::to_string(&d).expect("serializes");
+        let back: Digest128 = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn chain_is_order_sensitive() {
+        let a = Digest128::of_bytes(b"a");
+        let b = Digest128::of_bytes(b"b");
+        assert_ne!(DigestChain::of([a, b]), DigestChain::of([b, a]));
+        assert_ne!(DigestChain::of([a]), DigestChain::of([a, a]));
+        assert_ne!(DigestChain::of([]), DigestChain::of([a]));
+    }
+
+    #[test]
+    fn chain_heads_are_prefix_computations() {
+        let items: Vec<Digest128> = (0u8..5).map(|i| Digest128::of_bytes(&[i])).collect();
+        let heads = DigestChain::heads(items.clone());
+        assert_eq!(heads.len(), 5);
+        for k in 0..items.len() {
+            assert_eq!(
+                heads[k],
+                DigestChain::of(items[..=k].iter().copied()),
+                "head {k} must equal the chain over the first {}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn value_digests_follow_canonical_json() {
+        assert_eq!(
+            Digest128::of_value(&vec![1u64, 2]),
+            Digest128::of_json("[1,2]")
+        );
+        assert_ne!(
+            Digest128::of_value(&vec![1u64, 2]),
+            Digest128::of_value(&vec![2u64, 1])
+        );
+    }
+}

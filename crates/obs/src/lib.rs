@@ -8,6 +8,13 @@
 //! surface without compromising the workspace's bit-for-bit
 //! determinism contract:
 //!
+//! - [`digest`] — 128-bit FNV-1a content digests ([`Digest128`]) and
+//!   the per-round [`DigestChain`]: order-sensitive, prefix-stable
+//!   folds that make run artifacts self-checking and two diverging
+//!   runs localizable to their first divergent round.
+//! - [`diff`] — the [`DiffReport`] vocabulary behind `tifl diff`:
+//!   which round two runs first disagree on, and the field-level
+//!   deltas of that round.
 //! - [`trace`] — the [`TraceEvent`] vocabulary, the [`TraceSink`]
 //!   trait, and a preallocated ring-buffer recorder
 //!   ([`RingRecorder`]). Events are `Copy`, scalar-only payloads
@@ -53,6 +60,8 @@
 #![forbid(unsafe_code)]
 
 pub mod chrome;
+pub mod diff;
+pub mod digest;
 pub mod metrics;
 pub mod observer;
 pub mod pivot;
@@ -61,6 +70,8 @@ pub mod table;
 pub mod trace;
 
 pub use chrome::{chrome_trace, host_chrome_trace, ChromeEvent};
+pub use diff::{first_divergence, DiffReport, DiffSide, Divergence, FieldDelta};
+pub use digest::{Digest128, DigestChain};
 pub use metrics::{
     CounterId, CounterSnap, GaugeId, GaugeSnap, HistId, HistSnap, MetricsRegistry, MetricsSnapshot,
 };

@@ -22,7 +22,13 @@
 //!   already exist;
 //! * [`report`] — [`pivot_rows`] pivots a store into the paper's
 //!   policy × scenario comparison table (`tifl report`) without
-//!   re-running anything.
+//!   re-running anything;
+//! * [`audit`] — [`audit_store`] walks a store and re-verifies every
+//!   artifact (claimed key ↔ digest chain ↔ stored request ↔ report
+//!   plausibility), the engine behind `tifl audit`;
+//! * [`merge`] — [`merge_stores`] unions shard stores with byte-level
+//!   comparison of overlapping keys (`tifl merge`), pairing with
+//!   [`shard_runs`] for cross-host `--shard i/n` splits.
 //!
 //! The fluent entry point is [`SweepBuilder`]:
 //!
@@ -46,17 +52,23 @@
 
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod manifest;
+pub mod merge;
 pub mod report;
 pub mod scheduler;
 pub mod store;
 
-pub use manifest::{KeyedRun, RunKey, SweepAxes, SweepManifest};
+pub use audit::{audit_artifact, audit_store, AuditFinding, AuditReport};
+pub use manifest::{shard_runs, KeyedRun, RunKey, SweepAxes, SweepManifest};
+pub use merge::{merge_stores, MergeConflict, MergeReport};
 pub use report::pivot_rows;
 pub use scheduler::{
     ProfileCache, ProgressEvent, ProgressLog, RunOutcome, SweepReport, SweepScheduler,
 };
-pub use store::{LaneSpan, RunArtifact, RunStore, SweepSummary, WorkerLane};
+pub use store::{
+    LaneSpan, RunArtifact, RunStore, StoreError, StoreErrorKind, SweepSummary, WorkerLane,
+};
 
 use std::path::PathBuf;
 use tifl_comm::{CodecSpec, LinkModel};
@@ -76,6 +88,7 @@ pub struct SweepBuilder {
     workers: usize,
     out: Option<PathBuf>,
     resume: bool,
+    shard: Option<(usize, usize)>,
 }
 
 impl SweepBuilder {
@@ -87,6 +100,7 @@ impl SweepBuilder {
             workers: 0,
             out: None,
             resume: false,
+            shard: None,
         }
     }
 
@@ -98,6 +112,7 @@ impl SweepBuilder {
             workers: 0,
             out: None,
             resume: false,
+            shard: None,
         }
     }
 
@@ -196,6 +211,23 @@ impl SweepBuilder {
         self
     }
 
+    /// Execute only slice `index` of `count` of the expansion (the
+    /// `tifl sweep --shard i/n` cross-host split; see
+    /// [`shard_runs`]). Disjoint shard stores over one manifest merge
+    /// ([`merge_stores`]) into exactly the unsharded sweep's store.
+    ///
+    /// # Panics
+    /// Panics when `count` is 0 or `index >= count`.
+    pub fn shard(&mut self, index: usize, count: usize) -> &mut Self {
+        assert!(count > 0, "shard count must be positive");
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count} shards"
+        );
+        self.shard = Some((index, count));
+        self
+    }
+
     /// The manifest built so far.
     #[must_use]
     pub fn manifest(&self) -> &SweepManifest {
@@ -213,7 +245,22 @@ impl SweepBuilder {
                 // tifl-lint: allow(panic-in-library) — an unopenable artifact store is unrecoverable for a sweep; aborting with the path is the right surface
                 .unwrap_or_else(|e| panic!("opening run store {}: {e}", dir.display()))
         });
-        SweepScheduler::new(self.workers).run(&self.manifest, store.as_ref(), self.resume)
+        let scheduler = SweepScheduler::new(self.workers);
+        match self.shard {
+            None => scheduler.run(&self.manifest, store.as_ref(), self.resume),
+            Some((index, count)) => {
+                let runs = shard_runs(&self.manifest.expand(), index, count);
+                let report = scheduler.execute(&runs, store.as_ref(), self.resume);
+                if let Some(store) = &store {
+                    if let Err(e) = store.write_summary(&report.summary(self.manifest.name.clone()))
+                    {
+                        // tifl-lint: allow(print-in-library) — operator-facing warning: a lost sidecar must be visible even though the sweep result stands
+                        eprintln!("[sweep] warning: writing sweep summary failed: {e}");
+                    }
+                }
+                report
+            }
+        }
     }
 }
 

@@ -288,6 +288,30 @@ impl SweepManifest {
     }
 }
 
+/// Shard `runs` for cross-host splitting: slice `index` of `count`
+/// keeps every run whose canonical position is `index` modulo `count`.
+/// The slices are disjoint, cover the expansion, and are stable —
+/// every host expanding the same manifest computes the same partition,
+/// so disjoint shard stores merge (`tifl merge`) into exactly the
+/// unsharded sweep's store. Runs keep their canonical `index`, so
+/// artifacts and progress events are host-independent.
+///
+/// # Panics
+/// Panics when `count` is 0 or `index >= count` (a malformed
+/// `--shard i/n` should fail loudly, not silently run nothing).
+#[must_use]
+pub fn shard_runs(runs: &[KeyedRun], index: usize, count: usize) -> Vec<KeyedRun> {
+    assert!(count > 0, "shard count must be positive");
+    assert!(
+        index < count,
+        "shard index {index} out of range for {count} shards"
+    );
+    runs.iter()
+        .filter(|r| r.index % count == index)
+        .cloned()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,5 +466,36 @@ mod tests {
         .expect("sparse manifest parses");
         assert_eq!(sparse.axes, SweepAxes::default());
         assert_eq!(sparse.expand().len(), 1);
+    }
+
+    #[test]
+    fn shards_partition_the_expansion() {
+        let mut manifest = SweepManifest::new(base());
+        manifest.axes.seeds = vec![1, 2, 3];
+        manifest.axes.selection = vec![
+            SelectionStrategy::Vanilla,
+            SelectionStrategy::Adaptive { config: None },
+        ];
+        let runs = manifest.expand();
+        assert!(runs.len() >= 5, "want a non-trivial expansion");
+        for count in 1..=4 {
+            let shards: Vec<Vec<KeyedRun>> =
+                (0..count).map(|i| shard_runs(&runs, i, count)).collect();
+            // Disjoint and covering: concatenating the shards in
+            // index order reproduces the expansion exactly.
+            let mut merged: Vec<KeyedRun> = shards.into_iter().flatten().collect();
+            merged.sort_by_key(|r| r.index);
+            assert_eq!(merged, runs, "count={count}");
+        }
+        // Canonical indices survive sharding (artifact identity is
+        // host-independent).
+        let shard = shard_runs(&runs, 1, 2);
+        assert!(shard.iter().all(|r| r.index % 2 == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_out_of_range_panics() {
+        let _ = shard_runs(&[], 2, 2);
     }
 }

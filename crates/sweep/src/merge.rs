@@ -1,0 +1,306 @@
+//! Shard-store merging: union several [`RunStore`]s into one, with the
+//! determinism audit the byte-stable artifact format makes free.
+//!
+//! Two hosts that ran disjoint `--shard` slices of one manifest each
+//! hold half the artifacts; `tifl merge` unions them. Because artifact
+//! bytes are a pure function of the request, any key present in more
+//! than one input must be **byte-identical** everywhere — a mismatch
+//! is corruption or a cross-host determinism bug, and the merge
+//! reports it (or refuses outright under `--deny`). Artifacts are
+//! copied verbatim ([`RunStore::write_bytes`]), so the merged store is
+//! byte-identical to an uninterrupted unsharded sweep over the same
+//! manifest. The `sweep_summary.json` sidecars are deliberately *not*
+//! merged: wall-clock lives there and is per-execution by design.
+
+use crate::manifest::RunKey;
+use crate::store::RunStore;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One key whose bytes disagree between inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergeConflict {
+    /// The conflicted key.
+    pub key: RunKey,
+    /// The input whose copy the merge kept (first seen, in argument
+    /// order).
+    pub kept: String,
+    /// The input holding the disagreeing copy.
+    pub conflicting: String,
+}
+
+/// The machine-readable result of one merge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergeReport {
+    /// The output store directory.
+    pub out: String,
+    /// The input store directories, in argument order.
+    pub inputs: Vec<String>,
+    /// Distinct keys across all inputs.
+    pub unioned: usize,
+    /// Artifacts copied into the output.
+    pub copied: usize,
+    /// Keys present in more than one input (all byte-compared).
+    pub overlaps: usize,
+    /// Byte-level disagreements between inputs (or with a pre-existing
+    /// output artifact).
+    pub conflicts: Vec<MergeConflict>,
+    /// Per-artifact validation findings (an input artifact that fails
+    /// its own integrity checks is reported and still copied, so the
+    /// merge loses nothing — `tifl audit` the output to triage).
+    pub findings: Vec<String>,
+}
+
+impl MergeReport {
+    /// Whether every overlap byte-matched and every artifact verified.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.conflicts.is_empty() && self.findings.is_empty()
+    }
+
+    /// Human-readable rendering (the `tifl merge` default output).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "merged {} stores into {}: {} keys ({} copied, {} overlaps byte-compared)",
+            self.inputs.len(),
+            self.out,
+            self.unioned,
+            self.copied,
+            self.overlaps
+        );
+        for c in &self.conflicts {
+            let _ = writeln!(
+                out,
+                "  conflict {}: kept {} copy, {} disagrees",
+                c.key, c.kept, c.conflicting
+            );
+        }
+        for f in &self.findings {
+            let _ = writeln!(out, "  finding: {f}");
+        }
+        out
+    }
+}
+
+/// Union the artifacts of `inputs` into `out`. Every input directory
+/// must already exist (a typo'd path is an error, not an empty shard).
+/// Overlapping keys are byte-compared across inputs — and against any
+/// artifact already in `out`, so re-merging into a populated store is
+/// itself audited. On conflict the first-seen copy wins and the
+/// conflict is recorded; the caller decides whether that fails the run
+/// (`--deny`).
+///
+/// # Errors
+/// Propagates filesystem errors (missing input dir, unreadable
+/// artifact, failed write).
+pub fn merge_stores(inputs: &[PathBuf], out: &RunStore) -> io::Result<MergeReport> {
+    for dir in inputs {
+        if !dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("input store is not a directory: {}", dir.display()),
+            ));
+        }
+    }
+
+    let display = |dir: &Path| dir.display().to_string();
+    let mut conflicts = Vec::new();
+    let mut findings = Vec::new();
+    // key → (source dir rendered, bytes) of the first-seen copy.
+    let mut union: BTreeMap<RunKey, (String, Vec<u8>)> = BTreeMap::new();
+    let mut overlaps = 0usize;
+
+    for dir in inputs {
+        let store = RunStore::open(dir.clone())?;
+        for key in store.keys() {
+            let bytes = std::fs::read(store.path_of(key))?;
+            if let Err(err) = store.load_checked(key) {
+                findings.push(err.to_string());
+            }
+            match union.get(&key) {
+                None => {
+                    union.insert(key, (display(dir), bytes));
+                }
+                Some((kept, existing)) => {
+                    overlaps += 1;
+                    if *existing != bytes {
+                        conflicts.push(MergeConflict {
+                            key,
+                            kept: kept.clone(),
+                            conflicting: display(dir),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut copied = 0usize;
+    for (key, (source, bytes)) in &union {
+        let target = out.path_of(*key);
+        if target.exists() {
+            overlaps += 1;
+            let existing = std::fs::read(&target)?;
+            if existing != *bytes {
+                conflicts.push(MergeConflict {
+                    key: *key,
+                    kept: display(out.dir()),
+                    conflicting: source.clone(),
+                });
+            }
+            continue;
+        }
+        out.write_bytes(*key, bytes)?;
+        copied += 1;
+    }
+
+    Ok(MergeReport {
+        out: display(out.dir()),
+        inputs: inputs.iter().map(|d| display(d)).collect(),
+        unioned: union.len(),
+        copied,
+        overlaps,
+        conflicts,
+        findings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RunArtifact;
+    use tifl_core::experiment::ExperimentConfig;
+    use tifl_core::runner::{RunRequest, RunSpec};
+    use tifl_fl::{RoundReport, TrainingReport};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tifl-merge-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn request(seed: u64) -> RunRequest {
+        let mut experiment = ExperimentConfig::tiny(seed);
+        experiment.rounds = 2;
+        RunRequest {
+            experiment,
+            rounds: None,
+            seed: None,
+            clients_per_round: None,
+            spec: RunSpec::default(),
+        }
+    }
+
+    fn report() -> TrainingReport {
+        TrainingReport {
+            policy: "vanilla".into(),
+            rounds: (0..2)
+                .map(|r| RoundReport {
+                    round: r,
+                    time: (r + 1) as f64,
+                    latency: 1.0,
+                    selected: vec![0],
+                    aggregated: vec![0],
+                    accuracy: Some(0.5),
+                    loss: Some(1.0),
+                    bytes_down: 10,
+                    bytes_up: 10,
+                })
+                .collect(),
+        }
+    }
+
+    fn write_run(store: &RunStore, seed: u64) -> RunKey {
+        let request = request(seed);
+        let key = RunKey::of(&request);
+        store
+            .write(&RunArtifact::new(key, request, report()))
+            .expect("writes");
+        key
+    }
+
+    #[test]
+    fn disjoint_stores_union_cleanly() {
+        let (a_dir, b_dir, out_dir) = (tmp_dir("dis-a"), tmp_dir("dis-b"), tmp_dir("dis-out"));
+        let a = RunStore::open(&a_dir).expect("opens");
+        let b = RunStore::open(&b_dir).expect("opens");
+        let ka = write_run(&a, 1);
+        let kb = write_run(&b, 2);
+        let out = RunStore::open(&out_dir).expect("opens");
+        let report = merge_stores(&[a_dir.clone(), b_dir.clone()], &out).expect("merges");
+        assert!(report.is_clean());
+        assert_eq!(report.unioned, 2);
+        assert_eq!(report.copied, 2);
+        assert_eq!(report.overlaps, 0);
+        // Byte-identical to the sources.
+        for (key, src) in [(ka, &a), (kb, &b)] {
+            assert_eq!(
+                std::fs::read(out.path_of(key)).expect("read"),
+                std::fs::read(src.path_of(key)).expect("read")
+            );
+        }
+        for dir in [a_dir, b_dir, out_dir] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn overlaps_byte_compare_and_conflicts_are_named() {
+        let (a_dir, b_dir, out_dir) = (tmp_dir("con-a"), tmp_dir("con-b"), tmp_dir("con-out"));
+        let a = RunStore::open(&a_dir).expect("opens");
+        let b = RunStore::open(&b_dir).expect("opens");
+        let key = write_run(&a, 1);
+        write_run(&b, 1); // same key, identical bytes
+        let out = RunStore::open(&out_dir).expect("opens");
+        let clean = merge_stores(&[a_dir.clone(), b_dir.clone()], &out).expect("merges");
+        assert!(clean.is_clean());
+        assert_eq!(clean.overlaps, 1);
+        assert_eq!(clean.copied, 1);
+
+        // Perturb b's copy in a digest-invisible way (host_parallelism
+        // is recorded per host, not covered by the report chain) so the
+        // bytes differ while both artifacts still verify.
+        let path = b.path_of(key);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let mut value: serde::Value = serde_json::from_str(&text).expect("parses");
+        if let serde::Value::Object(fields) = &mut value {
+            for (name, v) in fields.iter_mut() {
+                if name == "host_parallelism" {
+                    *v = serde::Value::Number(serde::Number::U64(1_000_000));
+                }
+            }
+        }
+        let edited = serde_json::to_string_pretty(&value).expect("renders");
+        assert_ne!(edited.trim_end(), text.trim_end(), "perturbation must hit");
+        std::fs::write(&path, edited).expect("write");
+        let _ = std::fs::remove_dir_all(&out_dir);
+        let out = RunStore::open(&out_dir).expect("opens");
+        let conflicted = merge_stores(&[a_dir.clone(), b_dir.clone()], &out).expect("merges");
+        assert_eq!(conflicted.conflicts.len(), 1);
+        assert_eq!(conflicted.conflicts[0].key, key);
+        assert!(!conflicted.is_clean());
+        // First-seen copy (a's) wins.
+        assert_eq!(
+            std::fs::read(out.path_of(key)).expect("read"),
+            std::fs::read(a.path_of(key)).expect("read")
+        );
+        for dir in [a_dir, b_dir, out_dir] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn missing_input_dir_is_an_error() {
+        let out_dir = tmp_dir("missing-out");
+        let out = RunStore::open(&out_dir).expect("opens");
+        let missing = tmp_dir("missing-input");
+        assert!(merge_stores(&[missing], &out).is_err());
+        let _ = std::fs::remove_dir_all(out_dir);
+    }
+}

@@ -16,7 +16,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use tifl_core::runner::RunRequest;
 use tifl_fl::{ReportSummary, TrainingReport};
-use tifl_obs::{MetricsSnapshot, PhaseTotals};
+use tifl_obs::{Digest128, MetricsSnapshot, PhaseTotals};
 
 /// The one JSON serializer every artifact path shares (the sweep store
 /// and the `tifl run --spec --out` single-run path): pretty-printed
@@ -58,6 +58,12 @@ pub struct RunArtifact {
     /// before the observability layer existed still load and validate.
     #[serde(default)]
     pub metrics: Option<MetricsSnapshot>,
+    /// The report's per-round digest-chain head — the artifact's
+    /// self-check. Optional so artifacts written before the digest
+    /// chain existed still load and validate (the chain is recomputed
+    /// from the report on demand either way).
+    #[serde(default)]
+    pub digest: Option<Digest128>,
 }
 
 impl RunArtifact {
@@ -65,6 +71,7 @@ impl RunArtifact {
     /// [`RunArtifact::metrics`] afterwards for observed runs).
     #[must_use]
     pub fn new(key: RunKey, request: RunRequest, report: TrainingReport) -> Self {
+        let digest = Some(report.digest_chain());
         Self {
             key,
             label: report.policy.clone(),
@@ -72,9 +79,103 @@ impl RunArtifact {
             request,
             report,
             metrics: None,
+            digest,
         }
     }
 }
+
+/// What went wrong loading or validating one artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreErrorKind {
+    /// The artifact file does not exist.
+    Missing,
+    /// The file exists but could not be read.
+    Unreadable,
+    /// The file read but is not a parseable [`RunArtifact`] (the parse
+    /// error is attached).
+    Unparseable(String),
+    /// The artifact's recorded `key` field disagrees with the key it is
+    /// filed under.
+    KeyMismatch {
+        /// The key the artifact claims.
+        claimed: RunKey,
+    },
+    /// The artifact's recorded digest-chain head disagrees with the
+    /// chain recomputed from its report — the report bytes changed
+    /// after the artifact was written.
+    DigestMismatch {
+        /// The head the artifact recorded at write time.
+        recorded: Digest128,
+        /// The head recomputed from the stored report.
+        recomputed: Digest128,
+    },
+    /// The stored request resolves to a different [`RunKey`] than the
+    /// request being validated against — a stale artifact from an
+    /// edited manifest.
+    RequestMismatch {
+        /// The key the stored request resolves to.
+        stored: RunKey,
+        /// The key the scheduled request resolves to.
+        expected: RunKey,
+    },
+    /// The report spans fewer/more rounds than the resolved request
+    /// asks for — a truncated (or over-long) run.
+    RoundCount {
+        /// Rounds in the stored report.
+        stored: u64,
+        /// Rounds the resolved request expects.
+        expected: u64,
+    },
+}
+
+/// A load/validate failure with its full context: which file, which
+/// key, and what exactly disagreed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreError {
+    /// The offending artifact path.
+    pub path: PathBuf,
+    /// The key the artifact is (or should be) filed under.
+    pub key: RunKey,
+    /// What went wrong.
+    pub kind: StoreErrorKind,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let path = self.path.display();
+        let key = self.key;
+        match &self.kind {
+            StoreErrorKind::Missing => write!(f, "artifact {key} missing: {path}"),
+            StoreErrorKind::Unreadable => write!(f, "artifact {key} unreadable: {path}"),
+            StoreErrorKind::Unparseable(err) => {
+                write!(f, "artifact {key} unparseable ({err}): {path}")
+            }
+            StoreErrorKind::KeyMismatch { claimed } => write!(
+                f,
+                "artifact {key} claims key {claimed} (filed under {key}): {path}"
+            ),
+            StoreErrorKind::DigestMismatch {
+                recorded,
+                recomputed,
+            } => write!(
+                f,
+                "artifact {key} digest chain {recorded} != recomputed {recomputed} \
+                 (report bytes changed after write): {path}"
+            ),
+            StoreErrorKind::RequestMismatch { stored, expected } => write!(
+                f,
+                "artifact {key} is stale: stored request resolves to {stored}, \
+                 scheduled request to {expected}: {path}"
+            ),
+            StoreErrorKind::RoundCount { stored, expected } => write!(
+                f,
+                "artifact {key} spans {stored} rounds, request resolves to {expected}: {path}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// One line of the sweep summary sidecar.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -230,8 +331,48 @@ impl RunStore {
     /// Load the artifact of `key`, if present and parseable.
     #[must_use]
     pub fn load(&self, key: RunKey) -> Option<RunArtifact> {
-        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
-        serde_json::from_str(&text).ok()
+        self.load_checked(key).ok()
+    }
+
+    /// Load the artifact of `key` with integrity checks and full error
+    /// context (path + key + what disagreed): the file must exist,
+    /// read, parse, claim the key it is filed under, and — when it
+    /// recorded a digest-chain head — that head must match the chain
+    /// recomputed from the stored report. Artifacts written before the
+    /// digest field existed (no `digest`) pass the digest check
+    /// vacuously.
+    ///
+    /// # Errors
+    /// A [`StoreError`] naming the artifact path, the key, and the
+    /// failed check.
+    pub fn load_checked(&self, key: RunKey) -> Result<RunArtifact, StoreError> {
+        let path = self.path_of(key);
+        let err = |kind| StoreError {
+            path: path.clone(),
+            key,
+            kind,
+        };
+        if !path.exists() {
+            return Err(err(StoreErrorKind::Missing));
+        }
+        let text = std::fs::read_to_string(&path).map_err(|_| err(StoreErrorKind::Unreadable))?;
+        let artifact: RunArtifact = serde_json::from_str(&text)
+            .map_err(|e| err(StoreErrorKind::Unparseable(e.to_string())))?;
+        if artifact.key != key {
+            return Err(err(StoreErrorKind::KeyMismatch {
+                claimed: artifact.key,
+            }));
+        }
+        if let Some(recorded) = artifact.digest {
+            let recomputed = artifact.report.digest_chain();
+            if recorded != recomputed {
+                return Err(err(StoreErrorKind::DigestMismatch {
+                    recorded,
+                    recomputed,
+                }));
+            }
+        }
+        Ok(artifact)
     }
 
     /// Load the artifact of `key` only if it validates against
@@ -245,12 +386,41 @@ impl RunStore {
     /// the run re-executes.
     #[must_use]
     pub fn load_valid(&self, key: RunKey, request: &RunRequest) -> Option<RunArtifact> {
-        let artifact = self.load(key)?;
-        let rounds = request.experiment().rounds;
-        (artifact.key == key
-            && RunKey::of(&artifact.request) == RunKey::of(request)
-            && artifact.report.rounds.len() as u64 == rounds)
-            .then_some(artifact)
+        self.validate_checked(key, request).ok()
+    }
+
+    /// [`RunStore::load_valid`] with full error context: every
+    /// [`RunStore::load_checked`] check, plus request-key equivalence
+    /// and the resolved round count.
+    ///
+    /// # Errors
+    /// A [`StoreError`] naming the artifact path, the key, and the
+    /// failed check.
+    pub fn validate_checked(
+        &self,
+        key: RunKey,
+        request: &RunRequest,
+    ) -> Result<RunArtifact, StoreError> {
+        let artifact = self.load_checked(key)?;
+        let err = |kind| StoreError {
+            path: self.path_of(key),
+            key,
+            kind,
+        };
+        let stored = RunKey::of(&artifact.request);
+        let expected = RunKey::of(request);
+        if stored != expected {
+            return Err(err(StoreErrorKind::RequestMismatch { stored, expected }));
+        }
+        let rounds = artifact.report.rounds.len() as u64;
+        let horizon = request.experiment().rounds;
+        if rounds != horizon {
+            return Err(err(StoreErrorKind::RoundCount {
+                stored: rounds,
+                expected: horizon,
+            }));
+        }
+        Ok(artifact)
     }
 
     /// Whether a valid artifact for (`key`, `request`) already exists —
@@ -277,6 +447,21 @@ impl RunStore {
             .collect();
         keys.sort_unstable();
         keys
+    }
+
+    /// Persist `key`'s artifact as raw bytes, verbatim (tmp + rename,
+    /// like [`RunStore::write`]). The merge path uses this so a merged
+    /// store is byte-identical to its sources — no re-serialization
+    /// that could mask (or introduce) a formatting drift.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_bytes(&self, key: RunKey, bytes: &[u8]) -> io::Result<PathBuf> {
+        let path = self.path_of(key);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
     }
 
     /// Write the sweep summary sidecar.
@@ -416,6 +601,93 @@ mod tests {
         std::fs::write(store.summary_path(), "{}").expect("write");
         std::fs::write(store.dir().join("notes.txt"), "hi").expect("write");
         assert_eq!(store.keys(), Vec::new());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn checked_errors_carry_path_key_and_cause() {
+        let store = tmp_store("checked");
+        let request = request(5, 2);
+        let key = RunKey::of(&request);
+
+        // Missing: names the path and key.
+        let err = store.load_checked(key).expect_err("missing");
+        assert_eq!(err.key, key);
+        assert_eq!(err.path, store.path_of(key));
+        assert_eq!(err.kind, StoreErrorKind::Missing);
+        assert!(err.to_string().contains(&key.to_string()));
+        assert!(err.to_string().contains("missing"));
+
+        // Unparseable: the parse error is attached.
+        std::fs::write(store.path_of(key), "{\"key\": \"tru").expect("write");
+        let err = store.load_checked(key).expect_err("unparseable");
+        assert!(matches!(err.kind, StoreErrorKind::Unparseable(_)));
+
+        // Digest mismatch: a one-field edit to the report breaks the
+        // recorded chain head.
+        let mut artifact = RunArtifact::new(key, request.clone(), report(2));
+        artifact.report.rounds[1].bytes_up += 1;
+        store.write(&artifact).expect("writes");
+        let err = store.load_checked(key).expect_err("digest mismatch");
+        assert!(matches!(err.kind, StoreErrorKind::DigestMismatch { .. }));
+        assert!(err.to_string().contains("digest chain"));
+
+        // Stale request: validate_checked names both keys.
+        let other = self::request(6, 2);
+        store
+            .write(&RunArtifact::new(key, other, report(2)))
+            .expect("writes");
+        let err = store.validate_checked(key, &request).expect_err("stale");
+        assert!(matches!(err.kind, StoreErrorKind::RequestMismatch { .. }));
+
+        // Truncated run: round counts on both sides.
+        store
+            .write(&RunArtifact::new(key, request.clone(), report(1)))
+            .expect("writes");
+        let err = store.validate_checked(key, &request).expect_err("short");
+        assert_eq!(
+            err.kind,
+            StoreErrorKind::RoundCount {
+                stored: 1,
+                expected: 2
+            }
+        );
+
+        // And the genuine artifact passes every check.
+        store
+            .write(&RunArtifact::new(key, request.clone(), report(2)))
+            .expect("writes");
+        let loaded = store.validate_checked(key, &request).expect("valid");
+        assert_eq!(loaded.digest, Some(loaded.report.digest_chain()));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn predigest_artifacts_still_load_and_validate() {
+        // Strip the `digest` (and `metrics`) fields the way a pre-chain
+        // artifact would look on disk: it must still load, validate,
+        // and recompute its chain on demand.
+        let store = tmp_store("predigest");
+        let request = request(7, 2);
+        let key = RunKey::of(&request);
+        let artifact = RunArtifact::new(key, request.clone(), report(2));
+        store.write(&artifact).expect("writes");
+        let text = std::fs::read_to_string(store.path_of(key)).expect("read");
+        let mut value: serde::Value = serde_json::from_str(&text).expect("parses");
+        if let serde::Value::Object(fields) = &mut value {
+            fields.retain(|(name, _)| name != "digest" && name != "metrics");
+        }
+        store
+            .write_bytes(
+                key,
+                serde_json::to_string_pretty(&value)
+                    .expect("renders")
+                    .as_bytes(),
+            )
+            .expect("rewrites");
+        let loaded = store.validate_checked(key, &request).expect("still valid");
+        assert_eq!(loaded.digest, None);
+        assert_eq!(loaded.report.digest_chain(), artifact.report.digest_chain());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

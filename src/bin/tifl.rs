@@ -14,8 +14,12 @@
 //! tifl sweep sweep.json --workers 4    # execute a whole run matrix
 //! tifl sweep sweep.json --resume       # … skipping completed run keys
 //! tifl sweep sweep.json --progress p.jsonl # … streaming a JSONL event log
+//! tifl sweep sweep.json --shard 0/2    # … this host's half of the matrix
 //! tifl trace run.json --out trace.json # re-run traced, export Chrome JSON
 //! tifl trace run.json --out t.json --host # … with the host-time lane too
+//! tifl diff a.json b.json              # first divergent round of two runs
+//! tifl audit artifacts/ --deny         # re-verify every artifact in a store
+//! tifl merge half-a half-b --out all   # union shard stores, byte-compared
 //! tifl report artifacts/ --target 0.5  # pivot a store into a table
 //! tifl lint --deny                     # determinism static analysis
 //! ```
@@ -39,8 +43,12 @@ fn usage() -> ExitCode {
          tifl estimate <config.json>\n  tifl run <config.json> \
          <vanilla|slow|uniform|random|fast|fast1|fast2|fast3|adaptive>\n  \
          tifl run --spec <run.json> [--threads N] [--out <report.json>]\n  \
-         tifl sweep <sweep.json> [--workers N] [--out DIR] [--resume] [--progress <log.jsonl>]\n  \
+         tifl sweep <sweep.json> [--workers N] [--out DIR] [--resume] [--progress <log.jsonl>] \
+         [--shard I/N]\n  \
          tifl trace <run.json|artifact.json> [--out <trace.json>] [--host]\n  \
+         tifl diff <a.json> <b.json> [--format human|json]\n  \
+         tifl audit <store-dir> [--deny] [--format human|json] [--out <audit.json>]\n  \
+         tifl merge <store-dir>... --out <dir> [--deny]\n  \
          tifl report <store-dir> [--format human|json] [--target ACC]\n  \
          tifl lint [--deny] [--format human|json] [path]"
     );
@@ -223,6 +231,7 @@ fn main() -> ExitCode {
             let mut out = "sweep-artifacts".to_string();
             let mut resume = false;
             let mut progress_path = None;
+            let mut shard: Option<(usize, usize)> = None;
             let mut args = rest.iter();
             while let Some(a) = args.next() {
                 match a.as_str() {
@@ -240,15 +249,37 @@ fn main() -> ExitCode {
                         let Some(p) = args.next() else { return usage() };
                         progress_path = Some(p.clone());
                     }
+                    "--shard" => {
+                        // "--shard I/N": this invocation runs slice I of
+                        // N (disjoint, covering, stable across hosts —
+                        // see `shard_runs`).
+                        let parsed = args.next().and_then(|s| {
+                            let (i, n) = s.split_once('/')?;
+                            Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?))
+                        });
+                        let Some((i, n)) = parsed else { return usage() };
+                        if n == 0 || i >= n {
+                            eprintln!("[tifl] bad --shard {i}/{n}: index must be < count");
+                            return ExitCode::FAILURE;
+                        }
+                        shard = Some((i, n));
+                    }
                     _ => return usage(),
                 }
             }
             let manifest: SweepManifest = read_json(path);
             let store = RunStore::open(&out).unwrap_or_else(|e| panic!("opening {out}: {e}"));
             let scheduler = SweepScheduler::new(workers);
-            let runs = manifest.expand();
+            let expanded = manifest.expand();
+            let total = expanded.len();
+            let runs = match shard {
+                Some((i, n)) => tifl::sweep::shard_runs(&expanded, i, n),
+                None => expanded,
+            };
+            let shard_note =
+                shard.map_or_else(String::new, |(i, n)| format!(" (shard {i}/{n} of {total})"));
             eprintln!(
-                "[tifl] sweep `{}`: {} runs on {} workers -> {}",
+                "[tifl] sweep `{}`: {} runs{shard_note} on {} workers -> {}",
                 manifest.name.as_deref().unwrap_or("unnamed"),
                 runs.len(),
                 scheduler.workers(),
@@ -330,13 +361,37 @@ fn main() -> ExitCode {
             // Accept either a run request or a stored artifact — an
             // artifact carries its request, and re-running it is
             // deterministic, so the trace it never stored can be
-            // regenerated bit-for-bit.
+            // regenerated bit-for-bit. An artifact's stored metrics
+            // double as a determinism check against the regenerated
+            // run.
             let text =
                 std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
-            let request = match serde_json::from_str::<RunArtifact>(&text) {
-                Ok(artifact) => artifact.request,
-                Err(_) => serde_json::from_str::<RunRequest>(&text)
-                    .unwrap_or_else(|e| panic!("parsing {path} as RunRequest: {e}")),
+            let (request, stored_metrics) = match serde_json::from_str::<RunArtifact>(&text) {
+                Ok(artifact) => {
+                    let Some(metrics) = artifact.metrics else {
+                        eprintln!(
+                            "[tifl] artifact has no metrics; re-run with run_observed \
+                             (re-execute the cell with `tifl sweep --out` to rewrite the \
+                             artifact with a metrics section, or trace the request file)"
+                        );
+                        return ExitCode::FAILURE;
+                    };
+                    (artifact.request, Some(metrics))
+                }
+                Err(artifact_err) => match serde_json::from_str::<RunRequest>(&text) {
+                    Ok(request) => (request, None),
+                    Err(e) => {
+                        if serde_json::from_str::<TrainingReport>(&text).is_ok() {
+                            eprintln!(
+                                "[tifl] {path} is a bare training report: it records results, \
+                                 not a request, so there is nothing to re-run; trace a run \
+                                 request or a store artifact"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                        panic!("parsing {path}: not an artifact ({artifact_err}) nor a RunRequest ({e})")
+                    }
+                },
             };
             eprintln!(
                 "[tifl] tracing {} / {} ...",
@@ -347,6 +402,17 @@ fn main() -> ExitCode {
             let rows = tifl::obs::round_rows(&observed.records);
             print!("{}", tifl::obs::render_rounds(&rows));
             print!("{}", observed.metrics.render_text());
+            if let Some(stored) = stored_metrics {
+                if stored == observed.metrics {
+                    eprintln!("[tifl] regenerated metrics match the artifact's stored snapshot");
+                } else {
+                    eprintln!(
+                        "[tifl] WARNING: regenerated metrics diverge from the artifact's \
+                         stored snapshot — determinism bug or corrupt artifact (try `tifl audit`)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
             if let Some(out) = out {
                 let mut events = tifl::obs::chrome_trace(&observed.records);
                 if host {
@@ -365,6 +431,125 @@ fn main() -> ExitCode {
                 );
             }
             ExitCode::SUCCESS
+        }
+        [cmd, a, b, rest @ ..] if cmd == "diff" => {
+            let mut format = "human".to_string();
+            let mut args = rest.iter();
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--format" => {
+                        let Some(f) = args.next() else { return usage() };
+                        format = f.clone();
+                    }
+                    _ => return usage(),
+                }
+            }
+            // Operands are store artifacts or bare training reports
+            // (`tifl run --spec --out`); either way the diff walks the
+            // digest chains — nothing is re-run.
+            let load = |path: &str| -> TrainingReport {
+                let text =
+                    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+                match serde_json::from_str::<RunArtifact>(&text) {
+                    Ok(artifact) => artifact.report,
+                    Err(_) => serde_json::from_str::<TrainingReport>(&text).unwrap_or_else(|e| {
+                        panic!("parsing {path} as a run artifact or training report: {e}")
+                    }),
+                }
+            };
+            let diff = load(a).diff(a, &load(b), b);
+            match format.as_str() {
+                "human" => print!("{}", diff.render_text()),
+                "json" => println!(
+                    "{}",
+                    serde_json::to_string_pretty(&diff).expect("diff report serializes")
+                ),
+                _ => return usage(),
+            }
+            if diff.identical() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        [cmd, dir, rest @ ..] if cmd == "audit" => {
+            let mut deny = false;
+            let mut format = "human".to_string();
+            let mut out = None;
+            let mut args = rest.iter();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--deny" => deny = true,
+                    "--format" => {
+                        let Some(f) = args.next() else { return usage() };
+                        format = f.clone();
+                    }
+                    "--out" => {
+                        let Some(p) = args.next() else { return usage() };
+                        out = Some(p.clone());
+                    }
+                    _ => return usage(),
+                }
+            }
+            if !std::path::Path::new(dir).is_dir() {
+                eprintln!("[tifl] no store directory at {dir}");
+                return ExitCode::FAILURE;
+            }
+            let store = RunStore::open(dir).unwrap_or_else(|e| panic!("opening {dir}: {e}"));
+            let report = tifl::sweep::audit_store(&store);
+            match format.as_str() {
+                "human" => print!("{}", report.render_text()),
+                "json" => println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("audit report serializes")
+                ),
+                _ => return usage(),
+            }
+            if let Some(out) = out {
+                tifl::sweep::store::write_json(std::path::Path::new(&out), &report)
+                    .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+                eprintln!("[tifl] wrote audit report to {out}");
+            }
+            if deny && !report.is_clean() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        [cmd, rest @ ..] if cmd == "merge" => {
+            let mut inputs: Vec<std::path::PathBuf> = Vec::new();
+            let mut out = None;
+            let mut deny = false;
+            let mut args = rest.iter();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--out" => {
+                        let Some(p) = args.next() else { return usage() };
+                        out = Some(p.clone());
+                    }
+                    "--deny" => deny = true,
+                    flag if flag.starts_with("--") => return usage(),
+                    _ => inputs.push(std::path::PathBuf::from(a)),
+                }
+            }
+            let Some(out) = out else { return usage() };
+            if inputs.is_empty() {
+                return usage();
+            }
+            let store = RunStore::open(&out).unwrap_or_else(|e| panic!("opening {out}: {e}"));
+            let report = match tifl::sweep::merge_stores(&inputs, &store) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("[tifl] merge failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", report.render_text());
+            if deny && !report.is_clean() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         [cmd, dir, rest @ ..] if cmd == "report" => {
             let mut format = "human".to_string();

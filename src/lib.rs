@@ -23,8 +23,9 @@
 //!   accounting, and the composable `RunSpec`/`Runner` execution API;
 //! * [`sweep`] — multi-run orchestration: declarative sweep manifests,
 //!   a worker-pool scheduler with a shared profile cache, a resumable
-//!   keyed artifact store, and store-backed pivot reporting
-//!   (`tifl report`);
+//!   keyed artifact store, store-backed pivot reporting (`tifl
+//!   report`), store auditing (`tifl audit`), and verified shard-store
+//!   merging (`tifl merge` / `tifl sweep --shard`);
 //! * [`leaf`] — the LEAF-like FEMNIST benchmark harness.
 //!
 //! ## Quickstart
@@ -109,16 +110,19 @@ pub mod prelude {
     pub use tifl_leaf::{LeafDataConfig, LeafExperiment};
     pub use tifl_nn::models::ModelSpec;
     pub use tifl_obs::{
-        chrome_trace, host_chrome_trace, FrozenClock, HostClock, HostProfiler, HostSpan,
-        MetricsRegistry, MetricsSnapshot, Phase, PhaseTotals, RealClock, RingRecorder, RunObserver,
-        TraceEvent, TraceRecord, TraceSink,
+        chrome_trace, host_chrome_trace, DiffReport, DiffSide, Digest128, DigestChain, Divergence,
+        FieldDelta, FrozenClock, HostClock, HostProfiler, HostSpan, MetricsRegistry,
+        MetricsSnapshot, Phase, PhaseTotals, RealClock, RingRecorder, RunObserver, TraceEvent,
+        TraceRecord, TraceSink,
     };
     pub use tifl_sim::cluster::{Cluster, ClusterConfig};
     pub use tifl_sim::drift::DriftModel;
     pub use tifl_sim::latency::{LatencyModel, LatencyModelConfig};
     pub use tifl_sim::resource::LinkQuality;
     pub use tifl_sweep::{
-        KeyedRun, ProgressEvent, ProgressLog, RunArtifact, RunKey, RunOutcome, RunStore, SweepAxes,
-        SweepBuilder, SweepManifest, SweepReport, SweepScheduler, SweepSummary, WorkerLane,
+        audit_store, merge_stores, shard_runs, AuditFinding, AuditReport, KeyedRun, MergeConflict,
+        MergeReport, ProgressEvent, ProgressLog, RunArtifact, RunKey, RunOutcome, RunStore,
+        StoreError, StoreErrorKind, SweepAxes, SweepBuilder, SweepManifest, SweepReport,
+        SweepScheduler, SweepSummary, WorkerLane,
     };
 }

@@ -1,0 +1,603 @@
+//! Integration tests for the run-auditing & divergence-observability
+//! layer, pinning the ISSUE's acceptance criteria:
+//!
+//! 1. **Digest chains** — order-sensitive, prefix-stable, collision-free
+//!    across the runspec axes (proptested), and *backend-invariant*:
+//!    the same cell on `Lockstep` and `EventDriven` chains to the same
+//!    head, because backends are result knobs, never result changers;
+//! 2. **`tifl diff`** — localizes an injected single-round perturbation
+//!    to exactly that round, without re-running, in the library and
+//!    through the binary (`--format json`);
+//! 3. **`tifl audit --deny`** — catches one-byte artifact corruption
+//!    and names the corrupt key;
+//! 4. **`tifl merge`** — the union of two disjoint `--shard` half
+//!    stores is byte-identical to the uninterrupted unsharded sweep;
+//! 5. **Compatibility** — artifacts written before the digest field
+//!    existed still load, validate, audit clean, and diff.
+
+use proptest::prelude::*;
+use tifl::prelude::*;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tifl-audit-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A shrunken §5.1 resource-heterogeneity config (the `tests/sweep.rs`
+/// scaling): real 5-group CPU profile, small data/model so a run is
+/// milliseconds.
+fn small_resource_het(seed: u64, rounds: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::cifar10_resource_het(seed);
+    cfg.num_clients = 10;
+    cfg.clients_per_round = 2;
+    cfg.rounds = rounds;
+    cfg.data = DataScenario::Iid { per_client: 30 };
+    cfg.model = ModelSpec::Mlp {
+        input: 64,
+        hidden: 16,
+        classes: 10,
+    };
+    cfg.eval_every = 2;
+    cfg.profiler = ProfilerConfig {
+        sync_rounds: 2,
+        tmax_sec: 1e6,
+    };
+    cfg
+}
+
+/// The pinned matrix: selection × both backends, 6 runs / 3 distinct
+/// result cells.
+fn backend_matrix() -> SweepManifest {
+    let mut manifest = SweepManifest::new(small_resource_het(42, 4));
+    manifest.axes.selection = vec![
+        SelectionStrategy::Vanilla,
+        SelectionStrategy::TierPolicy {
+            policy: Policy::uniform(5),
+        },
+        SelectionStrategy::Adaptive { config: None },
+    ];
+    manifest.axes.backend = vec![
+        ExecBackend::Lockstep,
+        ExecBackend::EventDriven { threads: 2 },
+    ];
+    manifest
+}
+
+fn synthetic_round(i: u64, salt: u64) -> RoundReport {
+    RoundReport {
+        round: i,
+        time: (i + 1) as f64 * 3.0,
+        latency: 3.0,
+        selected: vec![i as usize % 5, salt as usize % 7],
+        aggregated: vec![i as usize % 5],
+        accuracy: i.is_multiple_of(2).then(|| (salt % 100) as f64 / 100.0),
+        loss: Some(1.0 + salt as f32 / 10.0),
+        bytes_down: 100 + salt,
+        bytes_up: 50 + i,
+    }
+}
+
+fn synthetic_report(rounds: u64, salt: u64) -> TrainingReport {
+    TrainingReport {
+        policy: format!("synthetic-{salt}"),
+        rounds: (0..rounds).map(|i| synthetic_round(i, salt)).collect(),
+    }
+}
+
+// -- digest-chain properties -------------------------------------------------
+
+proptest! {
+    /// Swapping any two distinct rounds changes the chain head (order
+    /// sensitivity), and the head over the first k rounds equals the
+    /// k-th intermediate head (prefix property).
+    #[test]
+    fn prop_chain_is_order_sensitive_and_prefix_stable(
+        rounds in 2u64..8,
+        salt in 0u64..1000,
+        i in 0usize..8,
+        j in 0usize..8,
+    ) {
+        let report = synthetic_report(rounds, salt);
+        let heads = report.chain_heads();
+        prop_assert_eq!(heads.len() as u64, rounds);
+        prop_assert_eq!(*heads.last().unwrap(), report.digest_chain());
+
+        // Prefix property: truncating to k rounds reproduces head k-1.
+        for k in 1..=rounds as usize {
+            let mut prefix = report.clone();
+            prefix.rounds.truncate(k);
+            prop_assert_eq!(prefix.digest_chain(), heads[k - 1]);
+        }
+
+        // Order sensitivity: swapping two distinct rounds changes the
+        // head (round indices differ, so the contents always differ).
+        let (i, j) = (i % rounds as usize, j % rounds as usize);
+        if i != j {
+            let mut swapped = report.clone();
+            swapped.rounds.swap(i, j);
+            prop_assert!(swapped.digest_chain() != report.digest_chain());
+        }
+    }
+
+    /// Distinct round contents digest distinctly, and any single-field
+    /// perturbation of a round moves the whole chain head.
+    #[test]
+    fn prop_chain_separates_content(
+        rounds in 1u64..6,
+        salt_a in 0u64..500,
+        salt_b in 500u64..1000,
+        victim in 0usize..6,
+    ) {
+        let a = synthetic_report(rounds, salt_a);
+        let b = synthetic_report(rounds, salt_b);
+        prop_assert!(a.digest_chain() != b.digest_chain());
+
+        let mut perturbed = a.clone();
+        let victim = victim % rounds as usize;
+        perturbed.rounds[victim].bytes_up ^= 1;
+        prop_assert!(perturbed.digest_chain() != a.digest_chain());
+        // And the diff pins the divergence to exactly the victim.
+        let diff = a.diff("a", &perturbed, "b");
+        match diff.divergence {
+            Divergence::DivergedAt { round, .. } => prop_assert_eq!(round, victim as u64),
+            other => prop_assert!(false, "expected DivergedAt, got {:?}", other),
+        }
+    }
+}
+
+/// Collision freedom across the runspec axes, pinned on real runs: the
+/// 6-run backend matrix yields exactly 3 distinct chain heads — one
+/// per selection strategy — with the two backends of each cell
+/// chaining *equal* (backends are result-invariant, so equal heads
+/// across backends is the determinism contract, not a collision).
+#[test]
+fn chains_separate_cells_and_ignore_backends() {
+    let manifest = backend_matrix();
+    let runs = manifest.expand();
+    assert_eq!(runs.len(), 6);
+    let sweep = SweepScheduler::new(2).execute(&runs, None, false);
+    assert_eq!(sweep.failed(), 0);
+    let reports = sweep.into_reports();
+
+    let heads: Vec<Digest128> = reports.iter().map(TrainingReport::digest_chain).collect();
+    let distinct: std::collections::BTreeSet<Digest128> = heads.iter().copied().collect();
+    assert_eq!(distinct.len(), 3, "one head per selection strategy");
+    // Expansion order is selection-major (backend innermost): pairs
+    // (0,1), (2,3), (4,5) are the same cell on the two backends.
+    for pair in heads.chunks(2) {
+        assert_eq!(pair[0], pair[1], "backends must chain identically");
+    }
+}
+
+// -- diff --------------------------------------------------------------------
+
+#[test]
+fn diff_cli_localizes_an_injected_perturbation() {
+    let dir = tmp_dir("diff-cli");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let a = synthetic_report(5, 77);
+    let mut b = a.clone();
+    b.rounds[3].accuracy = Some(0.123);
+    let a_path = dir.join("a.json");
+    let b_path = dir.join("b.json");
+    std::fs::write(&a_path, serde_json::to_string_pretty(&a).unwrap()).expect("write");
+    std::fs::write(&b_path, serde_json::to_string_pretty(&b).unwrap()).expect("write");
+
+    // Identical operands: exit 0, says "identical".
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args(["diff", a_path.to_str().unwrap(), a_path.to_str().unwrap()])
+        .output()
+        .expect("tifl runs");
+    assert!(out.status.success(), "self-diff must exit 0");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("identical"));
+
+    // Diverging operands: exit nonzero, human output names round 3.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args(["diff", a_path.to_str().unwrap(), b_path.to_str().unwrap()])
+        .output()
+        .expect("tifl runs");
+    assert!(!out.status.success(), "diverging diff must exit nonzero");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("first divergent round: 3"),
+        "human output: {text}"
+    );
+    assert!(text.contains("accuracy"), "human output: {text}");
+
+    // JSON output parses back into the library's DiffReport.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args([
+            "diff",
+            a_path.to_str().unwrap(),
+            b_path.to_str().unwrap(),
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("tifl runs");
+    let parsed: DiffReport =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("json parses");
+    assert_eq!(
+        parsed,
+        a.diff(a_path.to_str().unwrap(), &b, b_path.to_str().unwrap())
+    );
+    match parsed.divergence {
+        Divergence::DivergedAt { round, deltas, .. } => {
+            assert_eq!(round, 3);
+            assert!(deltas.iter().any(|d| d.field == "accuracy"));
+        }
+        other => panic!("expected DivergedAt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -- audit -------------------------------------------------------------------
+
+/// Bump the first digit of the first `"bytes_up"` value in an
+/// artifact's JSON — a parse-safe, digest-breaking one-byte flip.
+fn flip_one_byte(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).expect("read artifact");
+    let at = text.find("\"bytes_up\"").expect("field present");
+    let digit = text[at..]
+        .char_indices()
+        .find(|(_, c)| c.is_ascii_digit())
+        .map(|(i, _)| at + i)
+        .expect("digit after field");
+    let mut bytes = text.into_bytes();
+    bytes[digit] = if bytes[digit] == b'9' {
+        b'0'
+    } else {
+        bytes[digit] + 1
+    };
+    std::fs::write(path, bytes).expect("write corrupted artifact");
+}
+
+#[test]
+fn audit_cli_catches_one_byte_corruption_and_names_the_key() {
+    // One real run into a store, via the library (cheap: tiny config).
+    let dir = tmp_dir("audit-cli");
+    let store_dir = dir.join("arts");
+    let mut builder = SweepBuilder::new(ExperimentConfig::tiny(11));
+    let sweep = builder.rounds(3).workers(1).out(&store_dir).run();
+    assert_eq!(sweep.completed(), 1);
+    let store = RunStore::open(&store_dir).expect("store opens");
+    let key = store.keys()[0];
+
+    let audit = |deny: bool| {
+        let mut args = vec!["audit", store_dir.to_str().unwrap()];
+        if deny {
+            args.push("--deny");
+        }
+        std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+            .args(&args)
+            .output()
+            .expect("tifl runs")
+    };
+
+    // Clean store: exits 0 even under --deny.
+    let out = audit(true);
+    assert!(out.status.success(), "clean store must pass --deny");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 findings"));
+
+    // Flip one byte inside the report: --deny exits nonzero and the
+    // output names the corrupt key; without --deny it still reports
+    // but exits 0.
+    flip_one_byte(&store.path_of(key));
+    let out = audit(true);
+    assert!(!out.status.success(), "corruption must fail --deny");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(&key.to_string()), "must name the key: {text}");
+    assert!(text.contains("corrupt"), "must flag corruption: {text}");
+    let out = audit(false);
+    assert!(out.status.success(), "report-only mode exits 0");
+
+    // --format json --out writes a machine-readable AuditReport.
+    let json_path = dir.join("audit.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args([
+            "audit",
+            store_dir.to_str().unwrap(),
+            "--format",
+            "json",
+            "--out",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("tifl runs");
+    assert!(out.status.success());
+    let from_stdout: AuditReport =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("stdout json");
+    let from_file: AuditReport =
+        serde_json::from_str(&std::fs::read_to_string(&json_path).expect("file"))
+            .expect("file json");
+    assert_eq!(from_stdout, from_file);
+    assert_eq!(from_file.artifacts, 1);
+    assert!(!from_file.is_clean());
+    assert_eq!(from_file.findings[0].key, Some(key));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn audit_flags_leftover_tmp_files() {
+    let dir = tmp_dir("audit-tmp");
+    let store = RunStore::open(&dir).expect("store opens");
+    std::fs::write(dir.join("deadbeef.json.tmp"), "{").expect("write");
+    let report = audit_store(&store);
+    assert!(!report.is_clean());
+    assert_eq!(report.findings[0].kind, "tmp-leftover");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -- shard + merge -----------------------------------------------------------
+
+#[test]
+fn merged_shard_stores_are_byte_identical_to_the_unsharded_sweep() {
+    let manifest = backend_matrix();
+    let runs = manifest.expand();
+    assert_eq!(runs.len(), 6);
+
+    // Reference: the uninterrupted, unsharded sweep.
+    let full_dir = tmp_dir("shard-full");
+    let full_store = RunStore::open(&full_dir).expect("store opens");
+    let full = SweepScheduler::new(2).execute(&runs, Some(&full_store), false);
+    assert_eq!(full.completed(), 6);
+
+    // Two disjoint halves, as two hosts would run them.
+    let half_dirs = [tmp_dir("shard-a"), tmp_dir("shard-b")];
+    for (i, dir) in half_dirs.iter().enumerate() {
+        let store = RunStore::open(dir).expect("store opens");
+        let shard = shard_runs(&runs, i, 2);
+        assert_eq!(shard.len(), 3);
+        let sweep = SweepScheduler::new(2).execute(&shard, Some(&store), false);
+        assert_eq!(sweep.completed(), 3);
+    }
+
+    // Merge through the binary with --deny: must pass (no conflicts).
+    let merged_dir = tmp_dir("shard-merged");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args([
+            "merge",
+            half_dirs[0].to_str().unwrap(),
+            half_dirs[1].to_str().unwrap(),
+            "--out",
+            merged_dir.to_str().unwrap(),
+            "--deny",
+        ])
+        .output()
+        .expect("tifl runs");
+    assert!(
+        out.status.success(),
+        "clean merge must pass --deny: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Byte-identical to the unsharded sweep, key for key (the summary
+    // sidecar is per-execution and deliberately not merged).
+    let merged = RunStore::open(&merged_dir).expect("store opens");
+    assert_eq!(merged.keys(), full_store.keys());
+    for key in full_store.keys() {
+        assert_eq!(
+            std::fs::read(merged.path_of(key)).expect("merged artifact"),
+            std::fs::read(full_store.path_of(key)).expect("full artifact"),
+            "artifact {key} must be byte-identical"
+        );
+    }
+    assert!(!merged.summary_path().exists());
+
+    // A conflicting overlap fails --deny: re-merge after perturbing a
+    // digest-covered byte in one half (parse-safe digit bump).
+    let victim = RunStore::open(&half_dirs[0]).expect("store opens");
+    flip_one_byte(&victim.path_of(victim.keys()[0]));
+    let remerge_dir = tmp_dir("shard-remerge");
+    // Seed the output with the pristine full store's copy so the
+    // overlap comparison sees the conflict.
+    let remerge_store = RunStore::open(&remerge_dir).expect("store opens");
+    merge_stores(std::slice::from_ref(&full_dir), &remerge_store).expect("seed merge");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args([
+            "merge",
+            half_dirs[0].to_str().unwrap(),
+            half_dirs[1].to_str().unwrap(),
+            "--out",
+            remerge_dir.to_str().unwrap(),
+            "--deny",
+        ])
+        .output()
+        .expect("tifl runs");
+    assert!(
+        !out.status.success(),
+        "conflicting merge must fail --deny: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("conflict"));
+
+    for dir in [full_dir, merged_dir, remerge_dir]
+        .into_iter()
+        .chain(half_dirs)
+    {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn sweep_cli_shard_halves_union_to_the_full_expansion() {
+    let mut manifest = SweepManifest::new(ExperimentConfig::tiny(21));
+    manifest.rounds = Some(2);
+    manifest.axes.seeds = vec![1, 2, 3];
+    let runs = manifest.expand();
+    assert_eq!(runs.len(), 3);
+
+    let dir = tmp_dir("cli-shard");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let manifest_path = dir.join("sweep.json");
+    std::fs::write(
+        &manifest_path,
+        serde_json::to_string_pretty(&manifest).unwrap(),
+    )
+    .expect("write manifest");
+
+    let mut shard_keys = Vec::new();
+    for i in 0..2 {
+        let arts = dir.join(format!("half-{i}"));
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+            .args([
+                "sweep",
+                manifest_path.to_str().unwrap(),
+                "--workers",
+                "1",
+                "--out",
+                arts.to_str().unwrap(),
+                "--shard",
+                &format!("{i}/2"),
+            ])
+            .output()
+            .expect("tifl runs");
+        assert!(
+            out.status.success(),
+            "shard {i}/2 failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        shard_keys.push(RunStore::open(&arts).expect("store opens").keys());
+    }
+    // Disjoint and covering.
+    assert_eq!(shard_keys[0].len() + shard_keys[1].len(), 3);
+    let mut union: Vec<RunKey> = shard_keys.concat();
+    union.sort_unstable();
+    union.dedup();
+    let mut expected: Vec<RunKey> = runs.iter().map(|r| r.key).collect();
+    expected.sort_unstable();
+    assert_eq!(union, expected);
+
+    // A malformed shard spec is rejected.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args([
+            "sweep",
+            manifest_path.to_str().unwrap(),
+            "--shard",
+            "2/2",
+            "--out",
+            dir.join("bad").to_str().unwrap(),
+        ])
+        .output()
+        .expect("tifl runs");
+    assert!(!out.status.success(), "--shard 2/2 must be rejected");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -- compatibility & trace satellites ----------------------------------------
+
+#[test]
+fn predigest_artifacts_load_validate_audit_and_diff() {
+    // Simulate a store written before the digest/metrics fields
+    // existed: strip both from a fresh artifact's JSON. Everything —
+    // load, resume validation, audit, diff — must still work, with the
+    // chain computed on the fly.
+    let dir = tmp_dir("compat");
+    let mut builder = SweepBuilder::new(ExperimentConfig::tiny(31));
+    builder.rounds(3).workers(1).out(&dir);
+    assert_eq!(builder.run().completed(), 1);
+    let store = RunStore::open(&dir).expect("store opens");
+    let key = store.keys()[0];
+    let request = store.load(key).expect("loads").request;
+
+    let text = std::fs::read_to_string(store.path_of(key)).expect("read");
+    let mut value: serde::Value = serde_json::from_str(&text).expect("parses");
+    strip_fields(&mut value, &["digest", "metrics"]);
+    std::fs::write(
+        store.path_of(key),
+        serde_json::to_string_pretty(&value).expect("renders"),
+    )
+    .expect("rewrite");
+
+    let artifact = store.load(key).expect("pre-digest artifact loads");
+    assert_eq!(artifact.digest, None);
+    assert_eq!(artifact.metrics, None);
+    assert!(store.validates(key, &request), "resume still validates");
+    let audit = audit_store(&store);
+    assert!(
+        audit.is_clean(),
+        "pre-digest artifact audits clean: {:?}",
+        audit.findings
+    );
+    // Diffing a pre-digest artifact against itself through the binary.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args([
+            "diff",
+            store.path_of(key).to_str().unwrap(),
+            store.path_of(key).to_str().unwrap(),
+        ])
+        .output()
+        .expect("tifl runs");
+    assert!(out.status.success(), "pre-digest self-diff exits 0");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn strip_fields(value: &mut serde::Value, names: &[&str]) {
+    if let serde::Value::Object(fields) = value {
+        fields.retain(|(name, _)| !names.contains(&name.as_str()));
+    }
+}
+
+#[test]
+fn trace_cli_explains_metricless_artifacts_and_bare_reports() {
+    let dir = tmp_dir("trace-msg");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // An artifact without metrics: clear message, nonzero exit.
+    let request = RunRequest {
+        experiment: ExperimentConfig::tiny(41),
+        rounds: Some(2),
+        seed: None,
+        clients_per_round: None,
+        spec: RunSpec::default(),
+    };
+    let report = request.run();
+    let key = RunKey::of(&request);
+    let mut artifact = RunArtifact::new(key, request, report.clone());
+    artifact.metrics = None;
+    let art_path = dir.join("artifact.json");
+    std::fs::write(&art_path, serde_json::to_string_pretty(&artifact).unwrap()).expect("write");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args(["trace", art_path.to_str().unwrap()])
+        .output()
+        .expect("tifl runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("artifact has no metrics; re-run with run_observed"),
+        "stderr: {err}"
+    );
+
+    // A bare training report: explanatory message, not a parse panic.
+    let report_path = dir.join("report.json");
+    std::fs::write(&report_path, serde_json::to_string_pretty(&report).unwrap()).expect("write");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args(["trace", report_path.to_str().unwrap()])
+        .output()
+        .expect("tifl runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bare training report"), "stderr: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_cli_verifies_stored_metrics_on_artifacts() {
+    // A sweep-written artifact carries metrics; tracing it re-runs the
+    // request and must report the regenerated metrics matching.
+    let dir = tmp_dir("trace-verify");
+    let mut builder = SweepBuilder::new(ExperimentConfig::tiny(51));
+    builder.rounds(2).workers(1).out(&dir);
+    assert_eq!(builder.run().completed(), 1);
+    let store = RunStore::open(&dir).expect("store opens");
+    let path = store.path_of(store.keys()[0]);
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tifl"))
+        .args(["trace", path.to_str().unwrap()])
+        .output()
+        .expect("tifl runs");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {err}");
+    assert!(err.contains("regenerated metrics match"), "stderr: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
